@@ -1,0 +1,251 @@
+package xpro
+
+// Ablation benchmarks for the design choices DESIGN.md calls out. Each
+// benchmark reports the ablated configuration's cost as custom metrics
+// (µJ/event or relative factors), so `go test -bench=Ablation` prints
+// the quantitative effect of every design rule:
+//
+//   - design rule 2 (monotonic energy-optimal ALU mode per component)
+//     vs forcing all-serial / all-pipeline / all-parallel;
+//   - design rule 3 (cell-level reuse: Std reuses Var) vs standalone
+//     Std cells;
+//   - the delay constraint of §3.2.3 (energy left on the table to stay
+//     within T_XPro) vs the unconstrained min cut;
+//   - broadcast-aware transfer pricing vs the naive per-edge pricing.
+
+import (
+	"testing"
+
+	"xpro/internal/biosig"
+	"xpro/internal/celllib"
+	"xpro/internal/cellsim"
+	"xpro/internal/ensemble"
+	"xpro/internal/partition"
+	"xpro/internal/sensornode"
+	"xpro/internal/stats"
+	"xpro/internal/topology"
+	"xpro/internal/wireless"
+)
+
+// ablationInstance returns a trained E1 instance (shared lab).
+func ablationInstance(b *testing.B) *topology.Graph {
+	b.Helper()
+	inst, err := benchLab(b).Instance("E1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inst.Graph
+}
+
+// BenchmarkAblationALUMode quantifies design rule 2: total in-sensor
+// pipeline energy under the energy-optimal per-cell mode vs one forced
+// monotonic mode for everything.
+func BenchmarkAblationALUMode(b *testing.B) {
+	g := ablationInstance(b)
+	all := make([]topology.CellID, len(g.Cells))
+	for i := range all {
+		all[i] = topology.CellID(i)
+	}
+	best := sensornode.Characterize(g, celllib.P90).TotalComputeEnergy(all)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sensornode.Characterize(g, celllib.P90)
+	}
+	for _, mode := range celllib.Modes {
+		forced := sensornode.CharacterizeWithMode(g, celllib.P90, mode).TotalComputeEnergy(all)
+		b.ReportMetric(forced/best, "x-vs-best-"+mode.String())
+	}
+	b.ReportMetric(best*1e6, "best-uJ/event")
+}
+
+// BenchmarkAblationCellReuse quantifies design rule 3: the energy of the
+// graph's Var+StdStage pairs vs hypothetical standalone Std cells.
+func BenchmarkAblationCellReuse(b *testing.B) {
+	g := ablationInstance(b)
+	var withReuse, withoutReuse float64
+	pairs := 0
+	recompute := func() {
+		withReuse, withoutReuse = 0, 0
+		pairs = 0
+		for _, c := range g.Cells {
+			if c.Role != topology.RoleStdStage {
+				continue
+			}
+			pairs++
+			ins := g.InEdges(c.ID)
+			varCell := g.Cells[ins[0].From]
+			_, varProf := celllib.BestMode(varCell.Spec, celllib.P90)
+			_, stageProf := celllib.BestMode(c.Spec, celllib.P90)
+			withReuse += varProf.Energy() + stageProf.Energy()
+			standalone := celllib.Spec{Kind: celllib.KindFeature, Feat: stats.Std, N: varCell.Spec.N}
+			_, fullProf := celllib.BestMode(standalone, celllib.P90)
+			withoutReuse += varProf.Energy() + fullProf.Energy()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recompute()
+	}
+	if pairs == 0 {
+		b.Skip("instance has no Var+Std pairs")
+	}
+	if withReuse >= withoutReuse {
+		b.Fatalf("reuse (%v J) must save energy vs standalone (%v J)", withReuse, withoutReuse)
+	}
+	b.ReportMetric(float64(pairs), "pairs")
+	b.ReportMetric((withoutReuse-withReuse)/withoutReuse*100, "%-saved")
+}
+
+// BenchmarkAblationDelayConstraint quantifies §3.2.3: how much sensor
+// energy the delay constraint costs relative to the unconstrained
+// minimum cut, across tightening limits.
+func BenchmarkAblationDelayConstraint(b *testing.B) {
+	lab := benchLab(b)
+	es, err := lab.Engines("M1", celllib.P90, wireless.Model2())
+	if err != nil {
+		b.Fatal(err)
+	}
+	prob := es.InAggregator.Problem()
+	delayOf := func(p partition.Placement) float64 {
+		return es.InAggregator.DelayOf(p).Total()
+	}
+	_, unconstrained := prob.MinCut()
+	limit := es.InSensor.DelayPerEvent().Total()
+	if d := es.InAggregator.DelayPerEvent().Total(); d < limit {
+		limit = d
+	}
+	var atLimit, tight partition.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		atLimit, err = prob.Generate(delayOf, limit)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tight, err = prob.Generate(delayOf, limit*0.8)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(unconstrained*1e6, "unconstrained-uJ")
+	b.ReportMetric(atLimit.Energy/unconstrained, "x-at-Txpro")
+	b.ReportMetric(tight.Energy/unconstrained, "x-at-0.8Txpro")
+}
+
+// BenchmarkAblationPowerGating quantifies design rule 1's power gating:
+// the cycle-stepped cell-array simulation reports what the same event
+// would cost if idle cells leaked static power until the array finished.
+func BenchmarkAblationPowerGating(b *testing.B) {
+	g := ablationInstance(b)
+	hw := sensornode.Characterize(g, celllib.P90)
+	p := partition.InSensor(g)
+	var res *cellsim.Result
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = cellsim.Simulate(g, p, hw)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.GatedEnergy*1e6, "gated-uJ")
+	b.ReportMetric(res.UngatedEnergy*1e6, "ungated-uJ")
+	b.ReportMetric(res.GatingSavings()*100, "%-saved")
+}
+
+// BenchmarkAblationSVPruning quantifies support-vector pruning (an
+// extension beyond the paper): keeping only the largest-coefficient SVs
+// shrinks the in-sensor SVM cells — at what accuracy cost?
+func BenchmarkAblationSVPruning(b *testing.B) {
+	inst, err := benchLab(b).Instance("E1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	evalSet := &biosig.Dataset{SegLen: inst.Test.SegLen, Segs: inst.Test.Segs[:120]}
+	fullAcc, err := inst.Ens.Accuracy(evalSet)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fullEnergy := svmPoolEnergy(b, inst.Ens, inst.Test.SegLen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.Ens.Pruned(0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for _, keep := range []float64{0.5, 0.25} {
+		pruned, err := inst.Ens.Pruned(keep)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc, err := pruned.Accuracy(evalSet)
+		if err != nil {
+			b.Fatal(err)
+		}
+		energy := svmPoolEnergy(b, pruned, inst.Test.SegLen)
+		tag := "50"
+		if keep == 0.25 {
+			tag = "25"
+		}
+		b.ReportMetric((fullAcc-acc)*100, "acc-drop-pp-keep"+tag)
+		b.ReportMetric(energy/fullEnergy, "energy-x-keep"+tag)
+	}
+	_ = fullEnergy
+}
+
+// svmPoolEnergy sums the in-sensor energy of an ensemble's SVM cells.
+func svmPoolEnergy(b *testing.B, ens *ensemble.Ensemble, segLen int) float64 {
+	b.Helper()
+	g, err := topology.Build(ens, segLen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hw := sensornode.Characterize(g, celllib.P90)
+	var e float64
+	for i, c := range g.Cells {
+		if c.Role == topology.RoleSVM {
+			e += hw.Energy(topology.CellID(i))
+		}
+	}
+	return e
+}
+
+// BenchmarkAblationBroadcastPricing quantifies the transfer-group
+// construction: wireless energy of the trivial cut priced per payload
+// group (one broadcast per consumer set) vs naive per-edge pricing.
+func BenchmarkAblationBroadcastPricing(b *testing.B) {
+	g := ablationInstance(b)
+	link := wireless.Model2()
+	p := partition.Trivial(g)
+	var grouped, perEdge float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		grouped, perEdge = 0, 0
+		for _, tg := range g.TransferGroups() {
+			fromS := p.OnSensor(tg.From)
+			crosses := false
+			for _, c := range tg.Consumers {
+				if p.OnSensor(c) != fromS {
+					crosses = true
+					break
+				}
+			}
+			if crosses {
+				grouped += link.Cost(tg.Bits).TxEnergy
+			}
+		}
+		for _, e := range g.Edges {
+			if e.From == topology.SourceID {
+				continue
+			}
+			if p.OnSensor(e.From) != p.OnSensor(e.To) {
+				perEdge += link.Cost(e.Bits).TxEnergy
+			}
+		}
+	}
+	if grouped > perEdge {
+		b.Fatal("grouped pricing cannot exceed per-edge pricing")
+	}
+	b.ReportMetric(grouped*1e6, "grouped-uJ")
+	b.ReportMetric(perEdge/grouped, "per-edge-x")
+}

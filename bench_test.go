@@ -1,0 +1,134 @@
+package xpro
+
+// This file holds the benchmark harness that regenerates every table and
+// figure of the paper's evaluation (run with `go test -bench=. -benchmem`):
+//
+//	Table 1  → BenchmarkTable1Datasets
+//	Figure 4 → BenchmarkFig4ALUModes
+//	Figure 8 → BenchmarkFig8ProcessTech
+//	Figure 9 → BenchmarkFig9WirelessModels
+//	Figure 10 → BenchmarkFig10Delay
+//	Figure 11 → BenchmarkFig11EnergyBreakdown
+//	Figure 12 → BenchmarkFig12Cuts
+//	Figure 13 → BenchmarkFig13AggregatorOverhead
+//	Headline  → BenchmarkHeadline
+//
+// Each iteration re-runs the experiment's compute path (engine pricing
+// and the Automatic XPro Generator's min-cut sweeps) against a shared,
+// pre-trained lab, so the numbers reflect regeneration cost rather than
+// SMO training. Ablation benchmarks for the design rules of §3.1 live
+// in ablation_bench_test.go.
+
+import (
+	"sync"
+	"testing"
+
+	"xpro/internal/biosig"
+	"xpro/internal/experiments"
+)
+
+var (
+	labOnce  sync.Once
+	sharedLb *experiments.Lab
+)
+
+// benchLab returns a lab with every test case trained once (fast
+// protocol), shared across all benchmarks in the binary.
+func benchLab(b *testing.B) *experiments.Lab {
+	b.Helper()
+	labOnce.Do(func() {
+		sharedLb = experiments.NewLab()
+		if _, err := sharedLb.Instances(); err != nil {
+			b.Fatalf("training lab: %v", err)
+		}
+	})
+	return sharedLb
+}
+
+func runExperiment(b *testing.B, f func(*experiments.Lab) (*experiments.Table, error)) {
+	lab := benchLab(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := f(lab.Clone())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+// BenchmarkTable1Datasets regenerates the six Table 1 datasets.
+func BenchmarkTable1Datasets(b *testing.B) {
+	specs := biosig.TestCases()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, spec := range specs {
+			d := biosig.Generate(spec)
+			if len(d.Segs) != spec.Count {
+				b.Fatal("dataset size mismatch")
+			}
+		}
+	}
+}
+
+// BenchmarkFig4ALUModes characterizes every module under the three ALU
+// modes (Figure 4).
+func BenchmarkFig4ALUModes(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab := experiments.Fig4()
+		if len(tab.Rows) != 11 {
+			b.Fatal("fig4 shape changed")
+		}
+	}
+}
+
+// BenchmarkFig8ProcessTech regenerates the lifetime-vs-process study
+// (Figure 8): 6 cases × 3 nodes × 4 engines, cross-end via the
+// generator.
+func BenchmarkFig8ProcessTech(b *testing.B) { runExperiment(b, experiments.Fig8) }
+
+// BenchmarkFig9WirelessModels regenerates the lifetime-vs-wireless study
+// (Figure 9).
+func BenchmarkFig9WirelessModels(b *testing.B) { runExperiment(b, experiments.Fig9) }
+
+// BenchmarkFig10Delay regenerates the delay-breakdown study (Figure 10).
+func BenchmarkFig10Delay(b *testing.B) { runExperiment(b, experiments.Fig10) }
+
+// BenchmarkFig11EnergyBreakdown regenerates the sensor-energy breakdown
+// (Figure 11).
+func BenchmarkFig11EnergyBreakdown(b *testing.B) { runExperiment(b, experiments.Fig11) }
+
+// BenchmarkFig12Cuts regenerates the four-cut comparison (Figure 12).
+func BenchmarkFig12Cuts(b *testing.B) { runExperiment(b, experiments.Fig12) }
+
+// BenchmarkFig13AggregatorOverhead regenerates the aggregator-side
+// energy study (Figure 13).
+func BenchmarkFig13AggregatorOverhead(b *testing.B) { runExperiment(b, experiments.Fig13) }
+
+// BenchmarkHeadline regenerates the abstract's summary numbers.
+func BenchmarkHeadline(b *testing.B) { runExperiment(b, experiments.Headline) }
+
+// BenchmarkClassifyPerEngine measures one event through each engine
+// distribution of the E1 case.
+func BenchmarkClassifyPerEngine(b *testing.B) {
+	for _, kind := range []EngineKind{InSensor, InAggregator, TrivialCut, CrossEnd} {
+		b.Run(kind.String(), func(b *testing.B) {
+			eng, err := New(Config{Case: "E1", Kind: kind})
+			if err != nil {
+				b.Fatal(err)
+			}
+			test := eng.TestSet()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Classify(test[i%len(test)].Samples); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,20 @@
+// Command xprobench regenerates the paper's evaluation: Table 1 and
+// Figures 4 and 8–13, the headline summary (battery life 1.6–2.4X,
+// delay −15.6–60.8%), and the repository's extension experiments.
+//
+// Usage:
+//
+//	xprobench [-exp all|table1|fig4|fig8..fig13|headline|ext-lossy|ext-frontier]
+//	          [-cases C1,C2,...] [-protocol fast|paper] [-rate 2048]
+//	          [-format text|md|csv]
+//
+// The fast protocol is the paper's §4.4 training protocol with a scaled
+// candidate pool (runs in about a minute for all six cases); the paper
+// protocol uses the full 100-candidate, 10-fold configuration.
+package main
+
+import "os"
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+
+	"xpro/internal/ensemble"
+	"xpro/internal/experiments"
+)
+
+// run executes the tool against args, writing results to stdout and
+// diagnostics to stderr. It returns the process exit code, which main
+// passes to os.Exit — keeping the whole tool testable in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xprobench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment id (all, table1, fig4, fig8..fig13, headline, ext-lossy, ext-frontier)")
+	cases := fs.String("cases", "", "comma-separated case symbols (default: all six)")
+	protocol := fs.String("protocol", "fast", "training protocol: fast or paper")
+	rate := fs.Float64("rate", 2048, "biosignal sampling rate in Hz")
+	format := fs.String("format", "text", "output format: text, md or csv")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	of, err := experiments.ParseFormat(*format)
+	if err != nil {
+		fmt.Fprintf(stderr, "xprobench: %v\n", err)
+		return 2
+	}
+
+	lab := experiments.NewLab()
+	lab.SampleRateHz = *rate
+	switch *protocol {
+	case "fast":
+		lab.Config = ensemble.DefaultConfig
+	case "paper":
+		lab.Config = ensemble.PaperConfig
+	default:
+		fmt.Fprintf(stderr, "xprobench: unknown protocol %q\n", *protocol)
+		return 2
+	}
+	if *cases != "" {
+		lab.Cases = strings.Split(*cases, ",")
+	}
+
+	if *exp == "all" {
+		err = experiments.AllFormat(lab, stdout, of)
+	} else {
+		err = experiments.RunFormat(lab, *exp, stdout, of)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "xprobench: %v\n", err)
+		return 1
+	}
+	return 0
+}

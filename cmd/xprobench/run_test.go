@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	cases := [][]string{
+		{"-nosuchflag"},
+		{"-format", "xml"},
+		{"-protocol", "slow"},
+		{"-exp", "fig99", "-cases", "C1"},
+	}
+	for _, args := range cases {
+		out.Reset()
+		errOut.Reset()
+		if code := run(args, &out, &errOut); code == 0 {
+			t.Errorf("args %v: exit 0, want failure", args)
+		}
+	}
+}
+
+func TestRunUnknownCase(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-exp", "table1", "-cases", "ZZ"}, &out, &errOut); code == 0 {
+		t.Error("unknown case should fail")
+	}
+	if !strings.Contains(errOut.String(), "ZZ") {
+		t.Errorf("stderr should name the bad case: %q", errOut.String())
+	}
+}
+
+func TestRunFig4NoTraining(t *testing.T) {
+	// fig4 needs no trained instances → fast even in tests.
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-exp", "fig4"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "=== fig4:") {
+		t.Error("missing fig4 table")
+	}
+	out.Reset()
+	if code := run([]string{"-exp", "fig4", "-format", "csv"}, &out, &errOut); code != 0 {
+		t.Fatal("csv format failed")
+	}
+	if !strings.Contains(out.String(), "Module,Serial") {
+		t.Error("csv output malformed")
+	}
+}
+
+func TestRunTable1SingleCase(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-exp", "table1", "-cases", "C1"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "ECGTwoLead") {
+		t.Error("table1 missing C1 row")
+	}
+}

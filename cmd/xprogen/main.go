@@ -1,0 +1,16 @@
+// Command xprogen runs the Automatic XPro Generator for one test case
+// and prints the resulting instance: where every functional cell landed,
+// the predicted energy, delay and battery life next to the single-end
+// baselines, and optionally a Verilog skeleton of the in-sensor part.
+//
+// Usage:
+//
+//	xprogen [-case E1] [-process 90|130|45] [-wireless 1|2|3]
+//	        [-protocol fast|paper] [-verilog out.v]
+package main
+
+import "os"
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

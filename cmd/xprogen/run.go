@@ -1,0 +1,121 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"xpro"
+)
+
+// run executes the tool against args; main passes the returned exit code
+// to os.Exit.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xprogen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	caseSym := fs.String("case", "E1", "test case symbol (C1, C2, E1, E2, M1, M2)")
+	process := fs.Int("process", 90, "process node in nm (130, 90, 45)")
+	model := fs.Int("wireless", 2, "wireless model (1, 2, 3)")
+	protocol := fs.String("protocol", "fast", "training protocol: fast or paper")
+	verilog := fs.String("verilog", "", "write a Verilog skeleton of the in-sensor part to this file ('-' for stdout)")
+	dot := fs.String("dot", "", "write a Graphviz rendering of the placement to this file ('-' for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := xpro.Config{Case: *caseSym}
+	switch *process {
+	case 90:
+		cfg.Process = xpro.Process90nm
+	case 130:
+		cfg.Process = xpro.Process130nm
+	case 45:
+		cfg.Process = xpro.Process45nm
+	default:
+		fmt.Fprintf(stderr, "xprogen: unknown process %d (want 130, 90 or 45)\n", *process)
+		return 2
+	}
+	switch *model {
+	case 1:
+		cfg.Wireless = xpro.WirelessModel1
+	case 2:
+		cfg.Wireless = xpro.WirelessModel2
+	case 3:
+		cfg.Wireless = xpro.WirelessModel3
+	default:
+		fmt.Fprintf(stderr, "xprogen: unknown wireless model %d (want 1, 2 or 3)\n", *model)
+		return 2
+	}
+	switch *protocol {
+	case "fast":
+		cfg.Protocol = xpro.ProtocolFast
+	case "paper":
+		cfg.Protocol = xpro.ProtocolPaper
+	default:
+		fmt.Fprintf(stderr, "xprogen: unknown protocol %q\n", *protocol)
+		return 2
+	}
+
+	fmt.Fprintf(stdout, "generating XPro instance for %s (%s, wireless %s)...\n\n",
+		cfg.Case, cfg.Process, cfg.Wireless)
+	reps, err := xpro.Compare(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "xprogen: %v\n", err)
+		return 1
+	}
+
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "engine\tsensor energy/event\tdelay/event\tbattery life\tcells (sensor/agg)")
+	for _, r := range reps {
+		fmt.Fprintf(tw, "%s\t%.3f µJ\t%.3f ms\t%.0f h\t%d/%d\n",
+			r.Kind, r.SensorEnergyPerEvent*1e6, r.DelayPerEventSeconds*1e3,
+			r.SensorLifetimeHours, r.SensorCells, r.AggregatorCells)
+	}
+	tw.Flush()
+
+	cfg.Kind = xpro.CrossEnd
+	eng, err := xpro.New(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "xprogen: %v\n", err)
+		return 1
+	}
+	rep := eng.Report()
+	fmt.Fprintf(stdout, "\ncross-end placement (%d cells, fallback=%v, accuracy %.3f):\n",
+		rep.Cells, rep.UsedFallback, rep.SoftwareAccuracy)
+	tw = tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "cell\trole\tend")
+	for _, cp := range eng.Placement() {
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", cp.Name, cp.Role, cp.End)
+	}
+	tw.Flush()
+
+	if *verilog != "" {
+		v, err := eng.Verilog()
+		if err != nil {
+			fmt.Fprintf(stderr, "xprogen: %v\n", err)
+			return 1
+		}
+		if *verilog == "-" {
+			fmt.Fprint(stdout, v)
+		} else if err := os.WriteFile(*verilog, []byte(v), 0o644); err != nil {
+			fmt.Fprintf(stderr, "xprogen: %v\n", err)
+			return 1
+		} else {
+			fmt.Fprintf(stdout, "\nwrote Verilog skeleton to %s (%d bytes)\n", *verilog, len(v))
+		}
+	}
+	if *dot != "" {
+		d := eng.DOT()
+		if *dot == "-" {
+			fmt.Fprint(stdout, d)
+		} else if err := os.WriteFile(*dot, []byte(d), 0o644); err != nil {
+			fmt.Fprintf(stderr, "xprogen: %v\n", err)
+			return 1
+		} else {
+			fmt.Fprintf(stdout, "wrote Graphviz placement to %s\n", *dot)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	cases := [][]string{
+		{"-nosuchflag"},
+		{"-process", "65"},
+		{"-wireless", "4"},
+		{"-protocol", "slow"},
+		{"-case", "ZZ"},
+	}
+	for _, args := range cases {
+		out.Reset()
+		errOut.Reset()
+		if code := run(args, &out, &errOut); code == 0 {
+			t.Errorf("args %v: exit 0, want failure", args)
+		}
+	}
+}
+
+func TestRunHappyPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains an engine")
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-case", "C1", "-verilog", "-", "-dot", "-"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"generating XPro instance for C1",
+		"in-aggregator", "in-sensor", "trivial-cut", "cross-end",
+		"cross-end placement",
+		"module xpro_top",
+		"digraph xpro",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

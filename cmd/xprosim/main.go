@@ -1,0 +1,14 @@
+// Command xprosim streams a test case's segments through a partitioned
+// XPro engine end to end and reports live classification and cost
+// statistics — the closest thing to wearing the sensor.
+//
+// Usage:
+//
+//	xprosim [-case C1] [-kind cross|sensor|aggregator|trivial] [-n 200] [-trace]
+package main
+
+import "os"
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"xpro"
+)
+
+// run executes the tool against args; main passes the returned exit code
+// to os.Exit.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xprosim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	caseSym := fs.String("case", "C1", "test case symbol")
+	kind := fs.String("kind", "cross", "engine kind: cross, sensor, aggregator, trivial")
+	n := fs.Int("n", 200, "number of segments to stream")
+	trace := fs.Bool("trace", false, "print the discrete-event timeline of one event")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := xpro.Config{Case: *caseSym}
+	switch *kind {
+	case "cross":
+		cfg.Kind = xpro.CrossEnd
+	case "sensor":
+		cfg.Kind = xpro.InSensor
+	case "aggregator":
+		cfg.Kind = xpro.InAggregator
+	case "trivial":
+		cfg.Kind = xpro.TrivialCut
+	default:
+		fmt.Fprintf(stderr, "xprosim: unknown kind %q\n", *kind)
+		return 2
+	}
+
+	eng, err := xpro.New(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "xprosim: %v\n", err)
+		return 1
+	}
+	rep := eng.Report()
+	fmt.Fprintf(stdout, "streaming %s through the %s engine (%d sensor / %d aggregator cells)\n",
+		*caseSym, rep.Kind, rep.SensorCells, rep.AggregatorCells)
+
+	if *trace {
+		tl, err := eng.Timeline()
+		if err != nil {
+			fmt.Fprintf(stderr, "xprosim: %v\n", err)
+			return 1
+		}
+		sim, _ := eng.SimulatedDelay()
+		fmt.Fprintf(stdout, "\nevent timeline (overlapped schedule %.3f ms vs additive %.3f ms):\n%s\n",
+			sim*1e3, rep.DelayPerEventSeconds*1e3, tl)
+	}
+
+	test := eng.TestSet()
+	if *n > len(test) {
+		*n = len(test)
+	}
+	correct := 0
+	var energy, seconds float64
+	for i := 0; i < *n; i++ {
+		got, err := eng.Classify(test[i].Samples)
+		if err != nil {
+			fmt.Fprintf(stderr, "xprosim: segment %d: %v\n", i, err)
+			return 1
+		}
+		if got == test[i].Label {
+			correct++
+		}
+		energy += rep.SensorEnergyPerEvent
+		seconds += rep.DelayPerEventSeconds
+		if (i+1)%50 == 0 {
+			fmt.Fprintf(stdout, "  %4d events: accuracy %.3f, sensor energy %.1f µJ, busy time %.1f ms\n",
+				i+1, float64(correct)/float64(i+1), energy*1e6, seconds*1e3)
+		}
+	}
+	if *n > 0 {
+		fmt.Fprintf(stdout, "\ndone: %d events, accuracy %.3f\n", *n, float64(correct)/float64(*n))
+	}
+	fmt.Fprintf(stdout, "per event: %.3f µJ sensor energy, %.3f ms delay\n",
+		rep.SensorEnergyPerEvent*1e6, rep.DelayPerEventSeconds*1e3)
+	fmt.Fprintf(stdout, "projected battery life at %.1f events/s: %.0f hours\n",
+		rep.EventsPerSecond, rep.SensorLifetimeHours)
+	return 0
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	for _, args := range [][]string{
+		{"-nosuchflag"},
+		{"-kind", "quantum"},
+		{"-case", "ZZ"},
+	} {
+		out.Reset()
+		errOut.Reset()
+		if code := run(args, &out, &errOut); code == 0 {
+			t.Errorf("args %v: exit 0, want failure", args)
+		}
+	}
+}
+
+func TestRunStreamAndTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains an engine")
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-case", "C1", "-kind", "sensor", "-n", "60", "-trace"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"streaming C1 through the in-sensor engine",
+		"event timeline",
+		"done: 60 events",
+		"projected battery life",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package xpro_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"xpro"
+)
+
+// ExampleCases lists the six Table 1 test cases.
+func ExampleCases() {
+	for _, c := range xpro.Cases() {
+		fmt.Printf("%s %s %s %d×%d\n", c.Symbol, c.Name, c.Family, c.SegmentCount, c.SegmentLength)
+	}
+	// Output:
+	// C1 ECGTwoLead ECG 1162×82
+	// C2 ECGFiveDays ECG 884×136
+	// E1 EEGDifficult01 EEG 1000×128
+	// E2 EEGDifficult02 EEG 1000×128
+	// M1 EMGHandLat EMG 1200×132
+	// M2 EMGHandTip EMG 1200×132
+}
+
+// ExampleNew builds a cross-end engine and classifies one segment.
+// (Compile-checked; run `go run ./examples/quickstart` for live output.)
+func ExampleNew() {
+	eng, err := xpro.New(xpro.Config{Case: "C1"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	seg := eng.TestSet()[0]
+	label, err := eng.Classify(seg.Samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := eng.Report()
+	fmt.Printf("predicted %d (true %d); battery life %.0f h, delay %.2f ms\n",
+		label, seg.Label, rep.SensorLifetimeHours, rep.DelayPerEventSeconds*1e3)
+}
+
+// ExampleCompare prints all four engine distributions for one case.
+func ExampleCompare() {
+	reps, err := xpro.Compare(xpro.Config{Case: "M1"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range reps {
+		fmt.Printf("%-14s %6.3f µJ/event, %5.0f h\n",
+			r.Kind, r.SensorEnergyPerEvent*1e6, r.SensorLifetimeHours)
+	}
+}
+
+// ExampleRunExperiments regenerates one paper figure.
+func ExampleRunExperiments() {
+	if err := xpro.RunExperiments(os.Stdout, "fig4", xpro.ProtocolFast); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+// Deployment planning: a product team specifies requirements — latency
+// budget, battery target, accuracy floor — and lets the library sweep
+// the design space (process node × wireless model × pruning) to pick the
+// silicon and engine distribution. The chosen engines then form a
+// three-sensor body network sharing one phone, and the shared-resource
+// report says whether the whole deployment holds up.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"xpro"
+)
+
+func main() {
+	// Per-sensor requirements: the heart monitor is latency-critical,
+	// the EEG headband battery-critical.
+	specs := map[string]xpro.Requirements{
+		"heart": {Case: "C1", MaxDelaySeconds: 2e-3, MinLifetimeHours: 2000, MinAccuracy: 0.95},
+		"brain": {Case: "E1", MinLifetimeHours: 4000, MinAccuracy: 0.85},
+		"hand":  {Case: "M1", MinLifetimeHours: 3000, MinAccuracy: 0.9},
+	}
+
+	engines := map[string]*xpro.Engine{}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "sensor\tchosen process\tradio\tprune\tlife h\tdelay ms\taccuracy")
+	for name, req := range specs {
+		best, all, err := xpro.Recommend(req)
+		if err != nil {
+			log.Fatalf("%s: %v (evaluated %d designs)", name, err, len(all))
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.2f\t%.0f\t%.3f\t%.3f\n",
+			name, best.Config.Process, best.Config.Wireless, best.Config.PruneKeep,
+			best.Report.SensorLifetimeHours, best.Report.DelayPerEventSeconds*1e3,
+			best.Report.SoftwareAccuracy)
+		eng, err := xpro.New(best.Config)
+		if err != nil {
+			log.Fatal(err)
+		}
+		engines[name] = eng
+	}
+	tw.Flush()
+
+	nw, err := xpro.NewNetwork(engines)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := nw.Report()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnetwork: bottleneck %s at %.0f h; phone battery %.0f h at %.1f%% CPU\n",
+		rep.BottleneckNode, rep.BottleneckHours, rep.AggregatorLifetimeHours,
+		rep.AggregatorUtilization*100)
+	fmt.Printf("worst-case simultaneous-event delays:")
+	for name, d := range rep.WorstCaseDelaySeconds {
+		fmt.Printf(" %s=%.2fms", name, d*1e3)
+	}
+	fmt.Println()
+	if nw.RealTimeOK(4e-3) {
+		fmt.Println("deployment meets the 4 ms real-time bound under worst-case load")
+	} else {
+		fmt.Println("WARNING: deployment misses the real-time bound under worst-case load")
+	}
+}

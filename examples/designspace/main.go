@@ -1,0 +1,66 @@
+// Design-space exploration: sweep the sensor process node and wireless
+// transceiver model for one test case and print how each engine
+// distribution fares — the full picture behind Figures 8 and 9. The
+// cross-end engine adapts its cut to every corner of the space; the
+// single-end engines cannot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"xpro"
+)
+
+func main() {
+	caseSym := flag.String("case", "E1", "test case symbol")
+	flag.Parse()
+
+	processes := []xpro.Process{xpro.Process130nm, xpro.Process90nm, xpro.Process45nm}
+	models := []xpro.Wireless{xpro.WirelessModel1, xpro.WirelessModel2, xpro.WirelessModel3}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "process\twireless\tengine\tenergy µJ/event\tlife h\tdelay ms\tcut (sensor/agg)")
+	for _, proc := range processes {
+		for _, link := range models {
+			reps, err := xpro.Compare(xpro.Config{Case: *caseSym, Process: proc, Wireless: link})
+			if err != nil {
+				log.Fatal(err)
+			}
+			var bestKind string
+			bestLife := 0.0
+			for _, r := range reps {
+				if r.SensorLifetimeHours > bestLife {
+					bestLife, bestKind = r.SensorLifetimeHours, r.Kind
+				}
+			}
+			for _, r := range reps {
+				marker := ""
+				if r.Kind == bestKind {
+					marker = " *"
+				}
+				fmt.Fprintf(tw, "%s\tmodel%d\t%s%s\t%.3f\t%.0f\t%.3f\t%d/%d\n",
+					proc, modelIndex(link), r.Kind, marker,
+					r.SensorEnergyPerEvent*1e6, r.SensorLifetimeHours,
+					r.DelayPerEventSeconds*1e3, r.SensorCells, r.AggregatorCells)
+			}
+		}
+	}
+	tw.Flush()
+	fmt.Println("\n* = longest battery life in that corner; the cross-end engine is never beaten.")
+}
+
+// modelIndex maps the Wireless enum to the paper's 1-based model index.
+func modelIndex(w xpro.Wireless) int {
+	switch w {
+	case xpro.WirelessModel1:
+		return 1
+	case xpro.WirelessModel3:
+		return 3
+	default:
+		return 2
+	}
+}

@@ -1,0 +1,42 @@
+// Quickstart: build an XPro cross-end engine for the ECGTwoLead case,
+// classify a few held-out segments through the partitioned pipeline, and
+// print the modeled battery life.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xpro"
+)
+
+func main() {
+	eng, err := xpro.New(xpro.Config{Case: "C1"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep := eng.Report()
+	fmt.Printf("XPro %s engine for %s\n", rep.Kind, rep.Case)
+	fmt.Printf("  functional cells: %d (%d on sensor, %d on aggregator)\n",
+		rep.Cells, rep.SensorCells, rep.AggregatorCells)
+	fmt.Printf("  classifier accuracy: %.3f\n", rep.SoftwareAccuracy)
+
+	test := eng.TestSet()
+	correct := 0
+	for _, seg := range test[:20] {
+		label, err := eng.Classify(seg.Samples)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if label == seg.Label {
+			correct++
+		}
+	}
+	fmt.Printf("  classified 20 segments through the cross-end pipeline, %d correct\n", correct)
+
+	fmt.Printf("  sensor energy: %.3f µJ/event → battery life %.0f hours\n",
+		rep.SensorEnergyPerEvent*1e6, rep.SensorLifetimeHours)
+	fmt.Printf("  end-to-end delay: %.3f ms/event (front-end %.3f + wireless %.3f + back-end %.3f)\n",
+		rep.DelayPerEventSeconds*1e3, rep.FrontEndDelay*1e3, rep.WirelessDelay*1e3, rep.BackEndDelay*1e3)
+}

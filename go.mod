@@ -1,0 +1,3 @@
+module xpro
+
+go 1.22

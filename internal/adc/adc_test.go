@@ -1,0 +1,126 @@
+package adc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("0 bits should error")
+	}
+	if _, err := New(32); err == nil {
+		t.Error("32 bits should error")
+	}
+	c, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Levels() != 256 {
+		t.Errorf("levels = %d, want 256", c.Levels())
+	}
+	// Conversion energy is calibrated to the cited 8-bit SAR (~1.9 nJ).
+	if math.Abs(c.EnergyPerConversion-1.9e-9) > 1e-12 {
+		t.Errorf("8-bit conversion energy = %v, want 1.9 nJ", c.EnergyPerConversion)
+	}
+}
+
+func TestConvertClipping(t *testing.T) {
+	c, _ := New(8)
+	if c.Convert(-0.5) != 0 {
+		t.Error("below range should clip to code 0")
+	}
+	if c.Convert(2.0) != 255 {
+		t.Error("above range should clip to the top code")
+	}
+	if c.Convert(0) != 0 || c.Convert(0.999999) != 255 {
+		t.Error("range endpoints wrong")
+	}
+}
+
+func TestDequantizeMidRise(t *testing.T) {
+	c, _ := New(4) // 16 levels of width 1/16
+	if got := c.Dequantize(0); math.Abs(got-1.0/32) > 1e-15 {
+		t.Errorf("code 0 reconstructs to %v, want mid-rise 1/32", got)
+	}
+	// Round trip error bounded by half an LSB.
+	for v := 0.0; v < 1; v += 0.013 {
+		q := c.Dequantize(c.Convert(v))
+		if math.Abs(q-v) > 0.5/16+1e-12 {
+			t.Errorf("v=%v reconstructs to %v (error > LSB/2)", v, q)
+		}
+	}
+}
+
+func TestSampleEnergy(t *testing.T) {
+	c, _ := New(16)
+	seg := make([]float64, 128)
+	for i := range seg {
+		seg[i] = float64(i) / 128
+	}
+	digital, energy := c.Sample(seg)
+	if len(digital) != len(seg) {
+		t.Fatal("length changed")
+	}
+	want := 128 * c.EnergyPerConversion
+	if math.Abs(energy-want) > 1e-18 {
+		t.Errorf("segment energy = %v, want %v", energy, want)
+	}
+}
+
+// The empirical SQNR of a full-scale random signal must track the
+// 6.02·bits + 1.76 dB rule.
+func TestSQNRRule(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, 20000)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	for _, bits := range []int{6, 8, 10, 12} {
+		c, _ := New(bits)
+		got := c.SQNR(x)
+		// Uniform full-scale input: signal power E[v²] = 1/3 against
+		// noise LSB²/12 gives SNR = 6.02·bits + 6.02 dB (the classic
+		// 6.02·bits + 1.76 assumes a sinusoid).
+		want := 6.02*float64(bits) + 6.02
+		if math.Abs(got-want) > 1.5 {
+			t.Errorf("%d bits: SQNR %.1f dB, want ≈ %.1f", bits, got, want)
+		}
+	}
+	perfect, _ := New(8)
+	if !math.IsInf(perfect.SQNR([]float64{perfect.Dequantize(3)}), 1) {
+		t.Error("zero-noise segment should report infinite SQNR")
+	}
+}
+
+func TestSensingPowerOrder(t *testing.T) {
+	c, _ := New(16)
+	p := c.SensingPower(2048)
+	// Must stay in the µW class — the §3.2.1 "extremely small" term.
+	if p < 0.5e-6 || p > 20e-6 {
+		t.Errorf("sensing power %v W outside the µW class", p)
+	}
+}
+
+// Property: quantization is monotone and idempotent.
+func TestQuickQuantizationProperties(t *testing.T) {
+	c, _ := New(10)
+	f := func(a, b float64) bool {
+		a = math.Abs(math.Mod(a, 1))
+		b = math.Abs(math.Mod(b, 1))
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a <= b && c.Convert(a) > c.Convert(b) {
+			return false
+		}
+		// Idempotence: re-quantizing a reconstruction is a fixed point.
+		q := c.Dequantize(c.Convert(a))
+		return c.Dequantize(c.Convert(q)) == q
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,47 @@
+package aggregator
+
+import (
+	"math"
+	"testing"
+
+	"xpro/internal/celllib"
+	"xpro/internal/stats"
+)
+
+func TestCortexA8Valid(t *testing.T) {
+	if err := CortexA8().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (CPU{}).Validate(); err == nil {
+		t.Error("zero CPU should be invalid")
+	}
+	if err := (CPU{OpsPerSecond: 1, EnergyPerOp: 1, IdlePower: -1}).Validate(); err == nil {
+		t.Error("negative idle power should be invalid")
+	}
+}
+
+func TestCellCost(t *testing.T) {
+	cpu := CortexA8()
+	spec := celllib.Spec{Kind: celllib.KindFeature, Feat: stats.Var, N: 128}
+	c := cpu.CellCost(spec)
+	if c.Ops != spec.SoftwareOps() {
+		t.Errorf("ops = %d, want %d", c.Ops, spec.SoftwareOps())
+	}
+	wantE := float64(c.Ops) * cpu.EnergyPerOp
+	if math.Abs(c.Energy-wantE) > 1e-18 {
+		t.Errorf("energy = %v, want %v", c.Energy, wantE)
+	}
+	wantD := float64(c.Ops) / cpu.OpsPerSecond
+	if math.Abs(c.Delay-wantD) > 1e-15 {
+		t.Errorf("delay = %v, want %v", c.Delay, wantD)
+	}
+}
+
+func TestCellCostScales(t *testing.T) {
+	cpu := CortexA8()
+	small := cpu.CellCost(celllib.Spec{Kind: celllib.KindSVM, SVs: 10, Dim: 12})
+	big := cpu.CellCost(celllib.Spec{Kind: celllib.KindSVM, SVs: 100, Dim: 12})
+	if big.Energy <= small.Energy || big.Delay <= small.Delay {
+		t.Error("software cost must grow with support vectors")
+	}
+}

@@ -1,0 +1,117 @@
+package biosig
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// This file injects the measurement artifacts real wearables suffer —
+// the robustness dimension a lab-corpus evaluation (the paper's, and our
+// clean synthetic one) does not cover. Corrupt produces degraded copies
+// of segments so the classification stack can be stress-tested.
+
+// Artifact is a class of on-body measurement corruption.
+type Artifact int
+
+const (
+	// MotionArtifact is a large low-frequency excursion from body
+	// movement tugging the electrode.
+	MotionArtifact Artifact = iota
+	// ElectrodePop is a step discontinuity from momentary contact loss.
+	ElectrodePop
+	// BaselineDrift is a slow ramp from electrode polarization.
+	BaselineDrift
+	// MuscleNoise is broadband interference from nearby muscle activity.
+	MuscleNoise
+)
+
+func (a Artifact) String() string {
+	switch a {
+	case MotionArtifact:
+		return "motion"
+	case ElectrodePop:
+		return "pop"
+	case BaselineDrift:
+		return "drift"
+	case MuscleNoise:
+		return "emg-noise"
+	default:
+		return fmt.Sprintf("Artifact(%d)", int(a))
+	}
+}
+
+// Artifacts lists all artifact classes.
+var Artifacts = []Artifact{MotionArtifact, ElectrodePop, BaselineDrift, MuscleNoise}
+
+// Corrupt returns a copy of seg with the artifact applied at the given
+// severity ∈ [0, 1]. Severity 0 returns an unchanged copy. The result is
+// re-normalized to [0, 1] exactly like a fresh acquisition (the front
+// end normalizes whatever it measures).
+func Corrupt(seg Segment, kind Artifact, severity float64, rng *rand.Rand) (Segment, error) {
+	if severity < 0 || severity > 1 {
+		return Segment{}, fmt.Errorf("biosig: severity %v outside [0,1]", severity)
+	}
+	n := len(seg.Samples)
+	out := Segment{Samples: append([]float64(nil), seg.Samples...), Label: seg.Label}
+	if severity == 0 || n == 0 {
+		return out, nil
+	}
+	switch kind {
+	case MotionArtifact:
+		c := rng.Float64() * float64(n)
+		w := float64(n) * (0.1 + 0.2*rng.Float64())
+		amp := 2 * severity
+		for i := range out.Samples {
+			d := (float64(i) - c) / w
+			out.Samples[i] += amp * math.Exp(-0.5*d*d)
+		}
+	case ElectrodePop:
+		at := 1 + rng.Intn(n-1)
+		step := severity * (1 + rng.Float64())
+		if rng.Intn(2) == 0 {
+			step = -step
+		}
+		for i := at; i < n; i++ {
+			out.Samples[i] += step
+		}
+	case BaselineDrift:
+		slope := severity * 1.5
+		for i := range out.Samples {
+			out.Samples[i] += slope * float64(i) / float64(n)
+		}
+	case MuscleNoise:
+		sd := severity * 0.5
+		for i := range out.Samples {
+			out.Samples[i] += sd * rng.NormFloat64()
+		}
+	default:
+		return Segment{}, fmt.Errorf("biosig: unknown artifact %d", kind)
+	}
+	normalize01(out.Samples)
+	return out, nil
+}
+
+// CorruptDataset corrupts the given fraction of segments (picked
+// deterministically by rng), cycling through the artifact classes.
+func CorruptDataset(d *Dataset, fraction, severity float64, rng *rand.Rand) (*Dataset, error) {
+	if fraction < 0 || fraction > 1 {
+		return nil, fmt.Errorf("biosig: fraction %v outside [0,1]", fraction)
+	}
+	out := &Dataset{Name: d.Name, Symbol: d.Symbol, SegLen: d.SegLen}
+	out.Segs = make([]Segment, len(d.Segs))
+	k := 0
+	for i, seg := range d.Segs {
+		if rng.Float64() < fraction {
+			c, err := Corrupt(seg, Artifacts[k%len(Artifacts)], severity, rng)
+			if err != nil {
+				return nil, err
+			}
+			out.Segs[i] = c
+			k++
+			continue
+		}
+		out.Segs[i] = Segment{Samples: append([]float64(nil), seg.Samples...), Label: seg.Label}
+	}
+	return out, nil
+}

@@ -1,0 +1,112 @@
+package biosig
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCorruptBasics(t *testing.T) {
+	spec, _ := CaseBySymbol("C1")
+	d := Generate(spec)
+	rng := rand.New(rand.NewSource(1))
+	for _, kind := range Artifacts {
+		c, err := Corrupt(d.Segs[0], kind, 0.7, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c.Samples) != len(d.Segs[0].Samples) || c.Label != d.Segs[0].Label {
+			t.Fatalf("%v: shape or label changed", kind)
+		}
+		// Result stays normalized.
+		lo, hi := math.Inf(1), math.Inf(-1)
+		diff := 0.0
+		for i, v := range c.Samples {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+			diff += math.Abs(v - d.Segs[0].Samples[i])
+		}
+		if lo < 0 || hi > 1 {
+			t.Errorf("%v: range [%v,%v] outside [0,1]", kind, lo, hi)
+		}
+		if diff == 0 {
+			t.Errorf("%v: severity 0.7 changed nothing", kind)
+		}
+		// The original is untouched (Corrupt copies).
+		if &c.Samples[0] == &d.Segs[0].Samples[0] {
+			t.Errorf("%v: corrupt shares storage with the original", kind)
+		}
+	}
+}
+
+func TestCorruptSeverityZero(t *testing.T) {
+	spec, _ := CaseBySymbol("E1")
+	d := Generate(spec)
+	rng := rand.New(rand.NewSource(2))
+	c, err := Corrupt(d.Segs[3], MotionArtifact, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range c.Samples {
+		if v != d.Segs[3].Samples[i] {
+			t.Fatal("severity 0 must be an exact copy")
+		}
+	}
+}
+
+func TestCorruptValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, err := Corrupt(Segment{}, MotionArtifact, -0.1, rng); err == nil {
+		t.Error("negative severity should error")
+	}
+	if _, err := Corrupt(Segment{}, MotionArtifact, 1.1, rng); err == nil {
+		t.Error("severity > 1 should error")
+	}
+	if _, err := Corrupt(Segment{Samples: []float64{1, 2}}, Artifact(99), 0.5, rng); err == nil {
+		t.Error("unknown artifact should error")
+	}
+}
+
+func TestCorruptDataset(t *testing.T) {
+	spec, _ := CaseBySymbol("M1")
+	d := Generate(spec)
+	rng := rand.New(rand.NewSource(4))
+	c, err := CorruptDataset(d, 0.5, 0.6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Segs) != len(d.Segs) {
+		t.Fatal("segment count changed")
+	}
+	changed := 0
+	for i := range c.Segs {
+		if c.Segs[i].Label != d.Segs[i].Label {
+			t.Fatal("labels must be preserved")
+		}
+		for j := range c.Segs[i].Samples {
+			if c.Segs[i].Samples[j] != d.Segs[i].Samples[j] {
+				changed++
+				break
+			}
+		}
+	}
+	frac := float64(changed) / float64(len(d.Segs))
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("corrupted fraction %v, want ≈ 0.5", frac)
+	}
+	if _, err := CorruptDataset(d, 1.5, 0.5, rng); err == nil {
+		t.Error("fraction > 1 should error")
+	}
+}
+
+func TestArtifactString(t *testing.T) {
+	want := map[Artifact]string{MotionArtifact: "motion", ElectrodePop: "pop", BaselineDrift: "drift", MuscleNoise: "emg-noise"}
+	for a, s := range want {
+		if a.String() != s {
+			t.Errorf("artifact %d = %q, want %q", a, a.String(), s)
+		}
+	}
+	if Artifact(9).String() != "Artifact(9)" {
+		t.Error("unknown artifact formatting wrong")
+	}
+}

@@ -1,0 +1,148 @@
+// Package bsn models a body sensor network with multiple wearable
+// sensor nodes sharing one data aggregator — the paper's §5.7 extension:
+// "The proposed cross-end approach and the Automatic XPro Generator can
+// also be used with minimal modifications for the case of multiple
+// sensor nodes associated with a data aggregator. MIMO or other
+// specialized wireless protocol can be applied to avoid potential
+// information conflict on the aggregator end."
+//
+// Each node carries its own partitioned XPro engine (its own biosignal,
+// topology and cut). Following the paper, wireless links are treated as
+// conflict-free (MIMO), so nodes transmit independently; the shared
+// resources are the aggregator CPU — back-end work of concurrently
+// firing nodes serializes — and the aggregator battery.
+package bsn
+
+import (
+	"errors"
+	"fmt"
+
+	"xpro/internal/aggregator"
+	"xpro/internal/battery"
+	"xpro/internal/xsystem"
+)
+
+// Node is one wearable sensor in the network.
+type Node struct {
+	Name string
+	Sys  *xsystem.System
+}
+
+// Network is a set of sensor nodes sharing one aggregator.
+type Network struct {
+	Nodes []Node
+	// CPU is the shared aggregator processor; it must match the CPU
+	// model the node systems were built with.
+	CPU aggregator.CPU
+}
+
+// New assembles a network. Node names must be unique and non-empty.
+func New(cpu aggregator.CPU, nodes ...Node) (*Network, error) {
+	if err := cpu.Validate(); err != nil {
+		return nil, err
+	}
+	if len(nodes) == 0 {
+		return nil, errors.New("bsn: network needs at least one node")
+	}
+	seen := make(map[string]bool)
+	for _, n := range nodes {
+		if n.Name == "" || n.Sys == nil {
+			return nil, fmt.Errorf("bsn: node %q incomplete", n.Name)
+		}
+		if seen[n.Name] {
+			return nil, fmt.Errorf("bsn: duplicate node %q", n.Name)
+		}
+		seen[n.Name] = true
+	}
+	return &Network{Nodes: nodes, CPU: cpu}, nil
+}
+
+// NodeLifetimes returns each node's battery lifetime in hours. Nodes
+// are independent on the sensor side, so per-node lifetimes are exactly
+// the single-node values.
+func (nw *Network) NodeLifetimes() (map[string]float64, error) {
+	out := make(map[string]float64, len(nw.Nodes))
+	for _, n := range nw.Nodes {
+		h, err := n.Sys.SensorLifetimeHours()
+		if err != nil {
+			return nil, fmt.Errorf("bsn: node %s: %w", n.Name, err)
+		}
+		out[n.Name] = h
+	}
+	return out, nil
+}
+
+// BottleneckNode returns the node with the shortest battery life — the
+// one that dictates the network's maintenance interval.
+func (nw *Network) BottleneckNode() (string, float64, error) {
+	lifetimes, err := nw.NodeLifetimes()
+	if err != nil {
+		return "", 0, err
+	}
+	name, best := "", 0.0
+	for n, h := range lifetimes {
+		if name == "" || h < best {
+			name, best = n, h
+		}
+	}
+	return name, best, nil
+}
+
+// AggregatorPower returns the aggregator's average power under the
+// combined event load of all nodes (idle power counted once).
+func (nw *Network) AggregatorPower() float64 {
+	p := nw.CPU.IdlePower
+	for _, n := range nw.Nodes {
+		p += n.Sys.EnergyPerEvent().AggregatorTotal() * n.Sys.EventsPerSecond()
+	}
+	return p
+}
+
+// AggregatorLifetimeHours estimates the shared smartphone battery's
+// lifetime under the combined load.
+func (nw *Network) AggregatorLifetimeHours() (float64, error) {
+	return battery.AggregatorBattery().LifetimeHours(nw.AggregatorPower())
+}
+
+// AggregatorUtilization returns the fraction of aggregator CPU time the
+// network's back-end work consumes. Above 1.0 the aggregator cannot keep
+// up with the combined event rate.
+func (nw *Network) AggregatorUtilization() float64 {
+	u := 0.0
+	for _, n := range nw.Nodes {
+		u += n.Sys.DelayPerEvent().BackEnd * n.Sys.EventsPerSecond()
+	}
+	return u
+}
+
+// WorstCaseDelay returns, per node, the end-to-end event delay when all
+// nodes fire simultaneously: the node's own front-end and wireless time
+// plus the serialized back-end work of every node (the shared CPU
+// processes one event queue).
+func (nw *Network) WorstCaseDelay() map[string]float64 {
+	var backendSum float64
+	for _, n := range nw.Nodes {
+		backendSum += n.Sys.DelayPerEvent().BackEnd
+	}
+	out := make(map[string]float64, len(nw.Nodes))
+	for _, n := range nw.Nodes {
+		d := n.Sys.DelayPerEvent()
+		out[n.Name] = d.FrontEnd + d.Wireless + backendSum
+	}
+	return out
+}
+
+// RealTimeOK reports whether every node meets the delay limit even in
+// the worst-case simultaneous firing, and the aggregator keeps up with
+// the sustained event load.
+func (nw *Network) RealTimeOK(limit float64) bool {
+	if nw.AggregatorUtilization() >= 1 {
+		return false
+	}
+	for _, d := range nw.WorstCaseDelay() {
+		if d > limit {
+			return false
+		}
+	}
+	return true
+}

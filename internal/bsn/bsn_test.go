@@ -1,0 +1,184 @@
+package bsn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"xpro/internal/aggregator"
+	"xpro/internal/biosig"
+	"xpro/internal/celllib"
+	"xpro/internal/ensemble"
+	"xpro/internal/partition"
+	"xpro/internal/sensornode"
+	"xpro/internal/topology"
+	"xpro/internal/wireless"
+	"xpro/internal/xsystem"
+)
+
+var cachedNet *Network
+
+// threeNodeNetwork builds an ECG + EEG + EMG network, each node with its
+// generated cross-end cut.
+func threeNodeNetwork(t testing.TB) *Network {
+	t.Helper()
+	if cachedNet != nil {
+		return cachedNet
+	}
+	cpu := aggregator.CortexA8()
+	var nodes []Node
+	for _, sym := range []string{"C1", "E1", "M1"} {
+		spec, err := biosig.CaseBySymbol(sym)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := biosig.Generate(spec)
+		rng := rand.New(rand.NewSource(spec.Seed))
+		train, _ := d.Split(0.75, rng)
+		cfg := ensemble.DefaultConfig(spec.Seed)
+		cfg.Candidates = 8
+		cfg.Folds = 2
+		cfg.TopFrac = 0.4
+		ens, err := ensemble.Train(train, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := topology.Build(ens, d.SegLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mk := func(p partition.Placement) *xsystem.System {
+			s, err := xsystem.New(g, ens, celllib.P90, wireless.Model2(), cpu, p, sensornode.DefaultSampleRateHz)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}
+		a := mk(partition.InAggregator(g))
+		s := mk(partition.InSensor(g))
+		limit := math.Min(a.DelayPerEvent().Total(), s.DelayPerEvent().Total())
+		res, err := a.Problem().Generate(func(p partition.Placement) float64 {
+			return a.DelayOf(p).Total()
+		}, limit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, Node{Name: sym, Sys: mk(res.Placement)})
+	}
+	nw, err := New(cpu, nodes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedNet = nw
+	return nw
+}
+
+func TestNewValidation(t *testing.T) {
+	cpu := aggregator.CortexA8()
+	if _, err := New(cpu); err == nil {
+		t.Error("empty network should error")
+	}
+	if _, err := New(aggregator.CPU{}, Node{Name: "x", Sys: &xsystem.System{}}); err == nil {
+		t.Error("invalid CPU should error")
+	}
+	if _, err := New(cpu, Node{Name: "", Sys: &xsystem.System{}}); err == nil {
+		t.Error("unnamed node should error")
+	}
+	if _, err := New(cpu, Node{Name: "a", Sys: nil}); err == nil {
+		t.Error("nil system should error")
+	}
+	nw := threeNodeNetwork(t)
+	if _, err := New(cpu, nw.Nodes[0], nw.Nodes[0]); err == nil {
+		t.Error("duplicate node should error")
+	}
+}
+
+func TestNodeLifetimes(t *testing.T) {
+	nw := threeNodeNetwork(t)
+	lifetimes, err := nw.NodeLifetimes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lifetimes) != 3 {
+		t.Fatalf("lifetimes = %d, want 3", len(lifetimes))
+	}
+	for name, h := range lifetimes {
+		if h <= 0 {
+			t.Errorf("node %s: lifetime %v", name, h)
+		}
+		// Per-node lifetime must match the standalone system (sensor
+		// side is unaffected by other nodes).
+		for _, n := range nw.Nodes {
+			if n.Name == name {
+				want, _ := n.Sys.SensorLifetimeHours()
+				if h != want {
+					t.Errorf("node %s: network lifetime %v != standalone %v", name, h, want)
+				}
+			}
+		}
+	}
+	name, h, err := nw.BottleneckNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, other := range lifetimes {
+		if h > other {
+			t.Errorf("bottleneck %s (%v h) is not minimal", name, h)
+		}
+	}
+}
+
+func TestAggregatorLoadScalesWithNodes(t *testing.T) {
+	nw := threeNodeNetwork(t)
+	one, err := New(nw.CPU, nw.Nodes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.AggregatorPower() < one.AggregatorPower() {
+		t.Error("more nodes cannot draw less aggregator power")
+	}
+	h3, err := nw.AggregatorLifetimeHours()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := one.AggregatorLifetimeHours()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3 > h1 {
+		t.Errorf("3-node aggregator lifetime %v > 1-node %v", h3, h1)
+	}
+	// §5.6's viability claim must hold for the whole network too.
+	if h3 < 52 {
+		t.Errorf("network aggregator lifetime %v h, want > 52 h", h3)
+	}
+}
+
+func TestUtilizationAndRealTime(t *testing.T) {
+	nw := threeNodeNetwork(t)
+	u := nw.AggregatorUtilization()
+	if u <= 0 || u >= 1 {
+		t.Errorf("utilization = %v, want sustainable (0,1)", u)
+	}
+	delays := nw.WorstCaseDelay()
+	if len(delays) != 3 {
+		t.Fatal("worst-case delays incomplete")
+	}
+	for name, d := range delays {
+		solo := 0.0
+		for _, n := range nw.Nodes {
+			if n.Name == name {
+				solo = n.Sys.DelayPerEvent().Total()
+			}
+		}
+		if d < solo {
+			t.Errorf("node %s: worst-case %v < solo %v", name, d, solo)
+		}
+	}
+	if !nw.RealTimeOK(10e-3) {
+		t.Error("network should meet a 10 ms bound")
+	}
+	if nw.RealTimeOK(1e-6) {
+		t.Error("network cannot meet a 1 µs bound")
+	}
+}

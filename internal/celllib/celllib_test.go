@@ -1,0 +1,244 @@
+package celllib
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"xpro/internal/stats"
+)
+
+func featSpec(f stats.Feature, n int) Spec { return Spec{Kind: KindFeature, Feat: f, N: n} }
+
+// Figure 4 of the paper: serial is the energy-optimal ALU mode for most
+// cells; Std and DWT are pipeline-optimal.
+func TestFig4OptimalModes(t *testing.T) {
+	serialBest := []Spec{
+		featSpec(stats.Max, 128),
+		featSpec(stats.Min, 128),
+		featSpec(stats.Mean, 128),
+		featSpec(stats.Var, 128),
+		featSpec(stats.CZero, 128),
+		featSpec(stats.Skew, 128),
+		featSpec(stats.Kurt, 128),
+		{Kind: KindSVM, SVs: 120, Dim: 12},
+		{Kind: KindSVM, SVs: 12, Dim: 12, Linear: true},
+		{Kind: KindFusion, Bases: 10},
+	}
+	for _, s := range serialBest {
+		if m, _ := BestMode(s, P90); m != Serial {
+			t.Errorf("%s: best mode = %v, want serial (Fig. 4)", s.Name(), m)
+		}
+	}
+	pipelineBest := []Spec{
+		featSpec(stats.Std, 128),
+		{Kind: KindDWT, N: 128},
+	}
+	for _, s := range pipelineBest {
+		if m, _ := BestMode(s, P90); m != Pipeline {
+			t.Errorf("%s: best mode = %v, want pipeline (Fig. 4)", s.Name(), m)
+		}
+	}
+}
+
+// Figure 4: parallel DWT has "tremendous energy overhead, about two
+// orders of magnitude larger than the serial mode".
+func TestFig4ParallelDWTPenalty(t *testing.T) {
+	s := Spec{Kind: KindDWT, N: 128}
+	serial := Characterize(s, Serial, P90).Energy()
+	parallel := Characterize(s, Parallel, P90).Energy()
+	ratio := parallel / serial
+	if ratio < 20 || ratio > 500 {
+		t.Errorf("parallel/serial DWT energy ratio = %.1f, want ~two orders of magnitude", ratio)
+	}
+}
+
+// The StdStage (reuse rule: Var cell + sqrt stage) must be far cheaper
+// than a standalone Std cell — that is the point of Fig. 5.
+func TestReuseSavesEnergy(t *testing.T) {
+	_, full := BestMode(featSpec(stats.Std, 128), P90)
+	_, varCell := BestMode(featSpec(stats.Var, 128), P90)
+	_, stage := BestMode(Spec{Kind: KindStdStage}, P90)
+	if varCell.Energy()+stage.Energy() >= full.Energy() {
+		t.Errorf("reused Var(%v)+StdStage(%v) should beat standalone Std(%v)",
+			varCell.Energy(), stage.Energy(), full.Energy())
+	}
+}
+
+// Energy must scale monotonically with process node (130 > 90 > 45 nm)
+// for every kind and mode.
+func TestProcessScalingMonotonic(t *testing.T) {
+	specs := []Spec{
+		featSpec(stats.Kurt, 128),
+		{Kind: KindDWT, N: 64},
+		{Kind: KindSVM, SVs: 50, Dim: 12},
+	}
+	for _, s := range specs {
+		for _, m := range Modes {
+			e130 := Characterize(s, m, P130).Energy()
+			e90 := Characterize(s, m, P90).Energy()
+			e45 := Characterize(s, m, P45).Energy()
+			if !(e130 > e90 && e90 > e45) {
+				t.Errorf("%s/%v: energies %v > %v > %v violated", s.Name(), m, e130, e90, e45)
+			}
+		}
+	}
+}
+
+// Delay is process-independent in this study: the cell clock is fixed at
+// 16 MHz (§4.3), so only energy changes across nodes.
+func TestDelayIndependentOfProcess(t *testing.T) {
+	s := featSpec(stats.Var, 128)
+	for _, m := range Modes {
+		d130 := Characterize(s, m, P130).Delay()
+		d45 := Characterize(s, m, P45).Delay()
+		if d130 != d45 {
+			t.Errorf("%v: delay differs across processes (%v vs %v)", m, d130, d45)
+		}
+	}
+}
+
+// Parallel mode must always be the fastest; serial the slowest (or tied)
+// for compute-heavy cells.
+func TestModeDelayOrdering(t *testing.T) {
+	for _, s := range []Spec{featSpec(stats.Kurt, 128), {Kind: KindDWT, N: 128}, {Kind: KindSVM, SVs: 100, Dim: 12}} {
+		ser := Characterize(s, Serial, P90).Delay()
+		par := Characterize(s, Parallel, P90).Delay()
+		pip := Characterize(s, Pipeline, P90).Delay()
+		if !(par < pip && pip < ser) {
+			t.Errorf("%s: delay ordering parallel(%v) < pipeline(%v) < serial(%v) violated", s.Name(), par, pip, ser)
+		}
+	}
+}
+
+func TestOpsScaleWithInput(t *testing.T) {
+	small := featSpec(stats.Var, 32).Ops().Total()
+	big := featSpec(stats.Var, 128).Ops().Total()
+	if big <= small {
+		t.Error("ops must grow with input length")
+	}
+	d32 := Spec{Kind: KindDWT, N: 32}.Ops().Mac
+	d64 := Spec{Kind: KindDWT, N: 64}.Ops().Mac
+	if d64 != 2*d32 || d32 != 32*DWTTaps {
+		t.Errorf("DWT banded matrix multiply: want n×%d MACs (got %d and %d)", DWTTaps, d32, d64)
+	}
+}
+
+func TestSVMOpsScaleWithSVs(t *testing.T) {
+	few := Spec{Kind: KindSVM, SVs: 10, Dim: 12}.Ops().Total()
+	many := Spec{Kind: KindSVM, SVs: 100, Dim: 12}.Ops().Total()
+	if many <= few {
+		t.Error("SVM ops must grow with support-vector count (§5.5)")
+	}
+	lin := Spec{Kind: KindSVM, SVs: 100, Dim: 12, Linear: true}.Ops().Total()
+	if lin >= few {
+		t.Error("linear SVM collapses to one dot product and must be far cheaper")
+	}
+}
+
+func TestEnergyPositive(t *testing.T) {
+	for _, s := range []Spec{
+		featSpec(stats.Max, 4), {Kind: KindStdStage}, {Kind: KindDWT, N: 8},
+		{Kind: KindSVM, SVs: 1, Dim: 1}, {Kind: KindFusion, Bases: 1},
+	} {
+		for _, m := range Modes {
+			for _, p := range Processes {
+				pr := Characterize(s, m, p)
+				if pr.Energy() <= 0 || pr.Delay() <= 0 || pr.Power() <= 0 {
+					t.Errorf("%s/%v/%v: non-positive profile %+v", s.Name(), m, p, pr)
+				}
+			}
+		}
+	}
+}
+
+func TestProfileAccessors(t *testing.T) {
+	p := Profile{DynEnergy: 2e-9, StaticEnergy: 1e-9, Cycles: 16}
+	if math.Abs(p.Energy()-3e-9) > 1e-18 {
+		t.Error("Energy sum wrong")
+	}
+	if p.Delay() != 1e-6 {
+		t.Errorf("Delay = %v, want 1µs at 16 MHz", p.Delay())
+	}
+	if math.Abs(p.Power()-3e-3) > 1e-12 {
+		t.Errorf("Power = %v, want 3 mW", p.Power())
+	}
+	if (Profile{}).Power() != 0 {
+		t.Error("zero-cycle profile power should be 0")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Serial.String() != "serial" || Parallel.String() != "parallel" || Pipeline.String() != "pipeline" {
+		t.Error("mode names wrong")
+	}
+	if Mode(9).String() != "Mode(9)" {
+		t.Error("unknown mode formatting wrong")
+	}
+	if P130.String() != "130nm" || P90.String() != "90nm" || P45.String() != "45nm" {
+		t.Error("process names wrong")
+	}
+	if Process(9).String() != "Process(9)" {
+		t.Error("unknown process formatting wrong")
+	}
+	names := map[Kind]string{KindFeature: "feature", KindStdStage: "std-stage", KindDWT: "dwt", KindSVM: "svm", KindFusion: "fusion"}
+	for k, w := range names {
+		if k.String() != w {
+			t.Errorf("kind %d name = %q, want %q", k, k.String(), w)
+		}
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Error("unknown kind formatting wrong")
+	}
+	if (Spec{Kind: Kind(9)}).Name() != "Kind(9)" {
+		t.Error("unknown spec name wrong")
+	}
+}
+
+func TestSoftwareOps(t *testing.T) {
+	s := featSpec(stats.Std, 128)
+	if s.SoftwareOps() <= s.Ops().Total() {
+		t.Error("software ops must expand sqrt/div into iterative sequences")
+	}
+}
+
+// Property: energy and cycles never decrease as SVM support-vector count
+// grows, in any mode.
+func TestQuickSVMEnergyMonotonic(t *testing.T) {
+	f := func(raw uint8, mraw uint8) bool {
+		v := int(raw%100) + 1
+		m := Modes[int(mraw)%len(Modes)]
+		small := Characterize(Spec{Kind: KindSVM, SVs: v, Dim: 12}, m, P90)
+		large := Characterize(Spec{Kind: KindSVM, SVs: v + 10, Dim: 12}, m, P90)
+		return large.Energy() > small.Energy() && large.Cycles > small.Cycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BestMode never exceeds any individual mode's energy.
+func TestQuickBestModeIsMin(t *testing.T) {
+	f := func(nRaw uint8, fRaw uint8) bool {
+		n := int(nRaw%128) + 4
+		feat := stats.AllFeatures[int(fRaw)%len(stats.AllFeatures)]
+		s := featSpec(feat, n)
+		_, best := BestMode(s, P90)
+		for _, m := range Modes {
+			if Characterize(s, m, P90).Energy() < best.Energy() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCharacterize(b *testing.B) {
+	s := Spec{Kind: KindSVM, SVs: 120, Dim: 12}
+	for i := 0; i < b.N; i++ {
+		_ = Characterize(s, Serial, P90)
+	}
+}

@@ -1,0 +1,229 @@
+package ensemble
+
+import (
+	"math/rand"
+	"testing"
+
+	"xpro/internal/biosig"
+	"xpro/internal/stats"
+)
+
+func smallConfig(seed int64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.Candidates = 10
+	cfg.Folds = 3
+	cfg.TopFrac = 0.3
+	cfg.CandidateTrainCap = 120
+	return cfg
+}
+
+func trainOn(t *testing.T, sym string, seed int64) (*Ensemble, *biosig.Dataset, *biosig.Dataset) {
+	t.Helper()
+	spec, err := biosig.CaseBySymbol(sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := biosig.Generate(spec)
+	rng := rand.New(rand.NewSource(seed))
+	train, test := d.Split(0.75, rng)
+	ens, err := Train(train, smallConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ens, train, test
+}
+
+func TestFeatureSpaceEnumeration(t *testing.T) {
+	specs := AllFeatureSpecs()
+	if len(specs) != NumDomains*stats.NumFeatures {
+		t.Fatalf("feature space size = %d, want %d", len(specs), NumDomains*stats.NumFeatures)
+	}
+	if len(specs) != 56 {
+		t.Fatalf("feature space = %d, paper framework has 7 domains × 8 features = 56", len(specs))
+	}
+	for i, fs := range specs {
+		if SpecIndex(fs) != i {
+			t.Fatalf("SpecIndex(%v) = %d, want %d", fs, SpecIndex(fs), i)
+		}
+	}
+}
+
+func TestDomainNames(t *testing.T) {
+	if DomainName(TimeDomain) != "time" {
+		t.Error("time domain name wrong")
+	}
+	if DomainName(1) != "dwt1" || DomainName(5) != "dwt5" {
+		t.Error("detail band names wrong")
+	}
+	if DomainName(6) != "dwtA" {
+		t.Error("approximation band name wrong")
+	}
+	if DomainName(9) != "domain9" {
+		t.Error("fallback name wrong")
+	}
+	fs := FeatureSpec{Domain: 3, Feat: stats.Kurt}
+	if fs.String() != "dwt3/Kurt" {
+		t.Errorf("FeatureSpec string = %q", fs.String())
+	}
+}
+
+func TestExtractVectorShape(t *testing.T) {
+	spec, _ := biosig.CaseBySymbol("C1") // 82-sample segments exercise padding
+	d := biosig.Generate(spec)
+	v, err := ExtractVector(d.Segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 56 {
+		t.Fatalf("vector length = %d, want 56", len(v))
+	}
+	// Time-domain Max of a [0,1]-normalized segment is 1.
+	if v[SpecIndex(FeatureSpec{TimeDomain, stats.Max})] != 1 {
+		t.Error("time-domain Max of normalized segment should be 1")
+	}
+	if v[SpecIndex(FeatureSpec{TimeDomain, stats.Min})] != 0 {
+		t.Error("time-domain Min of normalized segment should be 0")
+	}
+}
+
+func TestTrainAndClassifyE1(t *testing.T) {
+	ens, train, test := trainOn(t, "E1", 1)
+	accTr, err := ens.Accuracy(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accTe, err := ens.Accuracy(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E1 is the hard case; the paper's classifiers are merely usable,
+	// not perfect. Require clearly-better-than-chance generalization.
+	if accTr < 0.7 {
+		t.Errorf("train accuracy = %v, want ≥ 0.7", accTr)
+	}
+	if accTe < 0.65 {
+		t.Errorf("test accuracy = %v, want ≥ 0.65", accTe)
+	}
+	t.Logf("E1: train %.3f test %.3f, %d bases", accTr, accTe, len(ens.Bases))
+}
+
+func TestTrainAndClassifyC1(t *testing.T) {
+	ens, _, test := trainOn(t, "C1", 2)
+	acc, err := ens.Accuracy(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.85 {
+		t.Errorf("C1 test accuracy = %v, want ≥ 0.85 (easy ECG case)", acc)
+	}
+}
+
+func TestEnsembleStructure(t *testing.T) {
+	ens, _, _ := trainOn(t, "M1", 3)
+	if len(ens.Bases) < 2 {
+		t.Fatalf("bases = %d, want ≥ 2", len(ens.Bases))
+	}
+	if len(ens.Weights) != len(ens.Bases)+1 {
+		t.Fatalf("weights = %d, want bases+1 = %d", len(ens.Weights), len(ens.Bases)+1)
+	}
+	for _, b := range ens.Bases {
+		if len(b.Subset) != 12 {
+			t.Errorf("subset size = %d, want 12 (§4.4)", len(b.Subset))
+		}
+		if b.Model.NumSV() == 0 {
+			t.Error("base model has no support vectors")
+		}
+	}
+	used := ens.UsedFeatures()
+	if len(used) == 0 || len(used) > 56 {
+		t.Fatalf("used features = %d", len(used))
+	}
+	// Used features must be exactly the union of subsets.
+	want := make(map[FeatureSpec]bool)
+	for _, b := range ens.Bases {
+		for _, fs := range b.Subset {
+			want[fs] = true
+		}
+	}
+	if len(used) != len(want) {
+		t.Errorf("UsedFeatures = %d, want %d", len(used), len(want))
+	}
+	doms := ens.UsedDomains()
+	if len(doms) == 0 {
+		t.Error("no used domains")
+	}
+	seen := make(map[int]bool)
+	for _, fs := range used {
+		seen[fs.Domain] = true
+	}
+	if len(doms) != len(seen) {
+		t.Error("UsedDomains inconsistent with UsedFeatures")
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	spec, _ := biosig.CaseBySymbol("C2")
+	d := biosig.Generate(spec)
+	rng1 := rand.New(rand.NewSource(7))
+	train1, _ := d.Split(0.75, rng1)
+	rng2 := rand.New(rand.NewSource(7))
+	train2, _ := d.Split(0.75, rng2)
+	e1, err := Train(train1, smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Train(train2, smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e1.Bases) != len(e2.Bases) {
+		t.Fatalf("base counts differ: %d vs %d", len(e1.Bases), len(e2.Bases))
+	}
+	for i := range e1.Bases {
+		if e1.Bases[i].CVAccuracy != e2.Bases[i].CVAccuracy {
+			t.Error("CV accuracies differ between identical runs")
+		}
+	}
+	for i := range e1.Weights {
+		if e1.Weights[i] != e2.Weights[i] {
+			t.Error("fusion weights differ between identical runs")
+		}
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	spec, _ := biosig.CaseBySymbol("C1")
+	d := biosig.Generate(spec)
+	if _, err := Train(d, Config{}); err == nil {
+		t.Error("zero config should error")
+	}
+	tiny := &biosig.Dataset{Name: "t", SegLen: d.SegLen, Segs: d.Segs[:4]}
+	if _, err := Train(tiny, smallConfig(1)); err == nil {
+		t.Error("tiny dataset should error")
+	}
+	if _, err := (&Ensemble{}).Accuracy(&biosig.Dataset{}); err == nil {
+		t.Error("empty evaluation set should error")
+	}
+}
+
+func TestConfigs(t *testing.T) {
+	p := PaperConfig(1)
+	if p.Candidates != 100 || p.SubspaceSize != 12 || p.TopFrac != 0.1 || p.Folds != 10 {
+		t.Errorf("PaperConfig does not match §4.4: %+v", p)
+	}
+	dflt := DefaultConfig(1)
+	if dflt.SubspaceSize != 12 {
+		t.Error("DefaultConfig must keep the 12-feature subspace")
+	}
+}
+
+func BenchmarkExtractVector(b *testing.B) {
+	spec, _ := biosig.CaseBySymbol("E1")
+	d := biosig.Generate(spec)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExtractVector(d.Segs[i%len(d.Segs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package ensemble
+
+import (
+	"math/rand"
+	"testing"
+
+	"xpro/internal/biosig"
+)
+
+func importanceFixture(t *testing.T, sym string) (*Ensemble, *biosig.Dataset) {
+	t.Helper()
+	spec, err := biosig.CaseBySymbol(sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := biosig.Generate(spec)
+	rng := rand.New(rand.NewSource(spec.Seed))
+	train, test := d.Split(0.75, rng)
+	cfg := smallConfig(spec.Seed)
+	ens, err := Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := &biosig.Dataset{SegLen: test.SegLen, Segs: test.Segs[:150]}
+	return ens, eval
+}
+
+func TestPermutationImportance(t *testing.T) {
+	// E1 is the hard case: individual features carry real signal, so
+	// shuffling the most important one must visibly hurt. (On the
+	// perfectly separable ECG cases, single-feature shuffles often flip
+	// no hard vote at all.)
+	ens, eval := importanceFixture(t, "E1")
+	imps, err := ens.PermutationImportance(eval, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imps) != len(ens.UsedFeatures()) {
+		t.Fatalf("importances = %d, want one per used feature (%d)", len(imps), len(ens.UsedFeatures()))
+	}
+	// Sorted decreasing.
+	for i := 1; i < len(imps); i++ {
+		if imps[i].Drop > imps[i-1].Drop {
+			t.Fatal("importances not sorted")
+		}
+	}
+	// Something must matter: the top feature's shuffle hurts accuracy.
+	if imps[0].Drop <= 0 {
+		t.Errorf("top importance %v, expected a positive accuracy drop", imps[0].Drop)
+	}
+}
+
+func TestDomainImportanceShares(t *testing.T) {
+	ens, eval := importanceFixture(t, "M1")
+	shares, err := ens.DomainImportance(eval, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for d, s := range shares {
+		if s < 0 || s > 1 {
+			t.Errorf("domain %d share %v outside [0,1]", d, s)
+		}
+		total += s
+	}
+	if total > 1e-9 && (total < 0.999 || total > 1.001) {
+		t.Errorf("shares sum to %v, want 1", total)
+	}
+}
+
+func TestImportanceErrors(t *testing.T) {
+	ens, _ := importanceFixture(t, "C1")
+	if _, err := ens.PermutationImportance(&biosig.Dataset{}, 1, 1); err == nil {
+		t.Error("empty evaluation set should error")
+	}
+	if _, err := ens.DomainImportance(&biosig.Dataset{}, 1, 1); err == nil {
+		t.Error("empty evaluation set should error")
+	}
+}

@@ -1,0 +1,157 @@
+package ensemble
+
+import (
+	"errors"
+	"fmt"
+
+	"xpro/internal/biosig"
+)
+
+// This file implements the paper's §5.7 multi-classification extension:
+// "If multi-classification is needed, we can simply add more base
+// classifiers that extend only the topology of generic classification.
+// The rest of the proposed methodology can be applied directly."
+//
+// We realize that as one-vs-rest: one binary random-subspace ensemble
+// per class, each contributing its base classifiers to the shared
+// functional-cell topology; the fused per-class scores are combined by
+// argmax.
+
+// MultiEnsemble is a one-vs-rest multi-class classifier.
+type MultiEnsemble struct {
+	Classes int
+	// Heads[c] is the binary ensemble separating class c from the rest.
+	Heads []*Ensemble
+}
+
+// ErrBadClassCount reports an unusable class count.
+var ErrBadClassCount = errors.New("ensemble: multi-class training needs ≥ 3 classes (use Train for binary)")
+
+// TrainMulticlass fits a one-vs-rest ensemble on a dataset whose labels
+// range over 0..classes-1. Each head is trained with the same protocol
+// cfg (its seed offset by the class index to decorrelate subspaces).
+func TrainMulticlass(train *biosig.Dataset, classes int, cfg Config) (*MultiEnsemble, error) {
+	if classes < 3 {
+		return nil, ErrBadClassCount
+	}
+	seen := make(map[int]bool)
+	for _, s := range train.Segs {
+		if s.Label < 0 || s.Label >= classes {
+			return nil, fmt.Errorf("ensemble: label %d outside 0..%d", s.Label, classes-1)
+		}
+		seen[s.Label] = true
+	}
+	if len(seen) != classes {
+		return nil, fmt.Errorf("ensemble: training set covers %d of %d classes", len(seen), classes)
+	}
+	me := &MultiEnsemble{Classes: classes}
+	for c := 0; c < classes; c++ {
+		rebin := &biosig.Dataset{Name: train.Name, Symbol: train.Symbol, SegLen: train.SegLen}
+		for _, s := range train.Segs {
+			label := 0
+			if s.Label == c {
+				label = 1
+			}
+			rebin.Segs = append(rebin.Segs, biosig.Segment{Samples: s.Samples, Label: label})
+		}
+		hcfg := cfg
+		hcfg.Seed = cfg.Seed + int64(c)*7919
+		hcfg.SVM.Seed = hcfg.Seed
+		head, err := Train(rebin, hcfg)
+		if err != nil {
+			return nil, fmt.Errorf("ensemble: training head %d: %w", c, err)
+		}
+		me.Heads = append(me.Heads, head)
+	}
+	return me, nil
+}
+
+// Scores returns the fused one-vs-rest score of every class for a
+// segment.
+func (m *MultiEnsemble) Scores(seg biosig.Segment) ([]float64, error) {
+	full, err := ExtractVector(seg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, m.Classes)
+	for c, head := range m.Heads {
+		out[c] = head.ScoreSoft(full)
+	}
+	return out, nil
+}
+
+// Predict classifies a segment by argmax over the per-class scores.
+func (m *MultiEnsemble) Predict(seg biosig.Segment) (int, error) {
+	scores, err := m.Scores(seg)
+	if err != nil {
+		return 0, err
+	}
+	best := 0
+	for c := 1; c < len(scores); c++ {
+		if scores[c] > scores[best] {
+			best = c
+		}
+	}
+	return best, nil
+}
+
+// Accuracy evaluates the multi-class classifier on a dataset.
+func (m *MultiEnsemble) Accuracy(d *biosig.Dataset) (float64, error) {
+	if len(d.Segs) == 0 {
+		return 0, errors.New("ensemble: empty evaluation set")
+	}
+	correct := 0
+	for _, seg := range d.Segs {
+		p, err := m.Predict(seg)
+		if err != nil {
+			return 0, err
+		}
+		if p == seg.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(d.Segs)), nil
+}
+
+// TotalBases counts base classifiers across all heads — the SVM cells a
+// multi-class topology instantiates (§5.7: "add more base classifiers").
+func (m *MultiEnsemble) TotalBases() int {
+	n := 0
+	for _, h := range m.Heads {
+		n += len(h.Bases)
+	}
+	return n
+}
+
+// UsedFeatures returns the union of every head's used features, in
+// canonical order.
+func (m *MultiEnsemble) UsedFeatures() []FeatureSpec {
+	seen := make(map[FeatureSpec]bool)
+	for _, h := range m.Heads {
+		for _, fs := range h.UsedFeatures() {
+			seen[fs] = true
+		}
+	}
+	var out []FeatureSpec
+	for _, fs := range AllFeatureSpecs() {
+		if seen[fs] {
+			out = append(out, fs)
+		}
+	}
+	return out
+}
+
+// UsedDomains returns the union of every head's used domains.
+func (m *MultiEnsemble) UsedDomains() []int {
+	seen := make(map[int]bool)
+	for _, fs := range m.UsedFeatures() {
+		seen[fs.Domain] = true
+	}
+	var out []int
+	for d := 0; d < NumDomains; d++ {
+		if seen[d] {
+			out = append(out, d)
+		}
+	}
+	return out
+}

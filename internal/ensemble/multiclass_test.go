@@ -1,0 +1,122 @@
+package ensemble
+
+import (
+	"math/rand"
+	"testing"
+
+	"xpro/internal/biosig"
+)
+
+func multiData(t testing.TB, classes int) (*biosig.Dataset, *biosig.Dataset) {
+	t.Helper()
+	d, err := biosig.GenerateMulticlass(biosig.EMG, 128, 600, classes, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	return d.Split(0.75, rng)
+}
+
+func multiConfig(seed int64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.Candidates = 8
+	cfg.Folds = 2
+	cfg.TopFrac = 0.4
+	cfg.CandidateTrainCap = 150
+	return cfg
+}
+
+func TestTrainMulticlass(t *testing.T) {
+	train, test := multiData(t, 4)
+	me, err := TrainMulticlass(train, 4, multiConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if me.Classes != 4 || len(me.Heads) != 4 {
+		t.Fatalf("heads = %d, want 4", len(me.Heads))
+	}
+	if me.TotalBases() <= len(me.Heads[0].Bases) {
+		t.Error("multi-class must add base classifiers (§5.7)")
+	}
+	acc, err := me.Accuracy(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chance for 4 classes is 0.25; the gestures are well separated.
+	if acc < 0.7 {
+		t.Errorf("4-class accuracy = %v, want ≥ 0.7", acc)
+	}
+	t.Logf("4-class accuracy %.3f with %d total bases", acc, me.TotalBases())
+}
+
+func TestMulticlassScoresShape(t *testing.T) {
+	train, test := multiData(t, 3)
+	me, err := TrainMulticlass(train, 3, multiConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := me.Scores(test.Segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 3 {
+		t.Fatalf("scores = %d, want 3", len(scores))
+	}
+	p, err := me.Predict(test.Segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, s := range scores {
+		if s > scores[p] {
+			t.Errorf("predict %d is not argmax (class %d scores %v > %v)", p, c, s, scores[p])
+		}
+	}
+}
+
+func TestMulticlassUsedFeaturesUnion(t *testing.T) {
+	train, _ := multiData(t, 3)
+	me, err := TrainMulticlass(train, 3, multiConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	union := make(map[FeatureSpec]bool)
+	for _, h := range me.Heads {
+		for _, fs := range h.UsedFeatures() {
+			union[fs] = true
+		}
+	}
+	used := me.UsedFeatures()
+	if len(used) != len(union) {
+		t.Errorf("UsedFeatures = %d, want union %d", len(used), len(union))
+	}
+	if len(me.UsedDomains()) == 0 {
+		t.Error("no used domains")
+	}
+}
+
+func TestTrainMulticlassErrors(t *testing.T) {
+	train, _ := multiData(t, 3)
+	if _, err := TrainMulticlass(train, 2, multiConfig(4)); err == nil {
+		t.Error("2 classes should error (binary path exists)")
+	}
+	// Labels outside range.
+	bad := &biosig.Dataset{SegLen: train.SegLen}
+	bad.Segs = append(bad.Segs, train.Segs[:50]...)
+	bad.Segs = append(bad.Segs, biosig.Segment{Samples: train.Segs[0].Samples, Label: 9})
+	if _, err := TrainMulticlass(bad, 3, multiConfig(5)); err == nil {
+		t.Error("out-of-range label should error")
+	}
+	// Missing class coverage.
+	partial := &biosig.Dataset{SegLen: train.SegLen}
+	for _, s := range train.Segs {
+		if s.Label != 2 {
+			partial.Segs = append(partial.Segs, s)
+		}
+	}
+	if _, err := TrainMulticlass(partial, 3, multiConfig(6)); err == nil {
+		t.Error("missing class should error")
+	}
+	if _, err := (&MultiEnsemble{Classes: 3}).Accuracy(&biosig.Dataset{}); err == nil {
+		t.Error("empty evaluation should error")
+	}
+}

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xpro/internal/celllib"
+	"xpro/internal/ensemble"
+	"xpro/internal/wireless"
+)
+
+// fastLab trains only two cases with a minimal protocol so the whole
+// experiment suite exercises in seconds.
+func fastLab() *Lab {
+	l := NewLab()
+	l.Cases = []string{"C1", "E1"}
+	l.Config = func(seed int64) ensemble.Config {
+		cfg := ensemble.DefaultConfig(seed)
+		cfg.Candidates = 8
+		cfg.Folds = 2
+		cfg.TopFrac = 0.4
+		cfg.CandidateTrainCap = 160
+		return cfg
+	}
+	return l
+}
+
+func TestLabInstanceCaching(t *testing.T) {
+	l := fastLab()
+	a, err := l.Instance("C1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.Instance("C1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("instances must be cached")
+	}
+	if _, err := l.Instance("ZZ"); err == nil {
+		t.Error("unknown case should error")
+	}
+	insts, err := l.Instances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 2 {
+		t.Fatalf("instances = %d, want 2", len(insts))
+	}
+}
+
+func TestLabSymbols(t *testing.T) {
+	if got := NewLab().Symbols(); len(got) != 6 {
+		t.Errorf("default lab covers %d cases, want 6", len(got))
+	}
+	if got := fastLab().Symbols(); len(got) != 2 {
+		t.Errorf("restricted lab covers %d cases, want 2", len(got))
+	}
+}
+
+func TestEnginesInvariants(t *testing.T) {
+	l := fastLab()
+	es, err := l.Engines("E1", celllib.P90, wireless.Model2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cached on second call.
+	es2, err := l.Engines("E1", celllib.P90, wireless.Model2())
+	if err != nil || es2 != es {
+		t.Error("engine sets must be cached")
+	}
+	// The generator's cut never loses to the single-end engines on
+	// energy...
+	ec := es.CrossEnd.EnergyPerEvent().SensorTotal()
+	for _, other := range []float64{
+		es.InAggregator.EnergyPerEvent().SensorTotal(),
+		es.InSensor.EnergyPerEvent().SensorTotal(),
+	} {
+		if ec > other+1e-12 {
+			t.Errorf("cross-end energy %v worse than a baseline %v", ec, other)
+		}
+	}
+	// ...and respects the delay constraint T_XPro = min(T_F, T_B).
+	limit := es.InAggregator.DelayPerEvent().Total()
+	if d := es.InSensor.DelayPerEvent().Total(); d < limit {
+		limit = d
+	}
+	if dc := es.CrossEnd.DelayPerEvent().Total(); dc > limit+1e-12 {
+		t.Errorf("cross-end delay %v exceeds T_XPro %v", dc, limit)
+	}
+}
+
+func TestAllExperimentsProduceTables(t *testing.T) {
+	l := fastLab()
+	var buf bytes.Buffer
+	if err := All(l, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"table1", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "headline"} {
+		if !strings.Contains(out, "=== "+id+":") {
+			t.Errorf("output missing experiment %s", id)
+		}
+	}
+	if !strings.Contains(out, "note:") {
+		t.Error("output missing paper-comparison notes")
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if err := Run(fastLab(), "fig99", &bytes.Buffer{}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	l := fastLab()
+	tab, err := Table1(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// C1 row: ECGTwoLead, 82, 1162.
+	if tab.Rows[0][0] != "ECGTwoLead" || tab.Rows[0][2] != "82" || tab.Rows[0][3] != "1162" {
+		t.Errorf("C1 row = %v", tab.Rows[0])
+	}
+}
+
+func TestFig4ModesInTable(t *testing.T) {
+	tab := Fig4()
+	if len(tab.Rows) != 11 { // 8 features + DWT + SVM + Fusion
+		t.Fatalf("fig4 rows = %d, want 11", len(tab.Rows))
+	}
+	want := map[string]string{"Max": "serial", "Std": "pipeline", "DWT": "pipeline", "SVM": "serial", "Fusion": "serial"}
+	for _, row := range tab.Rows {
+		if m, ok := want[row[0]]; ok && row[4] != m {
+			t.Errorf("%s optimal mode %q, want %q", row[0], row[4], m)
+		}
+	}
+}
+
+func TestFig12CrossNeverWorse(t *testing.T) {
+	l := fastLab()
+	tab, err := Fig12(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "WARNING") {
+			t.Errorf("optimality violated: %s", n)
+		}
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{ID: "x", Title: "t", Header: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.AddNote("n=%d", 5)
+	var buf bytes.Buffer
+	if _, err := tab.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"=== x: t ===", "a  bb", "note: n=5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestDatasetFor(t *testing.T) {
+	d, err := DatasetFor("M1")
+	if err != nil || d.Symbol != "M1" {
+		t.Errorf("DatasetFor: %v, %v", d, err)
+	}
+	if _, err := DatasetFor("nope"); err == nil {
+		t.Error("unknown dataset should error")
+	}
+}
+
+// Every scorecard claim must pass — a calibration regression fails here
+// rather than silently drifting the tables. The claims are averages over
+// the evaluation protocol, so this test uses the real DefaultConfig (not
+// the scaled-down fastLab one) on the two compute-heavy cases E1+M1
+// where a two-case average is representative; `xprobench -exp scorecard`
+// runs the full six-case version.
+func TestScorecardPasses(t *testing.T) {
+	l := NewLab()
+	l.Cases = []string{"E1", "M1"}
+	ok, tab, err := ScorecardPasses(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		var buf bytes.Buffer
+		tab.WriteTo(&buf)
+		t.Fatalf("scorecard has failures:\n%s", buf.String())
+	}
+	if len(tab.Rows) < 10 {
+		t.Errorf("scorecard has only %d claims", len(tab.Rows))
+	}
+}

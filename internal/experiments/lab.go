@@ -1,0 +1,211 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4–§5): Table 1 and Figures 4 and 8–13, plus the headline
+// battery-life/delay summary. Each experiment is a function from a Lab —
+// a cache of trained XPro instances for the six biosignal test cases —
+// to a formatted Table whose rows mirror what the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"xpro/internal/aggregator"
+	"xpro/internal/biosig"
+	"xpro/internal/celllib"
+	"xpro/internal/ensemble"
+	"xpro/internal/partition"
+	"xpro/internal/sensornode"
+	"xpro/internal/topology"
+	"xpro/internal/wireless"
+	"xpro/internal/xsystem"
+)
+
+// Instance is one trained test case: dataset, ensemble, topology.
+type Instance struct {
+	Spec     biosig.CaseSpec
+	Train    *biosig.Dataset
+	Test     *biosig.Dataset
+	Ens      *ensemble.Ensemble
+	Graph    *topology.Graph
+	Accuracy float64 // software-ensemble accuracy on the held-out 25%
+}
+
+// EngineSet holds the compared engines of one (case, process, link)
+// configuration: the two single-end baselines, the trivial cut, and the
+// delay-constrained cross-end engine produced by the Automatic XPro
+// Generator.
+type EngineSet struct {
+	Inst *Instance
+	Proc celllib.Process
+	Link wireless.Model
+
+	InAggregator *xsystem.System // "A"
+	InSensor     *xsystem.System // "S"
+	Trivial      *xsystem.System // the intuitive cut of Fig. 12
+	CrossEnd     *xsystem.System // "C" (XPro)
+	Gen          partition.Result
+}
+
+// Lab trains and caches instances and engine sets. Safe for concurrent
+// use.
+type Lab struct {
+	// Config builds the ensemble-training configuration per seed.
+	Config func(seed int64) ensemble.Config
+	// SampleRateHz sets the event rate of every simulated system.
+	SampleRateHz float64
+	// Cases restricts the lab to a subset of Table 1 symbols (nil =
+	// all six).
+	Cases []string
+
+	mu        sync.Mutex
+	instances map[string]*Instance
+	engines   map[string]*EngineSet
+}
+
+// NewLab returns a lab running the scaled §4.4 protocol
+// (ensemble.DefaultConfig) at the default sampling rate.
+func NewLab() *Lab {
+	return &Lab{Config: ensemble.DefaultConfig, SampleRateHz: sensornode.DefaultSampleRateHz}
+}
+
+// Symbols returns the case symbols this lab evaluates.
+func (l *Lab) Symbols() []string {
+	if len(l.Cases) > 0 {
+		return l.Cases
+	}
+	syms := make([]string, 0, 6)
+	for _, c := range biosig.TestCases() {
+		syms = append(syms, c.Symbol)
+	}
+	return syms
+}
+
+// Instance trains (or returns the cached) instance for a case symbol.
+func (l *Lab) Instance(sym string) (*Instance, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if inst, ok := l.instances[sym]; ok {
+		return inst, nil
+	}
+	spec, err := biosig.CaseBySymbol(sym)
+	if err != nil {
+		return nil, err
+	}
+	d := biosig.Generate(spec)
+	// §4.4: 75% train / 25% test.
+	rng := rand.New(rand.NewSource(spec.Seed))
+	train, test := d.Split(0.75, rng)
+	ens, err := ensemble.Train(train, l.Config(spec.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: training %s: %w", sym, err)
+	}
+	acc, err := ens.Accuracy(test)
+	if err != nil {
+		return nil, err
+	}
+	g, err := topology.Build(ens, d.SegLen)
+	if err != nil {
+		return nil, err
+	}
+	inst := &Instance{Spec: spec, Train: train, Test: test, Ens: ens, Graph: g, Accuracy: acc}
+	if l.instances == nil {
+		l.instances = make(map[string]*Instance)
+	}
+	l.instances[sym] = inst
+	return inst, nil
+}
+
+// Instances returns all cases of the lab, training on demand.
+func (l *Lab) Instances() ([]*Instance, error) {
+	var out []*Instance
+	for _, sym := range l.Symbols() {
+		inst, err := l.Instance(sym)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, inst)
+	}
+	return out, nil
+}
+
+// Engines builds (or returns the cached) engine set for one
+// configuration. The cross-end engine is generated under the paper's
+// delay constraint T_XPro = min(T_F, T_B) (§3.2.3).
+func (l *Lab) Engines(sym string, proc celllib.Process, link wireless.Model) (*EngineSet, error) {
+	key := fmt.Sprintf("%s/%v/%d", sym, proc, link.Index)
+	l.mu.Lock()
+	if es, ok := l.engines[key]; ok {
+		l.mu.Unlock()
+		return es, nil
+	}
+	l.mu.Unlock()
+
+	inst, err := l.Instance(sym)
+	if err != nil {
+		return nil, err
+	}
+	cpu := aggregator.CortexA8()
+	mk := func(p partition.Placement) (*xsystem.System, error) {
+		return xsystem.New(inst.Graph, inst.Ens, proc, link, cpu, p, l.SampleRateHz)
+	}
+	a, err := mk(partition.InAggregator(inst.Graph))
+	if err != nil {
+		return nil, err
+	}
+	s, err := mk(partition.InSensor(inst.Graph))
+	if err != nil {
+		return nil, err
+	}
+	tr, err := mk(partition.Trivial(inst.Graph))
+	if err != nil {
+		return nil, err
+	}
+	limit := a.DelayPerEvent().Total()
+	if d := s.DelayPerEvent().Total(); d < limit {
+		limit = d
+	}
+	res, err := a.Problem().Generate(func(p partition.Placement) float64 {
+		return a.DelayOf(p).Total()
+	}, limit)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generating %s: %w", key, err)
+	}
+	c, err := mk(res.Placement)
+	if err != nil {
+		return nil, err
+	}
+	es := &EngineSet{Inst: inst, Proc: proc, Link: link, InAggregator: a, InSensor: s, Trivial: tr, CrossEnd: c, Gen: res}
+	l.mu.Lock()
+	if l.engines == nil {
+		l.engines = make(map[string]*EngineSet)
+	}
+	l.engines[key] = es
+	l.mu.Unlock()
+	return es, nil
+}
+
+// Clone returns a lab sharing l's trained instances but with an empty
+// engine cache: repeated experiment runs through the clone re-execute
+// the Automatic XPro Generator instead of returning cached engines.
+// Benchmarks use this to measure regeneration cost without retraining.
+func (l *Lab) Clone() *Lab {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	c := &Lab{Config: l.Config, SampleRateHz: l.SampleRateHz, Cases: l.Cases}
+	c.instances = make(map[string]*Instance, len(l.instances))
+	for k, v := range l.instances {
+		c.instances[k] = v
+	}
+	return c
+}
+
+// lifetime returns sensor battery hours, panicking only on modeling
+// bugs (power is always positive in these systems).
+func lifetime(s *xsystem.System) float64 {
+	h, err := s.SensorLifetimeHours()
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return h
+}

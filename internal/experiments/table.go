@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a formatted experiment result: the rows/series a paper table
+// or figure reports.
+type Table struct {
+	ID     string // e.g. "fig8"
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes carry the summary statistics quoted in the paper's prose
+	// (e.g. "XPro improves lifetime by 2.4X over the aggregator
+	// engine") with our measured values.
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a formatted note.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// WriteTo renders the table as aligned text.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, wd := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", wd))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	b.WriteByte('\n')
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// WriteMarkdown renders the table as GitHub-flavored markdown.
+func (t *Table) WriteMarkdown(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s: %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat(" --- |", len(t.Header)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	if len(t.Notes) > 0 {
+		b.WriteByte('\n')
+		for _, n := range t.Notes {
+			fmt.Fprintf(&b, "> %s\n", n)
+		}
+	}
+	b.WriteByte('\n')
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// WriteCSV renders the table as RFC-4180 CSV (notes become trailing
+// comment rows prefixed with '#').
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Format identifies a table rendering.
+type Format int
+
+const (
+	// FormatText is the aligned-columns default.
+	FormatText Format = iota
+	// FormatMarkdown emits GitHub-flavored markdown.
+	FormatMarkdown
+	// FormatCSV emits RFC-4180 CSV with '#' note comments.
+	FormatCSV
+)
+
+// ParseFormat maps "text", "md"/"markdown" and "csv".
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "", "text":
+		return FormatText, nil
+	case "md", "markdown":
+		return FormatMarkdown, nil
+	case "csv":
+		return FormatCSV, nil
+	default:
+		return 0, fmt.Errorf("experiments: unknown format %q (want text, md or csv)", s)
+	}
+}
+
+// Write renders the table in the given format.
+func (t *Table) Write(w io.Writer, f Format) error {
+	switch f {
+	case FormatMarkdown:
+		_, err := t.WriteMarkdown(w)
+		return err
+	case FormatCSV:
+		return t.WriteCSV(w)
+	default:
+		_, err := t.WriteTo(w)
+		return err
+	}
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+func ms(v float64) string  { return fmt.Sprintf("%.3f", v*1e3) }
+func uj(v float64) string  { return fmt.Sprintf("%.3f", v*1e6) }
+func pj(v float64) string  { return fmt.Sprintf("%.0f", v*1e12) }

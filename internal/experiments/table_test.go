@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{ID: "fig0", Title: "sample", Header: []string{"Case", "Value"}}
+	t.AddRow("C1", "1.25")
+	t.AddRow("E1", "with, comma")
+	t.AddNote("a note %d", 7)
+	return t
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := sampleTable().WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"### fig0: sample",
+		"| Case | Value |",
+		"| --- | --- |",
+		"| C1 | 1.25 |",
+		"> a note 7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Case,Value\n",
+		"C1,1.25\n",
+		`"with, comma"`, // RFC-4180 quoting
+		"# a note 7\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("csv missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	cases := map[string]Format{"": FormatText, "text": FormatText, "md": FormatMarkdown, "markdown": FormatMarkdown, "csv": FormatCSV}
+	for s, want := range cases {
+		got, err := ParseFormat(s)
+		if err != nil || got != want {
+			t.Errorf("ParseFormat(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Error("unknown format should error")
+	}
+}
+
+func TestWriteDispatch(t *testing.T) {
+	tab := sampleTable()
+	for _, f := range []Format{FormatText, FormatMarkdown, FormatCSV} {
+		var buf bytes.Buffer
+		if err := tab.Write(&buf, f); err != nil {
+			t.Fatalf("format %v: %v", f, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("format %v produced nothing", f)
+		}
+	}
+}
+
+func TestRunFormatMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunFormat(fastLab(), "fig4", &buf, FormatMarkdown); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "### fig4:") {
+		t.Error("markdown experiment output malformed")
+	}
+}

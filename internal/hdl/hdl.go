@@ -1,0 +1,225 @@
+// Package hdl emits a synthesizable Verilog skeleton of an XPro
+// instance's in-sensor analytic part.
+//
+// The paper implements functional cells "in Verilog with Verilog Compile
+// Simulator" and synthesizes them with Design Compiler (§4.3). This
+// generator produces the matching structural netlist for a generated
+// placement: one module per in-sensor cell with the asynchronous
+// micro-unit interface of Fig. 3 (data-ready handshake, enable-gated
+// private clock, acknowledge), and a top-level module wiring the cells
+// along the topology's data edges, with transmit/receive ports where
+// payloads cross to the aggregator.
+//
+// The emitted cell bodies are behavioral stubs annotated with the
+// characterized ALU mode, latency and energy — the starting point a
+// hardware engineer fills in; the interfaces and wiring are complete.
+package hdl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xpro/internal/partition"
+	"xpro/internal/sensornode"
+	"xpro/internal/topology"
+	"xpro/internal/wireless"
+)
+
+// Width is the cell datapath width: Q16.16 (§4.4).
+const Width = 32
+
+// Ident sanitizes a cell name into a Verilog identifier
+// ("dwt3/Kurt" → "dwt3_kurt").
+func Ident(name string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	s := strings.Trim(b.String(), "_")
+	if s == "" || (s[0] >= '0' && s[0] <= '9') {
+		s = "u_" + s
+	}
+	return s
+}
+
+// GenerateVerilog renders the in-sensor analytic part of (g, p) as a
+// Verilog skeleton. hw supplies the per-cell characterization embedded
+// in the module comments.
+func GenerateVerilog(g *topology.Graph, p partition.Placement, hw *sensornode.Hardware) (string, error) {
+	if len(p) != len(g.Cells) {
+		return "", fmt.Errorf("hdl: placement covers %d cells, graph has %d", len(p), len(g.Cells))
+	}
+	if err := g.Validate(); err != nil {
+		return "", fmt.Errorf("hdl: %w", err)
+	}
+	sensorCells := p.SensorCells()
+	if len(sensorCells) == 0 {
+		return "", fmt.Errorf("hdl: placement has no in-sensor cells (nothing to synthesize)")
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "// XPro in-sensor analytic part — generated netlist skeleton.\n")
+	fmt.Fprintf(&b, "// %d functional cells on the sensor node, %d offloaded to the aggregator.\n", len(sensorCells), len(g.Cells)-len(sensorCells))
+	fmt.Fprintf(&b, "// Datapath: Q16.16 (%d-bit); cell clock %s.\n\n", Width, "16 MHz")
+
+	// One module per in-sensor cell (design rule 1, Fig. 3).
+	for _, id := range sensorCells {
+		c := g.Cells[id]
+		mod := "xpro_" + Ident(c.Name)
+		prof := hw.Profiles[id]
+		fmt.Fprintf(&b, "// %s: role=%s mode=%s latency=%d cycles energy=%.1f pJ/event\n",
+			c.Name, c.Role, hw.Modes[id], prof.Cycles, prof.Energy()*1e12)
+		fmt.Fprintf(&b, "module %s #(parameter WIDTH = %d) (\n", mod, Width)
+		fmt.Fprintf(&b, "    input  wire clk,\n")
+		fmt.Fprintf(&b, "    input  wire enable,\n")
+		ins := g.InEdges(id)
+		for k, e := range ins {
+			fmt.Fprintf(&b, "    input  wire data_ready_%d,\n", k)
+			fmt.Fprintf(&b, "    input  wire [WIDTH*%d-1:0] in_%d,\n", e.Values, k)
+		}
+		fmt.Fprintf(&b, "    output reg  out_valid,\n")
+		fmt.Fprintf(&b, "    output reg  [WIDTH*%d-1:0] out,\n", outWidthValues(c))
+		fmt.Fprintf(&b, "    output wire ack\n")
+		fmt.Fprintf(&b, ");\n")
+		fmt.Fprintf(&b, "    // Asynchronous micro-unit (Fig. 3): idle until every\n")
+		fmt.Fprintf(&b, "    // data_ready_* asserts, then wake the private clock and S-ALU.\n")
+		fmt.Fprintf(&b, "    wire fire = enable")
+		for k := range ins {
+			fmt.Fprintf(&b, " & data_ready_%d", k)
+		}
+		fmt.Fprintf(&b, ";\n")
+		fmt.Fprintf(&b, "    assign ack = out_valid;\n")
+		fmt.Fprintf(&b, "    // TODO: %s datapath (%s mode).\n", c.Name, hw.Modes[id])
+		fmt.Fprintf(&b, "    always @(posedge clk) begin\n")
+		fmt.Fprintf(&b, "        if (fire) out_valid <= 1'b1;\n")
+		fmt.Fprintf(&b, "    end\n")
+		fmt.Fprintf(&b, "endmodule\n\n")
+	}
+
+	// Top-level wiring.
+	fmt.Fprintf(&b, "module xpro_top #(parameter WIDTH = %d) (\n", Width)
+	fmt.Fprintf(&b, "    input  wire clk,\n")
+	fmt.Fprintf(&b, "    input  wire [WIDTH*%d-1:0] adc_segment,\n", g.SegLen)
+	fmt.Fprintf(&b, "    input  wire adc_ready,\n")
+	// Cross-end boundary ports.
+	txPorts, rxPorts := boundary(g, p)
+	for _, tp := range txPorts {
+		fmt.Fprintf(&b, "    output wire [%d-1:0] tx_%s,\n", tp.bits, tp.name)
+		fmt.Fprintf(&b, "    output wire tx_%s_valid,\n", tp.name)
+	}
+	for _, rp := range rxPorts {
+		// Receive ports are already dequantized to the Q16.16 datapath
+		// by the radio interface.
+		fmt.Fprintf(&b, "    input  wire [WIDTH*%d-1:0] rx_%s,\n", rp.values, rp.name)
+		fmt.Fprintf(&b, "    input  wire rx_%s_valid,\n", rp.name)
+	}
+	fmt.Fprintf(&b, "    output wire result_valid\n")
+	fmt.Fprintf(&b, ");\n")
+
+	// Wires per in-sensor producer.
+	for _, id := range sensorCells {
+		c := g.Cells[id]
+		fmt.Fprintf(&b, "    wire [WIDTH*%d-1:0] w_%s;\n", outWidthValues(c), Ident(c.Name))
+		fmt.Fprintf(&b, "    wire v_%s;\n", Ident(c.Name))
+	}
+	// Instantiations.
+	for _, id := range sensorCells {
+		c := g.Cells[id]
+		mod := "xpro_" + Ident(c.Name)
+		inst := "u_" + Ident(c.Name)
+		fmt.Fprintf(&b, "    %s #(.WIDTH(WIDTH)) %s (\n        .clk(clk), .enable(1'b1),\n", mod, inst)
+		for k, e := range g.InEdges(id) {
+			var src, valid string
+			switch {
+			case e.From == topology.SourceID:
+				src, valid = "adc_segment", "adc_ready"
+			case p.OnSensor(e.From):
+				src = "w_" + Ident(g.Cells[e.From].Name)
+				valid = "v_" + Ident(g.Cells[e.From].Name)
+				// DWT producers drive detail‖approx: slice the half this
+				// consumer reads.
+				if from := g.Cells[e.From]; from.Role == topology.RoleDWT {
+					half := from.OutValues
+					if e.Class == topology.PayloadApprox {
+						src = fmt.Sprintf("%s[WIDTH*%d-1:WIDTH*%d]", src, 2*half, half)
+					} else {
+						src = fmt.Sprintf("%s[WIDTH*%d-1:0]", src, half)
+					}
+				}
+			default:
+				rxName := Ident(g.Cells[e.From].Name + "_" + e.Class.String())
+				src = "rx_" + rxName
+				valid = "rx_" + rxName + "_valid"
+			}
+			fmt.Fprintf(&b, "        .data_ready_%d(%s), .in_%d(%s),\n", k, valid, k, src)
+		}
+		fmt.Fprintf(&b, "        .out_valid(v_%s), .out(w_%s), .ack()\n    );\n", Ident(c.Name), Ident(c.Name))
+	}
+	// Transmit boundary assignments (the [bits-1:0] slice stands in for
+	// the wire-format quantizer of the radio interface).
+	for _, tp := range txPorts {
+		fmt.Fprintf(&b, "    assign tx_%s = w_%s[%d-1:0];\n", tp.name, tp.producer, tp.bits)
+		fmt.Fprintf(&b, "    assign tx_%s_valid = v_%s;\n", tp.name, tp.producer)
+	}
+	if p.OnSensor(g.Output) {
+		fmt.Fprintf(&b, "    assign result_valid = v_%s;\n", Ident(g.Cells[g.Output].Name))
+	} else {
+		fmt.Fprintf(&b, "    assign result_valid = 1'b0; // classification completes on the aggregator\n")
+	}
+	fmt.Fprintf(&b, "endmodule\n")
+	return b.String(), nil
+}
+
+type port struct {
+	name     string
+	producer string
+	bits     int64
+	values   int
+}
+
+// boundary lists the cross-end payload ports: tx for sensor→aggregator
+// groups (plus the raw segment when the source group is offloaded and
+// the classification result when fusion stays local), rx for
+// aggregator→sensor groups.
+func boundary(g *topology.Graph, p partition.Placement) (tx, rx []port) {
+	for _, tg := range g.TransferGroups() {
+		fromS := p.OnSensor(tg.From)
+		crosses := false
+		for _, c := range tg.Consumers {
+			if p.OnSensor(c) != fromS {
+				crosses = true
+				break
+			}
+		}
+		if !crosses {
+			continue
+		}
+		name := Ident(g.Cells[tg.From].Name + "_" + tg.Class.String())
+		pt := port{name: name, producer: Ident(g.Cells[tg.From].Name), bits: tg.Bits, values: tg.Values}
+		if fromS {
+			tx = append(tx, pt)
+		} else {
+			rx = append(rx, pt)
+		}
+	}
+	if p.OnSensor(g.Output) {
+		tx = append(tx, port{name: "result", producer: Ident(g.Cells[g.Output].Name), bits: wireless.ValueBits})
+	}
+	sort.Slice(tx, func(i, j int) bool { return tx[i].name < tx[j].name })
+	sort.Slice(rx, func(i, j int) bool { return rx[i].name < rx[j].name })
+	return tx, rx
+}
+
+// outWidthValues returns the number of WIDTH-wide values a cell drives.
+func outWidthValues(c topology.Cell) int {
+	if c.Role == topology.RoleDWT {
+		return 2 * c.OutValues // detail ‖ approx
+	}
+	return c.OutValues
+}

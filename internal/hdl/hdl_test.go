@@ -1,0 +1,188 @@
+package hdl
+
+import (
+	"math"
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+
+	"xpro/internal/biosig"
+	"xpro/internal/celllib"
+	"xpro/internal/ensemble"
+	"xpro/internal/partition"
+	"xpro/internal/sensornode"
+	"xpro/internal/topology"
+	"xpro/internal/wireless"
+	"xpro/internal/xsystem"
+
+	"xpro/internal/aggregator"
+)
+
+type fixture struct {
+	graph *topology.Graph
+	hw    *sensornode.Hardware
+	cross partition.Placement
+}
+
+var cached *fixture
+
+func getFixture(t testing.TB) *fixture {
+	t.Helper()
+	if cached != nil {
+		return cached
+	}
+	spec, err := biosig.CaseBySymbol("E1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := biosig.Generate(spec)
+	rng := rand.New(rand.NewSource(21))
+	train, _ := d.Split(0.75, rng)
+	cfg := ensemble.DefaultConfig(21)
+	cfg.Candidates = 8
+	cfg.Folds = 2
+	cfg.TopFrac = 0.4
+	ens, err := ensemble.Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := topology.Build(ens, d.SegLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := sensornode.Characterize(g, celllib.P90)
+	a, err := xsystem.New(g, ens, celllib.P90, wireless.Model2(), aggregator.CortexA8(), partition.InAggregator(g), sensornode.DefaultSampleRateHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := xsystem.New(g, ens, celllib.P90, wireless.Model2(), aggregator.CortexA8(), partition.InSensor(g), sensornode.DefaultSampleRateHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit := math.Min(a.DelayPerEvent().Total(), s.DelayPerEvent().Total())
+	res, err := a.Problem().Generate(func(p partition.Placement) float64 { return a.DelayOf(p).Total() }, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached = &fixture{graph: g, hw: hw, cross: res.Placement}
+	return cached
+}
+
+func TestIdent(t *testing.T) {
+	cases := map[string]string{
+		"dwt3/Kurt":        "dwt3_kurt",
+		"time/Max":         "time_max",
+		"SVM1":             "svm1",
+		"time/Std(reuse)":  "time_std_reuse",
+		"":                 "u_",
+		"3weird":           "u_3weird",
+		"__already_clean_": "already_clean",
+	}
+	for in, want := range cases {
+		if got := Ident(in); got != want {
+			t.Errorf("Ident(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+var identRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+func TestGenerateVerilogStructure(t *testing.T) {
+	f := getFixture(t)
+	for _, p := range []partition.Placement{partition.InSensor(f.graph), partition.Trivial(f.graph), f.cross} {
+		v, err := GenerateVerilog(f.graph, p, f.hw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Balanced modules: one per sensor cell + the top.
+		sensorCells, _ := p.Counts()
+		wantModules := sensorCells + 1
+		if got := strings.Count(v, "\nmodule ") + boolToInt(strings.HasPrefix(v, "module ")); got != wantModules {
+			t.Errorf("modules = %d, want %d", got, wantModules)
+		}
+		if strings.Count(v, "endmodule") != wantModules {
+			t.Errorf("endmodule count = %d, want %d", strings.Count(v, "endmodule"), wantModules)
+		}
+		// Every sensor cell instantiated exactly once in the top.
+		for _, id := range p.SensorCells() {
+			inst := "u_" + Ident(f.graph.Cells[id].Name)
+			if strings.Count(v, " "+inst+" (") != 1 {
+				t.Errorf("cell %s instantiated %d times", inst, strings.Count(v, " "+inst+" ("))
+			}
+		}
+		// All emitted module names are valid identifiers.
+		for _, line := range strings.Split(v, "\n") {
+			if rest, ok := strings.CutPrefix(line, "module "); ok {
+				name := rest[:strings.IndexAny(rest, " #(")]
+				if !identRe.MatchString(name) {
+					t.Errorf("invalid module identifier %q", name)
+				}
+			}
+		}
+		if !strings.Contains(v, "xpro_top") || !strings.Contains(v, "result_valid") {
+			t.Error("top module malformed")
+		}
+	}
+}
+
+func TestGenerateVerilogBoundary(t *testing.T) {
+	f := getFixture(t)
+	// Trivial cut: features on sensor, SVMs on aggregator → the top must
+	// expose tx ports for the crossing feature values and no rx ports.
+	v, err := GenerateVerilog(f.graph, partition.Trivial(f.graph), f.hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(v, "output wire tx_") {
+		t.Error("trivial cut must transmit feature payloads")
+	}
+	if strings.Contains(v, "input  wire rx_") && strings.Contains(v, "rx__valid") {
+		t.Error("malformed rx port")
+	}
+	// In-sensor engine: only the result crosses.
+	v, err = GenerateVerilog(f.graph, partition.InSensor(f.graph), f.hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txValid := regexp.MustCompile(`tx_([a-z0-9_]+)_valid,`)
+	names := map[string]bool{}
+	for _, m := range txValid.FindAllStringSubmatch(v, -1) {
+		names[m[1]] = true
+	}
+	if len(names) != 1 || !names["result"] {
+		t.Errorf("in-sensor engine should expose only the result tx port, got %v", names)
+	}
+	if !strings.Contains(v, "assign result_valid = v_fusion") {
+		t.Error("in-sensor engine must drive result_valid from the fusion cell")
+	}
+}
+
+func TestGenerateVerilogErrors(t *testing.T) {
+	f := getFixture(t)
+	if _, err := GenerateVerilog(f.graph, partition.Placement{partition.Sensor}, f.hw); err == nil {
+		t.Error("short placement should error")
+	}
+	if _, err := GenerateVerilog(f.graph, partition.InAggregator(f.graph), f.hw); err == nil {
+		t.Error("no sensor cells should error")
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func section(v, marker string) string {
+	i := strings.Index(v, marker)
+	if i < 0 {
+		return ""
+	}
+	end := i + 800
+	if end > len(v) {
+		end = len(v)
+	}
+	return v[i:end]
+}

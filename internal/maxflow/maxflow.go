@@ -1,0 +1,199 @@
+// Package maxflow implements a max-flow/min-cut solver (Dinic's
+// algorithm) on directed graphs with float64 capacities and support for
+// effectively-infinite edges.
+//
+// The Automatic XPro Generator (§3.2) reduces functional-cell placement
+// to a minimum s-t cut: after the cut, nodes reachable from the source
+// in the residual graph form the in-sensor analytic part, the rest the
+// in-aggregator part. The infinite edges implement the "grouped"
+// constraint via the dummy source-data node D (Fig. 7).
+package maxflow
+
+import (
+	"fmt"
+	"math"
+)
+
+// Inf is the capacity used for constraint edges that must never be cut.
+const Inf = math.MaxFloat64 / 4
+
+// eps guards float comparisons in the solver.
+const eps = 1e-12
+
+// Edge is one directed edge of the flow network.
+type Edge struct {
+	From, To int
+	Cap      float64
+	Flow     float64
+	// rev is the index of the reverse edge in the adjacency list of To.
+	rev int
+}
+
+// Graph is a flow network over nodes 0..N-1.
+type Graph struct {
+	n     int
+	adj   [][]int // node → indices into edges
+	edges []Edge
+}
+
+// New creates a flow network with n nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("maxflow: negative node count")
+	}
+	return &Graph{n: n, adj: make([][]int, n)}
+}
+
+// N returns the node count.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge adds a directed edge with the given capacity and returns its
+// index. Adding an edge with negative capacity panics — the s-t graph
+// construction must map energies (always ≥ 0) to capacities.
+func (g *Graph) AddEdge(from, to int, capacity float64) int {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		panic(fmt.Sprintf("maxflow: edge (%d,%d) outside graph of %d nodes", from, to, g.n))
+	}
+	if capacity < 0 {
+		panic(fmt.Sprintf("maxflow: negative capacity %v on edge (%d,%d)", capacity, from, to))
+	}
+	idx := len(g.edges)
+	g.edges = append(g.edges, Edge{From: from, To: to, Cap: capacity, rev: len(g.adj[to])})
+	g.adj[from] = append(g.adj[from], idx)
+	// Residual reverse edge with zero capacity.
+	g.edges = append(g.edges, Edge{From: to, To: from, Cap: 0, rev: len(g.adj[from]) - 1})
+	g.adj[to] = append(g.adj[to], idx+1)
+	return idx
+}
+
+// Edge returns a copy of the edge with the given index (as returned by
+// AddEdge).
+func (g *Graph) Edge(idx int) Edge { return g.edges[idx] }
+
+// Reset clears all flow, allowing the network to be solved again
+// (e.g. after capacity updates via SetCap).
+func (g *Graph) Reset() {
+	for i := range g.edges {
+		g.edges[i].Flow = 0
+	}
+}
+
+// SetCap updates the capacity of edge idx (its reverse residual is
+// reset too). Reset must be called before re-solving.
+func (g *Graph) SetCap(idx int, capacity float64) {
+	if capacity < 0 {
+		panic(fmt.Sprintf("maxflow: negative capacity %v", capacity))
+	}
+	g.edges[idx].Cap = capacity
+}
+
+// MaxFlow computes the maximum s→t flow with Dinic's algorithm and
+// returns its value. Flows are left on the edges for cut extraction.
+func (g *Graph) MaxFlow(s, t int) float64 {
+	if s == t {
+		return 0
+	}
+	total := 0.0
+	level := make([]int, g.n)
+	iter := make([]int, g.n)
+	queue := make([]int, 0, g.n)
+
+	bfs := func() bool {
+		for i := range level {
+			level[i] = -1
+		}
+		level[s] = 0
+		queue = queue[:0]
+		queue = append(queue, s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, ei := range g.adj[u] {
+				e := &g.edges[ei]
+				if level[e.To] < 0 && e.Cap-e.Flow > eps {
+					level[e.To] = level[u] + 1
+					queue = append(queue, e.To)
+				}
+			}
+		}
+		return level[t] >= 0
+	}
+
+	var dfs func(u int, f float64) float64
+	dfs = func(u int, f float64) float64 {
+		if u == t {
+			return f
+		}
+		for ; iter[u] < len(g.adj[u]); iter[u]++ {
+			ei := g.adj[u][iter[u]]
+			e := &g.edges[ei]
+			if level[e.To] != level[u]+1 || e.Cap-e.Flow <= eps {
+				continue
+			}
+			d := dfs(e.To, math.Min(f, e.Cap-e.Flow))
+			if d > eps {
+				e.Flow += d
+				g.edges[g.adj[e.To][e.rev]].Flow -= d
+				return d
+			}
+		}
+		return 0
+	}
+
+	for bfs() {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			f := dfs(s, math.Inf(1))
+			if f <= eps {
+				break
+			}
+			total += f
+		}
+	}
+	return total
+}
+
+// MinCut computes the minimum s-t cut. It returns the cut value, the
+// set of nodes on the source side (sourceSide[v] == true ⇔ v reachable
+// from s in the residual graph), and the indices of the cut edges.
+func (g *Graph) MinCut(s, t int) (value float64, sourceSide []bool, cutEdges []int) {
+	value = g.MaxFlow(s, t)
+	sourceSide = make([]bool, g.n)
+	stack := []int{s}
+	sourceSide[s] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ei := range g.adj[u] {
+			e := g.edges[ei]
+			if !sourceSide[e.To] && e.Cap-e.Flow > eps {
+				sourceSide[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	for i := 0; i < len(g.edges); i += 2 { // forward edges only
+		e := g.edges[i]
+		if sourceSide[e.From] && !sourceSide[e.To] && e.Cap > eps {
+			cutEdges = append(cutEdges, i)
+		}
+	}
+	return value, sourceSide, cutEdges
+}
+
+// CutValue returns the total capacity crossing the given partition
+// (source side → sink side, forward edges only). It lets callers price
+// arbitrary placements — e.g. the in-sensor / in-aggregator / trivial
+// cuts — on the same graph used by the optimizer.
+func (g *Graph) CutValue(sourceSide []bool) float64 {
+	var total float64
+	for i := 0; i < len(g.edges); i += 2 {
+		e := g.edges[i]
+		if sourceSide[e.From] && !sourceSide[e.To] {
+			total += e.Cap
+		}
+	}
+	return total
+}

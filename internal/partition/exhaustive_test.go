@@ -1,0 +1,147 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"xpro/internal/biosig"
+	"xpro/internal/celllib"
+	"xpro/internal/ensemble"
+	"xpro/internal/sensornode"
+	"xpro/internal/topology"
+	"xpro/internal/wireless"
+)
+
+// smallProblem builds a deliberately tiny instance (few cells) so the
+// full placement space is enumerable.
+func smallProblem(t *testing.T, seed int64, link wireless.Model) *Problem {
+	t.Helper()
+	spec, err := biosig.CaseBySymbol("C1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := biosig.Generate(spec)
+	rng := rand.New(rand.NewSource(seed))
+	train, _ := d.Split(0.5, rng)
+	cfg := ensemble.DefaultConfig(seed)
+	cfg.Candidates = 3
+	cfg.TopFrac = 0.5    // 2 base classifiers
+	cfg.SubspaceSize = 4 // tiny subspaces keep the cell count enumerable
+	cfg.Folds = 2
+	cfg.CandidateTrainCap = 80
+	ens, err := ensemble.Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := topology.Build(ens, d.SegLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Cells) > 32 {
+		t.Skipf("instance too large to enumerate (%d cells)", len(g.Cells))
+	}
+	hw := sensornode.Characterize(g, celllib.P90)
+	return &Problem{Graph: g, HW: hw, Link: link, SensingEnergy: 0}
+}
+
+// TestMinCutExhaustivelyOptimal enumerates EVERY placement of a small
+// instance (with the source-reading group fixed to one end, per the
+// grouped theorem) and verifies that nothing beats the generator's cut.
+// This is the ground-truth check of the §3.2.2 reduction.
+func TestMinCutExhaustivelyOptimal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive enumeration")
+	}
+	for _, link := range wireless.Models() {
+		pr := smallProblem(t, 31, link)
+		g := pr.Graph
+		readers := g.SourceReaders()
+		readerSet := make(map[topology.CellID]bool)
+		for _, id := range readers {
+			readerSet[id] = true
+		}
+		var free []topology.CellID
+		for i := range g.Cells {
+			if !readerSet[topology.CellID(i)] {
+				free = append(free, topology.CellID(i))
+			}
+		}
+		if len(free) > 18 {
+			t.Skipf("too many free cells (%d)", len(free))
+		}
+
+		_, minE := pr.MinCut()
+		bestBrute := math.Inf(1)
+		var bestP Placement
+		for groupEnd := 0; groupEnd < 2; groupEnd++ {
+			for mask := 0; mask < 1<<len(free); mask++ {
+				p := make(Placement, len(g.Cells))
+				for _, id := range readers {
+					p[id] = End(groupEnd)
+				}
+				for b, id := range free {
+					if mask&(1<<b) != 0 {
+						p[id] = Aggregator
+					}
+				}
+				if e := pr.SensorEnergy(p); e < bestBrute {
+					bestBrute = e
+					bestP = p
+				}
+			}
+		}
+		if math.Abs(minE-bestBrute) > 1e-12+1e-9*bestBrute {
+			ns, na := bestP.Counts()
+			t.Errorf("%v: min-cut %v J but brute force found %v J (%d/%d)", link, minE, bestBrute, ns, na)
+		}
+	}
+}
+
+// TestMinCutExhaustiveMultipleSeeds repeats the ground-truth check over
+// several trained instances, catching construction bugs that depend on
+// which features/bases the training happens to select.
+func TestMinCutExhaustiveMultipleSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive enumeration")
+	}
+	for _, seed := range []int64{7, 19, 23} {
+		pr := smallProblem(t, seed, wireless.Model2())
+		g := pr.Graph
+		readers := g.SourceReaders()
+		readerSet := make(map[topology.CellID]bool)
+		for _, id := range readers {
+			readerSet[id] = true
+		}
+		var free []topology.CellID
+		for i := range g.Cells {
+			if !readerSet[topology.CellID(i)] {
+				free = append(free, topology.CellID(i))
+			}
+		}
+		if len(free) > 18 {
+			t.Skipf("seed %d: too many free cells (%d)", seed, len(free))
+		}
+		_, minE := pr.MinCut()
+		best := math.Inf(1)
+		for groupEnd := 0; groupEnd < 2; groupEnd++ {
+			for mask := 0; mask < 1<<len(free); mask++ {
+				p := make(Placement, len(g.Cells))
+				for _, id := range readers {
+					p[id] = End(groupEnd)
+				}
+				for b, id := range free {
+					if mask&(1<<b) != 0 {
+						p[id] = Aggregator
+					}
+				}
+				if e := pr.SensorEnergy(p); e < best {
+					best = e
+				}
+			}
+		}
+		if math.Abs(minE-best) > 1e-12+1e-9*best {
+			t.Errorf("seed %d: min-cut %v J, brute force %v J", seed, minE, best)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package partition
+
+import (
+	"testing"
+)
+
+// syntheticDelay gives each placement a delay proportional to its
+// aggregator cell count, so energy (which favors some offloading here)
+// and delay trade off.
+func syntheticDelay(p Placement) float64 {
+	_, na := p.Counts()
+	return 1e-4 * float64(na+1)
+}
+
+func TestFrontierNonDominated(t *testing.T) {
+	pr := testProblem(t)
+	front, err := pr.Frontier(syntheticDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) == 0 {
+		t.Fatal("empty frontier")
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].Energy <= front[i-1].Energy {
+			t.Errorf("frontier energies not strictly increasing at %d", i)
+		}
+		if front[i].Delay >= front[i-1].Delay {
+			t.Errorf("frontier delays not strictly decreasing at %d", i)
+		}
+	}
+	// The cheapest point must equal the unconstrained min cut.
+	_, minE := pr.MinCut()
+	if front[0].Energy > minE+1e-15 {
+		t.Errorf("frontier misses the min cut: %v > %v", front[0].Energy, minE)
+	}
+}
+
+// Generate(limit) must return the cheapest frontier point meeting the
+// limit — the frontier and the generator are two views of one sweep.
+func TestGenerateMatchesFrontier(t *testing.T) {
+	pr := testProblem(t)
+	front, err := pr.Frontier(syntheticDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fp := range front {
+		res, err := pr.Generate(syntheticDelay, fp.Delay)
+		if err != nil {
+			t.Fatalf("limit %v: %v", fp.Delay, err)
+		}
+		if res.Energy > fp.Energy+1e-15 {
+			t.Errorf("limit %v: generate %v J, frontier has %v J", fp.Delay, res.Energy, fp.Energy)
+		}
+	}
+}
+
+func TestFrontierIncludesSingleEnds(t *testing.T) {
+	pr := testProblem(t)
+	// With a delay model that makes the in-sensor engine uniquely
+	// fastest, the frontier's fastest point must be it.
+	front, err := pr.Frontier(syntheticDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := front[len(front)-1]
+	if _, na := last.Placement.Counts(); na != 0 {
+		t.Errorf("fastest frontier point has %d aggregator cells, want the in-sensor engine", na)
+	}
+}
+
+func TestFrontierNilDelay(t *testing.T) {
+	pr := testProblem(t)
+	if _, err := pr.Frontier(nil); err == nil {
+		t.Error("nil delay model should error")
+	}
+}

@@ -1,0 +1,572 @@
+// Package partition implements the Automatic XPro Generator (§3.2): the
+// optimizer that distributes functional cells between the wearable
+// sensor node and the data aggregator so that sensor-node energy is
+// minimal, optionally under an end-to-end delay constraint.
+//
+// The generator builds the s-t graph of Fig. 7: a source node F (the
+// sensor), a sink node B (the aggregator), a dummy node D for the raw
+// data segment, and one node per functional cell. Edge capacities are
+// energies:
+//
+//   - F→D: transmitting the whole raw segment to the aggregator;
+//   - D→cell (∞): for cells reading raw data, enforcing the "grouped"
+//     property of §3.2.2;
+//   - cell→B: the cell's in-sensor compute energy (Eq. 2);
+//   - u→v / v→u per data dependency: wireless transmit / receive energy
+//     of that edge's payload (Eq. 3).
+//
+// Any F/B cut's capacity equals the sensor's per-event energy under the
+// induced placement, so the minimum cut is the energy-optimal placement,
+// and the in-sensor and in-aggregator engines — the two extreme cuts —
+// can never beat it. The delay-constrained variant (§3.2.3) sweeps a
+// Lagrangian relaxation (capacity = energy + λ·delay) and keeps the
+// cheapest placement whose simulated delay meets the constraint,
+// falling back to the better single-end engine, whose feasibility the
+// constraint T_XPro = min(T_F, T_B) guarantees.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"xpro/internal/maxflow"
+	"xpro/internal/sensornode"
+	"xpro/internal/topology"
+	"xpro/internal/wireless"
+)
+
+// End is one side of the wearable computing system.
+type End int
+
+const (
+	// Sensor is the front end (the wearable node).
+	Sensor End = iota
+	// Aggregator is the back end (the smartphone).
+	Aggregator
+)
+
+func (e End) String() string {
+	if e == Sensor {
+		return "sensor"
+	}
+	return "aggregator"
+}
+
+// Placement assigns every cell (indexed by topology.CellID) to an end.
+type Placement []End
+
+// OnSensor reports whether cell id is placed on the sensor node.
+func (p Placement) OnSensor(id topology.CellID) bool { return p[id] == Sensor }
+
+// SensorCells returns the IDs of the in-sensor analytic part.
+func (p Placement) SensorCells() []topology.CellID {
+	var out []topology.CellID
+	for i, e := range p {
+		if e == Sensor {
+			out = append(out, topology.CellID(i))
+		}
+	}
+	return out
+}
+
+// AggregatorCells returns the IDs of the in-aggregator analytic part.
+func (p Placement) AggregatorCells() []topology.CellID {
+	var out []topology.CellID
+	for i, e := range p {
+		if e == Aggregator {
+			out = append(out, topology.CellID(i))
+		}
+	}
+	return out
+}
+
+// Counts returns (#sensor, #aggregator) cells.
+func (p Placement) Counts() (sensor, aggregator int) {
+	for _, e := range p {
+		if e == Sensor {
+			sensor++
+		} else {
+			aggregator++
+		}
+	}
+	return sensor, aggregator
+}
+
+// Equal reports whether two placements are identical.
+func (p Placement) Equal(q Placement) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// InSensor returns the all-cells-on-sensor placement (the sensor node
+// engine baseline).
+func InSensor(g *topology.Graph) Placement {
+	return make(Placement, len(g.Cells)) // zero value is Sensor
+}
+
+// InAggregator returns the all-cells-on-aggregator placement (the
+// aggregator engine baseline).
+func InAggregator(g *topology.Graph) Placement {
+	p := make(Placement, len(g.Cells))
+	for i := range p {
+		p[i] = Aggregator
+	}
+	return p
+}
+
+// Trivial returns the intuitive cut of §5.5 (Fig. 12): feature
+// extraction (DWT chain + feature cells) on the sensor, classification
+// (SVMs + fusion) on the aggregator — "the features are usually a
+// compact representation of the data".
+func Trivial(g *topology.Graph) Placement {
+	p := make(Placement, len(g.Cells))
+	for i, c := range g.Cells {
+		switch c.Role {
+		case topology.RoleSVM, topology.RoleFusion:
+			p[i] = Aggregator
+		default:
+			p[i] = Sensor
+		}
+	}
+	return p
+}
+
+// Problem carries everything the generator needs to price a placement.
+type Problem struct {
+	Graph *topology.Graph
+	HW    *sensornode.Hardware
+	Link  wireless.Model
+	// SensingEnergy is Es of Eq. 1 (per event).
+	SensingEnergy float64
+	// AggDelay optionally returns a cell's software latency on the
+	// aggregator. The delay-constrained sweep uses it to penalize
+	// back-end-heavy cuts (an offloaded cell costs λ·AggDelay on the
+	// F→cell edge), widening the candidate pool toward placements that
+	// meet tight delay limits. nil disables the term; energy pricing is
+	// unaffected either way.
+	AggDelay func(topology.CellID) float64
+}
+
+// SensorEnergy returns the per-event energy of the sensor node under
+// placement p, computed directly from the energy model (Eqs. 1–3):
+// in-sensor compute + wireless tx/rx crossing the cut + sensing + the
+// final result transmission when fusion sits on the sensor.
+func (pr *Problem) SensorEnergy(p Placement) float64 {
+	g := pr.Graph
+	e := pr.SensingEnergy
+	for _, id := range p.SensorCells() {
+		e += pr.HW.Energy(id)
+	}
+	// Raw segment is transmitted when any source reader is in the
+	// aggregator.
+	rawSent := false
+	for _, id := range g.SourceReaders() {
+		if !p.OnSensor(id) {
+			rawSent = true
+			break
+		}
+	}
+	if rawSent {
+		e += pr.Link.Cost(g.SourceBits).TxEnergy
+	}
+	// Each distinct payload crosses the link at most once per direction
+	// (broadcast to all consumers on the other end).
+	for _, tg := range g.TransferGroups() {
+		fromS := p.OnSensor(tg.From)
+		anyOther := false
+		for _, c := range tg.Consumers {
+			if p.OnSensor(c) != fromS {
+				anyOther = true
+				break
+			}
+		}
+		if !anyOther {
+			continue
+		}
+		if fromS {
+			e += pr.Link.Cost(tg.Bits).TxEnergy
+		} else {
+			e += pr.Link.Cost(tg.Bits).RxEnergy
+		}
+	}
+	if p.OnSensor(g.Output) {
+		e += pr.Link.Cost(wireless.ValueBits).TxEnergy
+	}
+	return e
+}
+
+// GroupedOK reports whether p keeps all source readers on the same end
+// (§3.2.2). Placements violating it are legal but provably suboptimal.
+func (pr *Problem) GroupedOK(p Placement) bool {
+	readers := pr.Graph.SourceReaders()
+	if len(readers) == 0 {
+		return true
+	}
+	first := p.OnSensor(readers[0])
+	for _, id := range readers[1:] {
+		if p.OnSensor(id) != first {
+			return false
+		}
+	}
+	return true
+}
+
+// stGraph builds the s-t graph with capacities energy + lambda·delay.
+// Node layout: 0 = F (sensor), 1 = B (aggregator), 2 = D (raw data),
+// 3+i = cell i, then two auxiliary nodes per multi-consumer transfer
+// group (broadcast tx and rx pricing).
+func (pr *Problem) stGraph(lambda float64) *maxflow.Graph {
+	g := pr.Graph
+	const (
+		nodeF = 0
+		nodeB = 1
+		nodeD = 2
+	)
+	cellNode := func(id topology.CellID) int { return 3 + int(id) }
+	groups := g.TransferGroups()
+	multi := 0
+	for _, tg := range groups {
+		if len(tg.Consumers) > 1 {
+			multi++
+		}
+	}
+	fg := maxflow.New(3 + len(g.Cells) + 2*multi)
+	nextAux := 3 + len(g.Cells)
+
+	// F→D: cost of shipping the raw segment.
+	raw := pr.Link.Cost(g.SourceBits)
+	fg.AddEdge(nodeF, nodeD, raw.TxEnergy+lambda*raw.Delay)
+	// D→reader (∞): the grouped constraint.
+	for _, id := range g.SourceReaders() {
+		fg.AddEdge(nodeD, cellNode(id), maxflow.Inf)
+	}
+	// cell→B: in-sensor compute energy (+ result transmission for the
+	// output cell, paid whenever it stays on the sensor).
+	//
+	// The Lagrangian delay terms cover exactly the ADDITIVE components
+	// of the end-to-end model: wireless air time (on transfer edges and
+	// F→D) and, when an AggDelay model is present, the serialized
+	// back-end latency of offloaded cells (on F→cell edges). Sensor-side
+	// cell latencies are deliberately NOT penalized — in-sensor cells
+	// are parallel hardware whose critical path is bounded by T_F, so a
+	// sum-of-delays penalty would push the sweep away from exactly the
+	// placements that meet tight limits. As λ grows the sweep therefore
+	// walks from the energy-optimal cut toward the in-sensor engine,
+	// tracing delay-feasible intermediates; each candidate's true delay
+	// is still checked by the caller's delay model.
+	for i := range g.Cells {
+		id := topology.CellID(i)
+		w := pr.HW.Energy(id)
+		if id == g.Output {
+			res := pr.Link.Cost(wireless.ValueBits)
+			w += res.TxEnergy + lambda*res.Delay
+		}
+		fg.AddEdge(cellNode(id), nodeB, w)
+		if lambda > 0 && pr.AggDelay != nil {
+			if d := pr.AggDelay(id); d > 0 {
+				fg.AddEdge(nodeF, cellNode(id), lambda*d)
+			}
+		}
+	}
+	// Data dependencies, one transfer group at a time. Single-consumer
+	// groups use the paper's direct construction (u→v transmit, v→u
+	// receive). Multi-consumer groups price the broadcast once per
+	// direction via two auxiliary nodes:
+	//
+	//   u→T (tx), T→v (∞ each): T settles on the aggregator side, so
+	//   u→T is cut exactly when u is on the sensor and some consumer is
+	//   not;
+	//   v→R (∞ each), R→u (rx): R is dragged to the sensor side by any
+	//   sensor-side consumer, so R→u is cut exactly when u is on the
+	//   aggregator and some consumer is not.
+	for _, tg := range groups {
+		tr := pr.Link.Cost(tg.Bits)
+		u := cellNode(tg.From)
+		if len(tg.Consumers) == 1 {
+			v := cellNode(tg.Consumers[0])
+			fg.AddEdge(u, v, tr.TxEnergy+lambda*tr.Delay)
+			fg.AddEdge(v, u, tr.RxEnergy+lambda*tr.Delay)
+			continue
+		}
+		txAux, rxAux := nextAux, nextAux+1
+		nextAux += 2
+		fg.AddEdge(u, txAux, tr.TxEnergy+lambda*tr.Delay)
+		fg.AddEdge(rxAux, u, tr.RxEnergy+lambda*tr.Delay)
+		for _, c := range tg.Consumers {
+			fg.AddEdge(txAux, cellNode(c), maxflow.Inf)
+			fg.AddEdge(cellNode(c), rxAux, maxflow.Inf)
+		}
+	}
+	return fg
+}
+
+// placementFromSide converts a min-cut source side into a Placement.
+func (pr *Problem) placementFromSide(side []bool) Placement {
+	p := make(Placement, len(pr.Graph.Cells))
+	for i := range pr.Graph.Cells {
+		if side[3+i] {
+			p[i] = Sensor
+		} else {
+			p[i] = Aggregator
+		}
+	}
+	return p
+}
+
+// MinCut solves the unconstrained problem (§3.2.2) and returns the
+// energy-optimal placement and its modeled sensor energy.
+func (pr *Problem) MinCut() (Placement, float64) {
+	fg := pr.stGraph(0)
+	_, side, _ := fg.MinCut(0, 1)
+	p := pr.placementFromSide(side)
+	return p, pr.SensorEnergy(p)
+}
+
+// Result reports what the delay-constrained generator produced.
+type Result struct {
+	Placement Placement
+	// Energy is the modeled per-event sensor energy.
+	Energy float64
+	// Delay is the simulated end-to-end delay returned by the caller's
+	// delay model.
+	Delay float64
+	// Lambda is the Lagrangian weight of the winning cut (0 when the
+	// unconstrained cut was already feasible).
+	Lambda float64
+	// Fallback is true when no swept cut met the constraint and the
+	// better single-end engine was returned (§3.2.3: "we can always
+	// guarantee the existence of a solution").
+	Fallback bool
+}
+
+// lambdaLadder is the geometric sweep of Lagrangian weights. The scale
+// spans energy(J)/delay(s) ratios from far below to far above the
+// µJ-per-ms regime of the evaluated systems.
+var lambdaLadder = func() []float64 {
+	ls := []float64{0}
+	for l := 1e-7; l <= 1e2; l *= 3 {
+		ls = append(ls, l)
+	}
+	return ls
+}()
+
+// Generate solves the delay-constrained problem (§3.2.3). delayOf must
+// return the simulated end-to-end per-event delay of a placement; limit
+// is T_XPro. Generate returns the minimum-energy swept placement with
+// delayOf(p) ≤ limit, or the better single-end engine if none qualifies.
+func (pr *Problem) Generate(delayOf func(Placement) float64, limit float64) (Result, error) {
+	if delayOf == nil {
+		return Result{}, fmt.Errorf("partition: nil delay model")
+	}
+	if limit <= 0 {
+		return Result{}, fmt.Errorf("partition: non-positive delay limit %v", limit)
+	}
+	type cand struct {
+		p      Placement
+		lambda float64
+	}
+	var cands []cand
+	seen := func(p Placement) bool {
+		for _, c := range cands {
+			if c.p.Equal(p) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, l := range lambdaLadder {
+		fg := pr.stGraph(l)
+		_, side, _ := fg.MinCut(0, 1)
+		p := pr.placementFromSide(side)
+		if !seen(p) {
+			cands = append(cands, cand{p: p, lambda: l})
+		}
+	}
+	// The Lagrangian sweep can jump over the feasibility boundary when
+	// many cells share one energy/delay ratio (they all flip at the same
+	// λ). Greedy repair fills that gap: walk each infeasible sweep cut
+	// toward the limit by pulling back, one at a time, the offloaded
+	// cell with the best delay reduction per unit of added energy.
+	for _, c := range append([]cand(nil), cands...) {
+		if delayOf(c.p) <= limit {
+			continue
+		}
+		for _, q := range pr.greedyRepair(c.p, delayOf, limit) {
+			if !seen(q) {
+				cands = append(cands, cand{p: q, lambda: c.lambda})
+			}
+		}
+	}
+
+	best := Result{Energy: -1}
+	for _, c := range cands {
+		d := delayOf(c.p)
+		if d > limit {
+			continue
+		}
+		e := pr.SensorEnergy(c.p)
+		if best.Energy < 0 || e < best.Energy {
+			best = Result{Placement: c.p, Energy: e, Delay: d, Lambda: c.lambda}
+		}
+	}
+	if best.Energy >= 0 {
+		return best, nil
+	}
+
+	// Fallback: the better single-end engine. With limit = min(T_F, T_B)
+	// at least one of the two is feasible by construction.
+	var fallback Result
+	fallback.Fallback = true
+	for _, p := range []Placement{InSensor(pr.Graph), InAggregator(pr.Graph)} {
+		d := delayOf(p)
+		if d > limit*(1+1e-9) {
+			continue
+		}
+		e := pr.SensorEnergy(p)
+		if fallback.Placement == nil || e < fallback.Energy {
+			fallback = Result{Placement: p, Energy: e, Delay: d, Fallback: true}
+		}
+	}
+	if fallback.Placement == nil {
+		return Result{}, fmt.Errorf("partition: delay limit %v infeasible even for single-end engines", limit)
+	}
+	return fallback, nil
+}
+
+// greedyRepair returns the trajectory of placements produced by moving
+// cells from the aggregator back to the sensor, each step choosing the
+// move with the best delay reduction per unit of added sensor energy,
+// until the delay limit is met or no move reduces delay. The grouped
+// source readers move as one unit.
+func (pr *Problem) greedyRepair(start Placement, delayOf func(Placement) float64, limit float64) []Placement {
+	g := pr.Graph
+	readerSet := make(map[topology.CellID]bool)
+	for _, id := range g.SourceReaders() {
+		readerSet[id] = true
+	}
+	cur := append(Placement(nil), start...)
+	curDelay := delayOf(cur)
+	curEnergy := pr.SensorEnergy(cur)
+	var out []Placement
+	for step := 0; step < len(g.Cells) && curDelay > limit; step++ {
+		type move struct {
+			p      Placement
+			delay  float64
+			energy float64
+		}
+		var best *move
+		tried := make(map[topology.CellID]bool)
+		for _, id := range cur.AggregatorCells() {
+			if tried[id] {
+				continue
+			}
+			q := append(Placement(nil), cur...)
+			if readerSet[id] {
+				// Move the whole grouped set together.
+				for _, r := range g.SourceReaders() {
+					q[r] = Sensor
+					tried[r] = true
+				}
+			} else {
+				q[id] = Sensor
+				tried[id] = true
+			}
+			d := delayOf(q)
+			if d >= curDelay {
+				continue
+			}
+			e := pr.SensorEnergy(q)
+			if best == nil ||
+				(e-curEnergy)/(curDelay-d) < (best.energy-curEnergy)/(curDelay-best.delay) {
+				best = &move{p: q, delay: d, energy: e}
+			}
+		}
+		if best == nil {
+			break
+		}
+		cur, curDelay, curEnergy = best.p, best.delay, best.energy
+		out = append(out, append(Placement(nil), cur...))
+	}
+	return out
+}
+
+// Sensitivity is the marginal cost of moving one cell to the other end.
+type Sensitivity struct {
+	Cell topology.CellID
+	// DeltaEnergy is the sensor-energy change if only this cell flips
+	// ends (grouped source readers flip as a unit and report the same
+	// delta). Positive means the current side is the right one.
+	DeltaEnergy float64
+}
+
+// Explain returns, for every cell, the energy cost of flipping it to the
+// other end — the sensitivity analysis behind a generated cut. For a
+// minimum cut every delta is ≥ 0 (up to float noise); large deltas mark
+// load-bearing placement decisions, near-zero deltas mark ties.
+func (pr *Problem) Explain(p Placement) []Sensitivity {
+	g := pr.Graph
+	base := pr.SensorEnergy(p)
+	readerSet := make(map[topology.CellID]bool)
+	for _, id := range g.SourceReaders() {
+		readerSet[id] = true
+	}
+	out := make([]Sensitivity, len(g.Cells))
+	var groupDelta float64
+	groupDone := false
+	for i := range g.Cells {
+		id := topology.CellID(i)
+		q := append(Placement(nil), p...)
+		if readerSet[id] {
+			if !groupDone {
+				for _, r := range g.SourceReaders() {
+					q[r] = flip(q[r])
+				}
+				groupDelta = pr.SensorEnergy(q) - base
+				groupDone = true
+			}
+			out[i] = Sensitivity{Cell: id, DeltaEnergy: groupDelta}
+			continue
+		}
+		q[id] = flip(q[id])
+		out[i] = Sensitivity{Cell: id, DeltaEnergy: pr.SensorEnergy(q) - base}
+	}
+	return out
+}
+
+func flip(e End) End {
+	if e == Sensor {
+		return Aggregator
+	}
+	return Sensor
+}
+
+// CutEnergies prices the named cuts of Fig. 12 plus the unconstrained
+// optimum, sorted by energy (cheapest first).
+type NamedCut struct {
+	Name      string
+	Placement Placement
+	Energy    float64
+}
+
+// NamedCuts evaluates the four cuts compared in §5.5.
+func (pr *Problem) NamedCuts() []NamedCut {
+	minP, minE := pr.MinCut()
+	cuts := []NamedCut{
+		{Name: "aggregator", Placement: InAggregator(pr.Graph)},
+		{Name: "trivial", Placement: Trivial(pr.Graph)},
+		{Name: "sensor", Placement: InSensor(pr.Graph)},
+		{Name: "cross", Placement: minP, Energy: minE},
+	}
+	for i := range cuts[:3] {
+		cuts[i].Energy = pr.SensorEnergy(cuts[i].Placement)
+	}
+	sort.SliceStable(cuts, func(i, j int) bool { return cuts[i].Energy < cuts[j].Energy })
+	return cuts
+}

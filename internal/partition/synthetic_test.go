@@ -1,0 +1,165 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xpro/internal/celllib"
+	"xpro/internal/sensornode"
+	"xpro/internal/topology"
+	"xpro/internal/wireless"
+)
+
+func syntheticProblem(seed int64) (*Problem, error) {
+	rng := rand.New(rand.NewSource(seed))
+	g, err := topology.Synthetic(rng, 8+rng.Intn(250))
+	if err != nil {
+		return nil, err
+	}
+	procs := []celllib.Process{celllib.P130, celllib.P90, celllib.P45}
+	links := wireless.Models()
+	return &Problem{
+		Graph:         g,
+		HW:            sensornode.Characterize(g, procs[rng.Intn(len(procs))]),
+		Link:          links[rng.Intn(len(links))],
+		SensingEnergy: rng.Float64() * 1e-7,
+	}, nil
+}
+
+// Property: on random topologies under random process/link models, the
+// min cut never loses to the single-end engines, the trivial cut, or
+// random grouped placements, and it respects the grouped constraint.
+func TestQuickSyntheticMinCutOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		pr, err := syntheticProblem(seed)
+		if err != nil {
+			return false
+		}
+		p, e := pr.MinCut()
+		if !pr.GroupedOK(p) {
+			return false
+		}
+		if math.Abs(pr.SensorEnergy(p)-e) > 1e-12+1e-9*e {
+			return false
+		}
+		for _, base := range []Placement{InSensor(pr.Graph), InAggregator(pr.Graph), Trivial(pr.Graph)} {
+			if e > pr.SensorEnergy(base)+1e-12 {
+				return false
+			}
+		}
+		// A handful of random grouped placements.
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		readers := make(map[topology.CellID]bool)
+		for _, id := range pr.Graph.SourceReaders() {
+			readers[id] = true
+		}
+		for trial := 0; trial < 20; trial++ {
+			q := make(Placement, len(pr.Graph.Cells))
+			groupEnd := End(rng.Intn(2))
+			for i := range q {
+				if readers[topology.CellID(i)] {
+					q[i] = groupEnd
+				} else {
+					q[i] = End(rng.Intn(2))
+				}
+			}
+			if e > pr.SensorEnergy(q)+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: exhaustive ground truth on small synthetic instances — the
+// strongest check of the s-t graph construction, across the whole
+// synthetic shape space.
+func TestQuickSyntheticMinCutExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive enumeration")
+	}
+	checked := 0
+	for seed := int64(0); seed < 400 && checked < 25; seed++ {
+		pr, err := syntheticProblem(seed)
+		if err != nil {
+			continue
+		}
+		g := pr.Graph
+		readers := make(map[topology.CellID]bool)
+		for _, id := range g.SourceReaders() {
+			readers[id] = true
+		}
+		var free []topology.CellID
+		for i := range g.Cells {
+			if !readers[topology.CellID(i)] {
+				free = append(free, topology.CellID(i))
+			}
+		}
+		if len(free) > 16 {
+			continue // too large to enumerate
+		}
+		checked++
+		_, minE := pr.MinCut()
+		best := math.Inf(1)
+		for groupEnd := 0; groupEnd < 2; groupEnd++ {
+			for mask := 0; mask < 1<<len(free); mask++ {
+				p := make(Placement, len(g.Cells))
+				for id := range readers {
+					p[id] = End(groupEnd)
+				}
+				for b, id := range free {
+					if mask&(1<<b) != 0 {
+						p[id] = Aggregator
+					}
+				}
+				if e := pr.SensorEnergy(p); e < best {
+					best = e
+				}
+			}
+		}
+		if math.Abs(minE-best) > 1e-12+1e-9*best {
+			t.Fatalf("seed %d: min-cut %v J, exhaustive %v J", seed, minE, best)
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d instances were small enough to enumerate", checked)
+	}
+	t.Logf("verified %d instances against exhaustive enumeration", checked)
+}
+
+// Property: Frontier points are feasible targets for Generate on random
+// topologies.
+func TestQuickSyntheticFrontier(t *testing.T) {
+	f := func(seed int64) bool {
+		pr, err := syntheticProblem(seed)
+		if err != nil {
+			return false
+		}
+		delayOf := func(p Placement) float64 {
+			_, na := p.Counts()
+			return 1e-5 * float64(na+1)
+		}
+		front, err := pr.Frontier(delayOf)
+		if err != nil || len(front) == 0 {
+			return false
+		}
+		for i := 1; i < len(front); i++ {
+			if front[i].Energy <= front[i-1].Energy || front[i].Delay >= front[i-1].Delay {
+				return false
+			}
+		}
+		res, err := pr.Generate(delayOf, front[len(front)-1].Delay)
+		if err != nil {
+			return false
+		}
+		return res.Energy <= front[len(front)-1].Energy+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,105 @@
+// Package sensornode models the front-end of the XPro system: the
+// wearable sensor's specialized hardware executing the in-sensor
+// analytic part.
+//
+// Each functional cell placed on the sensor is an independent
+// asynchronous micro-unit (design rule 1, Fig. 3) characterized by
+// internal/celllib; this package selects the per-cell hardware profile
+// (the energy-minimal monotonic ALU mode, design rule 2) for a topology
+// graph, and models the sensing front end, whose energy "can be reduced
+// to an extremely small level compared to the other two components"
+// (§3.2.1, Eq. 1).
+package sensornode
+
+import (
+	"fmt"
+
+	"xpro/internal/celllib"
+	"xpro/internal/topology"
+)
+
+// SensingPower is the biosignal acquisition front end (amplifier + SAR
+// ADC class, §3.2.1): small enough that Eq. 1 reduces to compute +
+// wireless, but still accounted.
+const SensingPower = 2e-6 // W
+
+// DefaultSampleRateHz is the biosignal sampling rate. §3.1.2: wearable
+// systems "monitor and analyze the sparse biosignal events at low
+// sampling rates with typical values of several thousand of hertz".
+const DefaultSampleRateHz = 2048.0
+
+// EventsPerSecond returns the segment-analysis event rate for a given
+// segment length at the given sampling rate.
+func EventsPerSecond(segLen int, sampleRateHz float64) (float64, error) {
+	if segLen < 1 || sampleRateHz <= 0 {
+		return 0, fmt.Errorf("sensornode: invalid segment length %d or rate %v", segLen, sampleRateHz)
+	}
+	return sampleRateHz / float64(segLen), nil
+}
+
+// SensingEnergyPerEvent returns Es of Eq. 1: the acquisition energy of
+// one segment.
+func SensingEnergyPerEvent(segLen int, sampleRateHz float64) (float64, error) {
+	ev, err := EventsPerSecond(segLen, sampleRateHz)
+	if err != nil {
+		return 0, err
+	}
+	return SensingPower / ev, nil
+}
+
+// Hardware is the characterized in-sensor implementation of a topology:
+// one profile per cell, at a fixed process node.
+type Hardware struct {
+	Process  celllib.Process
+	Profiles []celllib.Profile // indexed by CellID
+	Modes    []celllib.Mode    // chosen ALU mode per cell
+}
+
+// Characterize selects the energy-optimal ALU mode for every cell of g
+// (design rule 2) at the given process node and returns the resulting
+// hardware model.
+func Characterize(g *topology.Graph, proc celllib.Process) *Hardware {
+	hw := &Hardware{
+		Process:  proc,
+		Profiles: make([]celllib.Profile, len(g.Cells)),
+		Modes:    make([]celllib.Mode, len(g.Cells)),
+	}
+	for i, c := range g.Cells {
+		m, p := celllib.BestMode(c.Spec, proc)
+		hw.Modes[i], hw.Profiles[i] = m, p
+	}
+	return hw
+}
+
+// CharacterizeWithMode forces a single ALU mode on every cell — the
+// ablation of design rule 2 (which picks the per-component energy
+// optimum). Comparing its totals against Characterize quantifies what
+// mode selection buys.
+func CharacterizeWithMode(g *topology.Graph, proc celllib.Process, mode celllib.Mode) *Hardware {
+	hw := &Hardware{
+		Process:  proc,
+		Profiles: make([]celllib.Profile, len(g.Cells)),
+		Modes:    make([]celllib.Mode, len(g.Cells)),
+	}
+	for i, c := range g.Cells {
+		hw.Modes[i] = mode
+		hw.Profiles[i] = celllib.Characterize(c.Spec, mode, proc)
+	}
+	return hw
+}
+
+// Energy returns the per-event compute energy of cell id on the sensor.
+func (h *Hardware) Energy(id topology.CellID) float64 { return h.Profiles[id].Energy() }
+
+// Delay returns the activation latency of cell id on the sensor.
+func (h *Hardware) Delay(id topology.CellID) float64 { return h.Profiles[id].Delay() }
+
+// TotalComputeEnergy sums the energy of the given subset of cells — the
+// Ep term of Eq. 2 for an in-sensor analytic part.
+func (h *Hardware) TotalComputeEnergy(ids []topology.CellID) float64 {
+	var e float64
+	for _, id := range ids {
+		e += h.Energy(id)
+	}
+	return e
+}

@@ -1,0 +1,107 @@
+package sensornode
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"xpro/internal/biosig"
+	"xpro/internal/celllib"
+	"xpro/internal/ensemble"
+	"xpro/internal/topology"
+)
+
+func TestEventsPerSecond(t *testing.T) {
+	ev, err := EventsPerSecond(128, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev != 16 {
+		t.Errorf("events/s = %v, want 16", ev)
+	}
+	if _, err := EventsPerSecond(0, 2048); err == nil {
+		t.Error("zero segment length should error")
+	}
+	if _, err := EventsPerSecond(128, 0); err == nil {
+		t.Error("zero sample rate should error")
+	}
+}
+
+func TestSensingEnergyPerEvent(t *testing.T) {
+	e, err := SensingEnergyPerEvent(128, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 µW front end at 16 events/s → 125 nJ/event.
+	if math.Abs(e-SensingPower/16) > 1e-18 {
+		t.Errorf("sensing energy = %v", e)
+	}
+	if _, err := SensingEnergyPerEvent(0, 1); err == nil {
+		t.Error("invalid args should error")
+	}
+}
+
+func TestCharacterize(t *testing.T) {
+	spec, err := biosig.CaseBySymbol("E1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := biosig.Generate(spec)
+	rng := rand.New(rand.NewSource(2))
+	train, _ := d.Split(0.75, rng)
+	cfg := ensemble.DefaultConfig(2)
+	cfg.Candidates = 6
+	cfg.Folds = 2
+	cfg.TopFrac = 0.5
+	ens, err := ensemble.Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := topology.Build(ens, d.SegLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := Characterize(g, celllib.P90)
+	if len(hw.Profiles) != len(g.Cells) || len(hw.Modes) != len(g.Cells) {
+		t.Fatal("profiles must cover every cell")
+	}
+	var all []topology.CellID
+	for i, c := range g.Cells {
+		id := topology.CellID(i)
+		all = append(all, id)
+		if hw.Energy(id) <= 0 || hw.Delay(id) <= 0 {
+			t.Errorf("cell %s: non-positive profile", c.Name)
+		}
+		// Each cell carries the energy-minimal mode (design rule 2).
+		wantMode, wantProf := celllib.BestMode(c.Spec, celllib.P90)
+		if hw.Modes[i] != wantMode || hw.Profiles[i] != wantProf {
+			t.Errorf("cell %s: mode %v, want %v", c.Name, hw.Modes[i], wantMode)
+		}
+		// DWT cells must be pipelined, SVM cells serial (Fig. 4).
+		switch c.Role {
+		case topology.RoleDWT:
+			if hw.Modes[i] != celllib.Pipeline {
+				t.Errorf("DWT cell in %v mode, want pipeline", hw.Modes[i])
+			}
+		case topology.RoleSVM:
+			if !c.Spec.Linear && hw.Modes[i] != celllib.Serial {
+				t.Errorf("RBF SVM cell in %v mode, want serial", hw.Modes[i])
+			}
+		}
+	}
+	sum := hw.TotalComputeEnergy(all)
+	var want float64
+	for _, id := range all {
+		want += hw.Energy(id)
+	}
+	if math.Abs(sum-want) > 1e-18 {
+		t.Error("TotalComputeEnergy mismatch")
+	}
+	// 90 nm hardware must be cheaper than 130 nm for every cell.
+	hw130 := Characterize(g, celllib.P130)
+	for _, id := range all {
+		if hw.Energy(id) >= hw130.Energy(id) {
+			t.Errorf("cell %d: 90 nm (%v) not cheaper than 130 nm (%v)", id, hw.Energy(id), hw130.Energy(id))
+		}
+	}
+}

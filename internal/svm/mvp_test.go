@@ -1,0 +1,135 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMVPLinearSeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	x, y := blobs(rng, 200, 4, 4)
+	m, err := TrainMVP(x, y, Params{Kernel: Linear, C: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(x, y); acc < 0.99 {
+		t.Errorf("MVP linear separable accuracy = %v, want ≥ 0.99", acc)
+	}
+	if m.W == nil {
+		t.Error("linear model must expose explicit weights")
+	}
+}
+
+func TestMVPRing(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	x, y := ring(rng, 240)
+	m, err := TrainMVP(x, y, Params{Kernel: RBF, C: 10, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(x, y); acc < 0.97 {
+		t.Errorf("MVP rbf ring accuracy = %v, want ≥ 0.97", acc)
+	}
+}
+
+// Both optimizers solve the same convex dual: their objectives must
+// agree closely, and MVP must never be materially worse.
+func TestMVPMatchesSMOObjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 3; trial++ {
+		x, y := blobs(rng, 150+40*trial, 6, 1.2)
+		p := Params{Kernel: RBF, C: 2, Gamma: 0.5, Seed: int64(trial)}
+		smo, err := Train(x, y, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mvp, err := TrainMVP(x, y, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		objSMO, objMVP := smo.DualObjective(), mvp.DualObjective()
+		if objMVP < objSMO*(1-0.02)-1e-9 {
+			t.Errorf("trial %d: MVP dual %v materially below SMO %v", trial, objMVP, objSMO)
+		}
+		// Prediction agreement on the training set.
+		agree := 0
+		for i := range x {
+			if smo.Predict(x[i]) == mvp.Predict(x[i]) {
+				agree++
+			}
+		}
+		if frac := float64(agree) / float64(len(x)); frac < 0.95 {
+			t.Errorf("trial %d: trainer agreement %v, want ≥ 0.95", trial, frac)
+		}
+	}
+}
+
+func TestMVPGeneralization(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	xTr, yTr := blobs(rng, 150, 6, 3)
+	xTe, yTe := blobs(rng, 150, 6, 3)
+	m, err := TrainMVP(xTr, yTr, Params{Kernel: RBF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(xTe, yTe); acc < 0.95 {
+		t.Errorf("MVP holdout accuracy = %v, want ≥ 0.95", acc)
+	}
+}
+
+func TestMVPErrors(t *testing.T) {
+	if _, err := TrainMVP(nil, nil, Params{}); err == nil {
+		t.Error("empty set should error")
+	}
+	if _, err := TrainMVP([][]float64{{1}}, []int{1}, Params{}); err == nil {
+		t.Error("single-class set should error")
+	}
+	if _, err := TrainMVP([][]float64{{1}, {2, 3}}, []int{1, -1}, Params{}); err == nil {
+		t.Error("ragged rows should error")
+	}
+	if _, err := TrainMVP([][]float64{{1}, {2}}, []int{1, 2}, Params{}); err == nil {
+		t.Error("bad label should error")
+	}
+}
+
+func TestDualObjectiveSane(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	x, y := blobs(rng, 100, 3, 2)
+	m, err := Train(x, y, Params{Kernel: RBF, Seed: 35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := m.DualObjective()
+	if math.IsNaN(obj) || obj <= 0 {
+		t.Errorf("dual objective = %v, want positive finite", obj)
+	}
+}
+
+func BenchmarkTrainMVP200(b *testing.B) {
+	rng := rand.New(rand.NewSource(36))
+	x, y := blobs(rng, 200, 12, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainMVP(x, y, Params{Kernel: RBF}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestAlgorithmDispatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	x, y := blobs(rng, 120, 4, 3)
+	m, err := Train(x, y, Params{Kernel: RBF, Algorithm: AlgMVP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := TrainMVP(x, y, Params{Kernel: RBF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MVP is deterministic: dispatch and direct call agree exactly.
+	if m.NumSV() != direct.NumSV() || m.Bias != direct.Bias {
+		t.Error("dispatched MVP differs from direct TrainMVP")
+	}
+}

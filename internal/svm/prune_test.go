@@ -1,0 +1,109 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPruneBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	x, y := blobs(rng, 300, 8, 1.2) // some overlap → plenty of SVs
+	m, err := Train(x, y, Params{Kernel: RBF, C: 2, Gamma: 0.5, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumSV() < 20 {
+		t.Skipf("model too sparse to prune meaningfully (%d SVs)", m.NumSV())
+	}
+	half, err := m.Prune(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.NumSV() != (m.NumSV()+1)/2 {
+		t.Errorf("pruned SVs = %d, want ceil(%d/2)", half.NumSV(), m.NumSV())
+	}
+	// Accuracy degrades gracefully: within a few points at 50% keep.
+	full := m.Accuracy(x, y)
+	pruned := half.Accuracy(x, y)
+	if full-pruned > 0.08 {
+		t.Errorf("pruning to 50%% costs %.3f accuracy (%.3f → %.3f)", full-pruned, full, pruned)
+	}
+	// Coefficient mass is preserved per sign.
+	var posA, posB float64
+	for _, c := range m.Coeffs {
+		if c > 0 {
+			posA += c
+		}
+	}
+	for _, c := range half.Coeffs {
+		if c > 0 {
+			posB += c
+		}
+	}
+	if math.Abs(posA-posB) > 1e-9*math.Max(posA, 1) {
+		t.Errorf("positive coefficient mass not preserved: %v vs %v", posA, posB)
+	}
+}
+
+func TestPruneKeepAllIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x, y := blobs(rng, 100, 4, 2)
+	m, err := Train(x, y, Params{Kernel: RBF, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := m.Prune(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != m {
+		t.Error("keepFrac=1 should return the model unchanged")
+	}
+}
+
+func TestPruneLinearUnchanged(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	x, y := blobs(rng, 100, 4, 3)
+	m, err := Train(x, y, Params{Kernel: Linear, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := m.Prune(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != m {
+		t.Error("linear models should pass through pruning")
+	}
+}
+
+func TestPruneValidation(t *testing.T) {
+	m := &Model{}
+	if _, err := m.Prune(0); err == nil {
+		t.Error("keepFrac=0 should error")
+	}
+	if _, err := m.Prune(1.5); err == nil {
+		t.Error("keepFrac>1 should error")
+	}
+}
+
+func TestPruneMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x, y := blobs(rng, 300, 8, 1.0)
+	m, err := Train(x, y, Params{Kernel: RBF, C: 2, Gamma: 0.5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := m.NumSV() + 1
+	for _, keep := range []float64{1, 0.75, 0.5, 0.25, 0.1} {
+		p, err := m.Prune(keep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.NumSV() >= prev {
+			t.Errorf("keep=%v: SVs %d not decreasing (prev %d)", keep, p.NumSV(), prev)
+		}
+		prev = p.NumSV()
+	}
+}

@@ -1,0 +1,69 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the functional-cell graph in Graphviz format. onSensor may
+// be nil (no placement: all cells drawn neutral); with a placement,
+// sensor cells are drawn in the left cluster and aggregator cells in the
+// right one, with crossing edges highlighted — Fig. 2's picture for a
+// concrete generated instance.
+func (g *Graph) DOT(onSensor func(CellID) bool) string {
+	var b strings.Builder
+	b.WriteString("digraph xpro {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n")
+	b.WriteString("  source [label=\"raw segment\", shape=oval];\n")
+
+	name := func(id CellID) string {
+		return fmt.Sprintf("c%d", id)
+	}
+	label := func(c Cell) string {
+		return strings.ReplaceAll(c.Name, "\"", "'")
+	}
+
+	if onSensor == nil {
+		for _, c := range g.Cells {
+			fmt.Fprintf(&b, "  %s [label=\"%s\"];\n", name(c.ID), label(c))
+		}
+	} else {
+		var sensor, agg []Cell
+		for _, c := range g.Cells {
+			if onSensor(c.ID) {
+				sensor = append(sensor, c)
+			} else {
+				agg = append(agg, c)
+			}
+		}
+		writeCluster := func(title string, cells []Cell, color string) {
+			if len(cells) == 0 {
+				return
+			}
+			fmt.Fprintf(&b, "  subgraph cluster_%s {\n    label=\"%s\";\n    style=filled;\n    color=%s;\n", title, title, color)
+			sort.Slice(cells, func(i, j int) bool { return cells[i].ID < cells[j].ID })
+			for _, c := range cells {
+				fmt.Fprintf(&b, "    %s [label=\"%s\"];\n", name(c.ID), label(c))
+			}
+			b.WriteString("  }\n")
+		}
+		writeCluster("sensor", sensor, "lightcyan")
+		writeCluster("aggregator", agg, "mistyrose")
+	}
+
+	for _, e := range g.Edges {
+		from := "source"
+		if e.From != SourceID {
+			from = name(e.From)
+		}
+		attr := ""
+		if onSensor != nil && e.From != SourceID && onSensor(e.From) != onSensor(e.To) {
+			attr = " [color=red, penwidth=2]"
+		} else if onSensor != nil && e.From == SourceID && !onSensor(e.To) {
+			attr = " [color=red, penwidth=2]"
+		}
+		fmt.Fprintf(&b, "  %s -> %s%s;\n", from, name(e.To), attr)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

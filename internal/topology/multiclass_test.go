@@ -1,0 +1,97 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+
+	"xpro/internal/biosig"
+	"xpro/internal/celllib"
+	"xpro/internal/ensemble"
+)
+
+func buildMultiGraph(t testing.TB) (*Graph, *ensemble.MultiEnsemble) {
+	t.Helper()
+	d, err := biosig.GenerateMulticlass(biosig.EMG, 128, 480, 3, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(55))
+	train, _ := d.Split(0.75, rng)
+	cfg := ensemble.DefaultConfig(55)
+	cfg.Candidates = 6
+	cfg.Folds = 2
+	cfg.TopFrac = 0.5
+	cfg.CandidateTrainCap = 120
+	me, err := ensemble.TrainMulticlass(train, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildMulti(me, d.SegLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, me
+}
+
+func TestBuildMultiStructure(t *testing.T) {
+	g, me := buildMultiGraph(t)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("multi-class graph invalid: %v", err)
+	}
+	counts := g.NumByRole()
+	if counts[RoleSVM] != me.TotalBases() {
+		t.Errorf("SVM cells = %d, want %d (§5.7: more base classifiers)", counts[RoleSVM], me.TotalBases())
+	}
+	if counts[RoleFusion] != 1 {
+		t.Error("one shared fusion cell expected")
+	}
+	// Every head must be represented among the SVM cells.
+	heads := make(map[int]bool)
+	for _, c := range g.Cells {
+		if c.Role == RoleSVM {
+			heads[c.Head] = true
+		}
+	}
+	if len(heads) != len(me.Heads) {
+		t.Errorf("SVM cells cover %d heads, want %d", len(heads), len(me.Heads))
+	}
+	// The fusion cell is sized for all bases.
+	fusion := g.Cells[g.Output]
+	if fusion.Spec.Bases != me.TotalBases() {
+		t.Errorf("fusion sized for %d bases, want %d", fusion.Spec.Bases, me.TotalBases())
+	}
+}
+
+// A multi-class topology must be strictly larger than a comparable
+// binary one (the §5.7 claim: multi-class "extends only the topology").
+func TestBuildMultiExtendsTopology(t *testing.T) {
+	g, me := buildMultiGraph(t)
+	binary, err := Build(me.Heads[0], g.SegLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Cells) <= len(binary.Cells) {
+		t.Errorf("multi-class graph (%d cells) not larger than one head's (%d)", len(g.Cells), len(binary.Cells))
+	}
+	// And the DWT chain is shared, not duplicated.
+	if g.NumByRole()[RoleDWT] > ensemble.DWTLevels {
+		t.Error("DWT chain must be shared across heads")
+	}
+}
+
+func TestBuildMultiCharacterizes(t *testing.T) {
+	g, _ := buildMultiGraph(t)
+	// The generator's inputs all exist: every cell characterizes.
+	for _, c := range g.Cells {
+		_, p := celllib.BestMode(c.Spec, celllib.P90)
+		if p.Energy() <= 0 {
+			t.Errorf("cell %s does not characterize", c.Name)
+		}
+	}
+}
+
+func TestBuildMultiErrors(t *testing.T) {
+	if _, err := BuildMulti(&ensemble.MultiEnsemble{Classes: 3, Heads: []*ensemble.Ensemble{{}, {}, {}}}, 128); err == nil {
+		t.Error("empty multi ensemble should error")
+	}
+}

@@ -1,0 +1,124 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xpro/internal/ensemble"
+	"xpro/internal/stats"
+	"xpro/internal/svm"
+)
+
+// Synthetic builds a random but structurally valid XPro topology without
+// training a classifier: a DWT chain of random depth, random feature
+// cells over the available domains (with Var→StdStage reuse where it
+// applies), random SVM fan-in and a fusion cell. It exists for
+// property-based testing of everything downstream of the topology —
+// the generator, the simulators, the HDL emitter — far beyond the
+// handful of shapes real training produces.
+//
+// The returned graph always passes Validate.
+func Synthetic(rng *rand.Rand, segLen int) (*Graph, error) {
+	if segLen < 8 {
+		return nil, fmt.Errorf("topology: synthetic segment length %d too short", segLen)
+	}
+	levels := rng.Intn(ensemble.DWTLevels + 1) // 0..5
+	// Candidate domains: time always; bands up to the chain depth.
+	domains := []int{ensemble.TimeDomain}
+	for d := 1; d <= levels; d++ {
+		domains = append(domains, d)
+	}
+	if levels == ensemble.DWTLevels {
+		domains = append(domains, ensemble.DWTLevels+1)
+	}
+
+	// Random feature subset: at least one feature so SVMs have inputs.
+	var used []ensemble.FeatureSpec
+	for _, d := range domains {
+		for _, f := range stats.AllFeatures {
+			if rng.Float64() < 0.35 {
+				used = append(used, ensemble.FeatureSpec{Domain: d, Feat: f})
+			}
+		}
+	}
+	if len(used) == 0 {
+		used = append(used, ensemble.FeatureSpec{Domain: ensemble.TimeDomain, Feat: stats.Mean})
+	}
+	// Ensure the deepest requested level is actually demanded by some
+	// feature, so the chain isn't dangling (Validate requires every DWT
+	// cell to feed something; the chain itself consumes intermediate
+	// levels, but the last one must have a feature consumer).
+	if levels > 0 {
+		deepest := levels
+		found := false
+		for _, fs := range used {
+			if domainLevel(fs.Domain) == deepest {
+				found = true
+				break
+			}
+		}
+		if !found {
+			dom := deepest
+			if deepest == ensemble.DWTLevels && rng.Intn(2) == 0 {
+				dom = ensemble.DWTLevels + 1
+			}
+			used = append(used, ensemble.FeatureSpec{Domain: dom, Feat: stats.AllFeatures[rng.Intn(stats.NumFeatures)]})
+		}
+	}
+	used = dedupeSpecs(used)
+
+	// Random SVM cells drawing from the used features.
+	nSVM := 1 + rng.Intn(8)
+	bases := make([]baseInfo, nSVM)
+	for i := range bases {
+		dim := 1 + rng.Intn(minInt(len(used), 12))
+		subset := make([]ensemble.FeatureSpec, dim)
+		perm := rng.Perm(len(used))
+		for j := 0; j < dim; j++ {
+			subset[j] = used[perm[j]]
+		}
+		bases[i] = baseInfo{
+			model:  syntheticModel(rng, dim),
+			subset: subset,
+		}
+	}
+	return buildFrom(used, domains, bases, segLen, DefaultOptions())
+}
+
+// syntheticModel fabricates an svm.Model with a random support-vector
+// count — enough for the celllib sizing buildFrom needs; it is never
+// asked to classify.
+func syntheticModel(rng *rand.Rand, dim int) *svm.Model {
+	m := &svm.Model{Kernel: svm.RBF, Gamma: 1}
+	if rng.Intn(4) == 0 {
+		m.Kernel = svm.Linear
+		m.W = make([]float64, dim)
+		return m
+	}
+	n := 1 + rng.Intn(200)
+	m.Vectors = make([][]float64, n)
+	m.Coeffs = make([]float64, n)
+	for i := range m.Vectors {
+		m.Vectors[i] = make([]float64, dim)
+	}
+	return m
+}
+
+func dedupeSpecs(in []ensemble.FeatureSpec) []ensemble.FeatureSpec {
+	seen := make(map[ensemble.FeatureSpec]bool, len(in))
+	var out []ensemble.FeatureSpec
+	for _, fs := range in {
+		if !seen[fs] {
+			seen[fs] = true
+			out = append(out, fs)
+		}
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

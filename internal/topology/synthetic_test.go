@@ -1,0 +1,116 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: every synthetic topology is structurally valid.
+func TestQuickSyntheticValid(t *testing.T) {
+	f := func(seed int64, lenRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		segLen := 8 + int(lenRaw)
+		g, err := Synthetic(rng, segLen)
+		if err != nil {
+			return false
+		}
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: synthetic graphs respect the same invariants Build
+// guarantees — one fusion output, contiguous DWT chain, grouped source
+// readers include DWT1 when a chain exists.
+func TestQuickSyntheticInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := Synthetic(rng, 128)
+		if err != nil {
+			return false
+		}
+		if g.Cells[g.Output].Role != RoleFusion {
+			return false
+		}
+		levels := map[int]bool{}
+		maxLevel := 0
+		for _, c := range g.Cells {
+			if c.Role == RoleDWT {
+				levels[c.Level] = true
+				if c.Level > maxLevel {
+					maxLevel = c.Level
+				}
+			}
+		}
+		for l := 1; l <= maxLevel; l++ {
+			if !levels[l] {
+				return false
+			}
+		}
+		if maxLevel > 0 {
+			foundDWT1 := false
+			for _, id := range g.SourceReaders() {
+				if g.Cells[id].Role == RoleDWT && g.Cells[id].Level == 1 {
+					foundDWT1 = true
+				}
+			}
+			if !foundDWT1 {
+				return false
+			}
+		}
+		// Transfer groups partition the non-source edges.
+		n := 0
+		for _, tg := range g.TransferGroups() {
+			n += len(tg.Consumers)
+		}
+		nonSource := 0
+		for _, e := range g.Edges {
+			if e.From != SourceID {
+				nonSource++
+			}
+		}
+		return n == nonSource
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSyntheticErrors(t *testing.T) {
+	if _, err := Synthetic(rand.New(rand.NewSource(1)), 4); err == nil {
+		t.Error("tiny segment length should error")
+	}
+}
+
+func TestSyntheticDiversity(t *testing.T) {
+	// The generator must actually explore: across seeds we want graphs
+	// with and without DWT chains, StdStage cells, and varying sizes.
+	sizes := map[int]bool{}
+	sawStdStage, sawNoDWT, sawFullChain := false, false, false
+	for seed := int64(0); seed < 60; seed++ {
+		g, err := Synthetic(rand.New(rand.NewSource(seed)), 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[len(g.Cells)] = true
+		counts := g.NumByRole()
+		if counts[RoleStdStage] > 0 {
+			sawStdStage = true
+		}
+		if counts[RoleDWT] == 0 {
+			sawNoDWT = true
+		}
+		if counts[RoleDWT] == 5 {
+			sawFullChain = true
+		}
+	}
+	if len(sizes) < 10 {
+		t.Errorf("only %d distinct sizes across 60 seeds", len(sizes))
+	}
+	if !sawStdStage || !sawNoDWT || !sawFullChain {
+		t.Errorf("missing diversity: stdstage=%v nodwt=%v fullchain=%v", sawStdStage, sawNoDWT, sawFullChain)
+	}
+}

@@ -1,0 +1,312 @@
+package topology
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xpro/internal/biosig"
+	"xpro/internal/celllib"
+	"xpro/internal/ensemble"
+	"xpro/internal/stats"
+	"xpro/internal/wireless"
+)
+
+// trainedGraph builds a real graph from a small trained ensemble; cached
+// across tests in this package.
+var cachedGraph *Graph
+var cachedEns *ensemble.Ensemble
+
+func buildGraph(t testing.TB) (*Graph, *ensemble.Ensemble) {
+	t.Helper()
+	if cachedGraph != nil {
+		return cachedGraph, cachedEns
+	}
+	spec, err := biosig.CaseBySymbol("E1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := biosig.Generate(spec)
+	rng := rand.New(rand.NewSource(5))
+	train, _ := d.Split(0.75, rng)
+	cfg := ensemble.DefaultConfig(5)
+	cfg.Candidates = 10
+	cfg.Folds = 3
+	cfg.TopFrac = 0.3
+	ens, err := ensemble.Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(ens, d.SegLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedGraph, cachedEns = g, ens
+	return g, ens
+}
+
+func TestBuildValidates(t *testing.T) {
+	g, _ := buildGraph(t)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("built graph invalid: %v", err)
+	}
+}
+
+func TestBuildStructure(t *testing.T) {
+	g, ens := buildGraph(t)
+	counts := g.NumByRole()
+	if counts[RoleSVM] != len(ens.Bases) {
+		t.Errorf("SVM cells = %d, want %d", counts[RoleSVM], len(ens.Bases))
+	}
+	if counts[RoleFusion] != 1 {
+		t.Errorf("fusion cells = %d, want 1", counts[RoleFusion])
+	}
+	if counts[RoleFeature]+counts[RoleStdStage] != len(ens.UsedFeatures()) {
+		t.Errorf("feature cells = %d, want %d (one per used feature, §2.2)",
+			counts[RoleFeature]+counts[RoleStdStage], len(ens.UsedFeatures()))
+	}
+	// DWT chain must be contiguous 1..maxLevel.
+	levels := make(map[int]bool)
+	for _, c := range g.Cells {
+		if c.Role == RoleDWT {
+			levels[c.Level] = true
+		}
+	}
+	for l := 1; l <= len(levels); l++ {
+		if !levels[l] {
+			t.Errorf("DWT chain has a gap at level %d", l)
+		}
+	}
+}
+
+func TestSourceReadersGrouped(t *testing.T) {
+	g, ens := buildGraph(t)
+	readers := g.SourceReaders()
+	if len(readers) == 0 {
+		t.Fatal("no source readers")
+	}
+	// Every time-domain feature and DWT1 must read the source.
+	wantReaders := 0
+	for _, fs := range ens.UsedFeatures() {
+		if fs.Domain == ensemble.TimeDomain && fs.Feat != stats.Std {
+			wantReaders++
+		}
+	}
+	// Std on time domain reads source only if Var isn't shared.
+	hasDWT := false
+	for _, id := range readers {
+		if g.Cells[id].Role == RoleDWT {
+			hasDWT = true
+			if g.Cells[id].Level != 1 {
+				t.Error("only DWT level 1 may read the source")
+			}
+		}
+	}
+	needsDWT := false
+	for _, d := range ens.UsedDomains() {
+		if d != ensemble.TimeDomain {
+			needsDWT = true
+		}
+	}
+	if needsDWT && !hasDWT {
+		t.Error("DWT chain must start at the source")
+	}
+	if len(readers) < wantReaders {
+		t.Errorf("source readers = %d, want ≥ %d time-domain features", len(readers), wantReaders)
+	}
+}
+
+func TestStdReusesVarCell(t *testing.T) {
+	// Construct a synthetic check: when both Var and Std are used on a
+	// domain, Std must appear as a StdStage fed by the Var cell.
+	g, ens := buildGraph(t)
+	usedSet := make(map[ensemble.FeatureSpec]bool)
+	for _, fs := range ens.UsedFeatures() {
+		usedSet[fs] = true
+	}
+	for _, c := range g.Cells {
+		if c.Role != RoleStdStage {
+			continue
+		}
+		varSpec := ensemble.FeatureSpec{Domain: c.Feature.Domain, Feat: stats.Var}
+		if !usedSet[varSpec] {
+			t.Errorf("StdStage %s exists but Var is not used on that domain", c.Name)
+		}
+		ins := g.InEdges(c.ID)
+		if len(ins) != 1 {
+			t.Fatalf("StdStage must have exactly one input, got %d", len(ins))
+		}
+		src := g.Cells[ins[0].From]
+		if src.Feature != varSpec {
+			t.Errorf("StdStage fed by %s, want the Var cell of its domain", src.Name)
+		}
+		if c.Spec.Kind != celllib.KindStdStage {
+			t.Error("StdStage cell must characterize as KindStdStage")
+		}
+	}
+	// And when Std is used without Var, it must be a standalone cell.
+	for _, fs := range ens.UsedFeatures() {
+		if fs.Feat != stats.Std {
+			continue
+		}
+		varSpec := ensemble.FeatureSpec{Domain: fs.Domain, Feat: stats.Var}
+		if usedSet[varSpec] {
+			continue
+		}
+		found := false
+		for _, c := range g.Cells {
+			if c.Feature == fs && c.Role == RoleFeature && c.Spec.Feat == stats.Std {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("standalone Std cell missing for %s", fs)
+		}
+	}
+}
+
+func TestEdgeVolumes(t *testing.T) {
+	g, _ := buildGraph(t)
+	for _, e := range g.Edges {
+		if e.From == SourceID {
+			if e.Values != g.SegLen {
+				t.Errorf("source edge carries %d values, want segment length %d", e.Values, g.SegLen)
+			}
+			if e.Bits != int64(g.SegLen)*wireless.SampleBits {
+				t.Errorf("source edge bits = %d", e.Bits)
+			}
+			continue
+		}
+		from := g.Cells[e.From]
+		wantBits := int64(e.Values) * wireless.ValueBits
+		if from.Role == RoleFeature || from.Role == RoleStdStage {
+			// Features are [0,1]-normalized and cross as Q0.8 bytes.
+			wantBits = int64(e.Values) * wireless.FeatureBits
+		}
+		if e.Bits != wantBits {
+			t.Errorf("edge %d→%d: bits %d, want %d", e.From, e.To, e.Bits, wantBits)
+		}
+		if from.Role == RoleDWT && g.Cells[e.To].Role == RoleDWT {
+			// Chain edge carries the approximation: half the input.
+			if e.Values != from.Spec.N/2 {
+				t.Errorf("DWT chain edge carries %d values, want %d", e.Values, from.Spec.N/2)
+			}
+		}
+		if from.Role == RoleSVM && e.Values != 1 {
+			t.Error("SVM output must be a single score")
+		}
+	}
+}
+
+func TestSVMFanIn(t *testing.T) {
+	g, ens := buildGraph(t)
+	for _, c := range g.Cells {
+		if c.Role != RoleSVM {
+			continue
+		}
+		ins := g.InEdges(c.ID)
+		if len(ins) != len(ens.Bases[c.Base].Subset) {
+			t.Errorf("%s fan-in = %d, want subspace size %d", c.Name, len(ins), len(ens.Bases[c.Base].Subset))
+		}
+		if c.Spec.SVs != ens.Bases[c.Base].Model.NumSV() {
+			t.Errorf("%s spec SVs = %d, want %d", c.Name, c.Spec.SVs, ens.Bases[c.Base].Model.NumSV())
+		}
+	}
+	fusionIns := g.InEdges(g.Output)
+	if len(fusionIns) != len(ens.Bases) {
+		t.Errorf("fusion fan-in = %d, want %d", len(fusionIns), len(ens.Bases))
+	}
+}
+
+func TestTopoOrderRespectsEdges(t *testing.T) {
+	g, _ := buildGraph(t)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[CellID]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, e := range g.Edges {
+		if e.From == SourceID {
+			continue
+		}
+		if pos[e.From] >= pos[e.To] {
+			t.Fatalf("edge %d→%d violates topological order", e.From, e.To)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	_, ens := buildGraph(t)
+	if _, err := Build(ens, 0); err == nil {
+		t.Error("zero segment length should error")
+	}
+	if _, err := Build(&ensemble.Ensemble{}, 128); err == nil {
+		t.Error("empty ensemble should error")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g, ens := buildGraph(t)
+	// Break a copy: dangling edge.
+	bad := *g
+	bad.Edges = append(append([]Edge(nil), g.Edges...), Edge{From: 0, To: CellID(len(g.Cells) + 5), Values: 1, Bits: 32})
+	if err := bad.Validate(); err == nil {
+		t.Error("dangling edge should fail validation")
+	}
+	// Output not fusion.
+	bad2 := *g
+	bad2.Output = 0
+	if err := bad2.Validate(); err == nil {
+		t.Error("non-fusion output should fail validation")
+	}
+	_ = ens
+}
+
+func TestRoleString(t *testing.T) {
+	want := map[Role]string{RoleDWT: "dwt", RoleFeature: "feature", RoleStdStage: "std-stage", RoleSVM: "svm", RoleFusion: "fusion"}
+	for r, s := range want {
+		if r.String() != s {
+			t.Errorf("role %d = %q, want %q", r, r.String(), s)
+		}
+	}
+	if Role(9).String() != "Role(9)" {
+		t.Error("unknown role formatting wrong")
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	_, ens := buildGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(ens, 128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g, _ := buildGraph(t)
+	plain := g.DOT(nil)
+	if !strings.Contains(plain, "digraph xpro") || !strings.Contains(plain, "raw segment") {
+		t.Error("plain DOT malformed")
+	}
+	if strings.Count(plain, " [label=") < len(g.Cells) {
+		t.Errorf("plain DOT misses cells")
+	}
+	// With a placement: clusters appear and crossing edges are marked.
+	half := func(id CellID) bool { return int(id)%2 == 0 }
+	placed := g.DOT(half)
+	for _, want := range []string{"cluster_sensor", "cluster_aggregator", "color=red"} {
+		if !strings.Contains(placed, want) {
+			t.Errorf("placed DOT missing %q", want)
+		}
+	}
+	// Balanced braces.
+	if strings.Count(placed, "{") != strings.Count(placed, "}") {
+		t.Error("unbalanced braces")
+	}
+}

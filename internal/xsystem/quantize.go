@@ -1,0 +1,89 @@
+package xsystem
+
+import (
+	"math"
+
+	"xpro/internal/ensemble"
+	"xpro/internal/fixed"
+	"xpro/internal/topology"
+)
+
+// This file implements wire quantization: the energy model prices
+// payloads at their wire widths (raw samples 16 bit, feature values Q0.8,
+// other values Q8.8 — see internal/wireless), so the functional
+// simulation must round values to those widths whenever they cross the
+// link. Without this, the simulated classification would be more
+// accurate than the machine being priced.
+
+// quantizeWire rounds v to the wire format of an edge with the given
+// per-value bit width. Widths up to 8 bits are the unsigned [0,1]
+// fraction format of normalized features (Q0.b); wider payloads are
+// signed with the bits split evenly (Q(b/2).(b/2), e.g. Q8.8 at 16
+// bits, which also covers features on a widened wire).
+func quantizeWire(v float64, bits int64) float64 {
+	if bits < 1 || bits > 24 {
+		return v
+	}
+	if bits <= 8 {
+		levels := float64(int64(1)<<uint(bits)) - 1
+		return math.Round(clamp(v, 0, 1)*levels) / levels
+	}
+	frac := uint(bits / 2)
+	scale := float64(int64(1) << frac)
+	limit := float64(int64(1) << uint(bits-1-int64(frac)))
+	return math.Round(clamp(v, -limit, limit-1/scale)*scale) / scale
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// perValueBits returns the wire width of ONE value on edge e (Edge.Bits
+// is the whole payload).
+func perValueBits(e topology.Edge) int64 {
+	if e.Values == 0 {
+		return 0
+	}
+	return e.Bits / int64(e.Values)
+}
+
+// crossFloat converts a producer value for consumption on the other end
+// in float64, applying wire quantization.
+func crossFloat(v value, e topology.Edge) []float64 {
+	fs := v.asFloat()
+	bits := perValueBits(e)
+	out := make([]float64, len(fs))
+	for i, f := range fs {
+		out[i] = quantizeWire(f, bits)
+	}
+	return out
+}
+
+// crossFixed converts a producer value for consumption on the other end
+// in Q16.16, applying wire quantization.
+func crossFixed(v value, e topology.Edge) []fixed.Num {
+	fs := crossFloat(v, e)
+	return fixed.FromSlice(fs)
+}
+
+// normFixed applies a feature normalization range in Q16.16: the
+// hardware cell's final (v − min)·scale stage with [0,1] clamping.
+func normFixed(v fixed.Num, r ensemble.Range) fixed.Num {
+	if r.Scale == 0 {
+		return 0
+	}
+	n := fixed.Mul(fixed.Sub(v, fixed.FromFloat(r.Min)), fixed.FromFloat(r.Scale))
+	if n < 0 {
+		return 0
+	}
+	if n > fixed.One {
+		return fixed.One
+	}
+	return n
+}

@@ -1,0 +1,127 @@
+package xsystem
+
+import (
+	"testing"
+
+	"xpro/internal/aggregator"
+	"xpro/internal/biosig"
+	"xpro/internal/celllib"
+	"xpro/internal/partition"
+	"xpro/internal/wireless"
+)
+
+func collect(ch <-chan StreamResult) []StreamResult {
+	var out []StreamResult
+	for r := range ch {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Streaming must produce exactly the same labels, in order, as the
+// one-at-a-time Classify path, for every placement.
+func TestStreamMatchesClassify(t *testing.T) {
+	f := getFixture(t)
+	placements := map[string]partition.Placement{
+		"sensor":     partition.InSensor(f.graph),
+		"aggregator": partition.InAggregator(f.graph),
+		"trivial":    partition.Trivial(f.graph),
+	}
+	const n = 60
+	for name, p := range placements {
+		s := newSystem(t, f, p)
+		in := make(chan biosig.Segment)
+		go func() {
+			for i := 0; i < n; i++ {
+				in <- f.test.Segs[i]
+			}
+			close(in)
+		}()
+		results := collect(s.Stream(in))
+		if len(results) != n {
+			t.Fatalf("%s: got %d results, want %d", name, len(results), n)
+		}
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("%s: result %d error: %v", name, i, r.Err)
+			}
+			if r.Index != i {
+				t.Fatalf("%s: result %d has index %d — order broken", name, i, r.Index)
+			}
+			want, err := s.Classify(f.test.Segs[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Label != want {
+				t.Errorf("%s: segment %d: stream %d != classify %d", name, i, r.Label, want)
+			}
+		}
+	}
+}
+
+func TestStreamEmptyInput(t *testing.T) {
+	f := getFixture(t)
+	s := newSystem(t, f, partition.InSensor(f.graph))
+	in := make(chan biosig.Segment)
+	close(in)
+	if got := collect(s.Stream(in)); len(got) != 0 {
+		t.Errorf("empty stream produced %d results", len(got))
+	}
+}
+
+func TestStreamBadSegment(t *testing.T) {
+	f := getFixture(t)
+	s := newSystem(t, f, partition.Trivial(f.graph))
+	in := make(chan biosig.Segment, 3)
+	in <- f.test.Segs[0]
+	in <- biosig.Segment{Samples: []float64{1, 2, 3}} // wrong length
+	in <- f.test.Segs[1]
+	close(in)
+	results := collect(s.Stream(in))
+	if len(results) == 0 {
+		t.Fatal("no results")
+	}
+	last := results[len(results)-1]
+	if last.Err == nil {
+		t.Fatal("bad segment must surface an error result")
+	}
+	for _, r := range results[:len(results)-1] {
+		if r.Err != nil {
+			t.Errorf("pre-failure result carries error: %v", r.Err)
+		}
+	}
+}
+
+func TestStreamNilEnsemble(t *testing.T) {
+	f := getFixture(t)
+	s, err := New(f.graph, nil, celllib.P90, wireless.Model2(), aggregator.CortexA8(), partition.InSensor(f.graph), 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan biosig.Segment, 1)
+	in <- f.test.Segs[0]
+	close(in)
+	results := collect(s.Stream(in))
+	if len(results) != 1 || results[0].Err == nil {
+		t.Error("cost-only system must reject streaming with an error result")
+	}
+}
+
+func BenchmarkStreamThroughput(b *testing.B) {
+	f := getFixture(b)
+	s := newSystem(b, f, partition.Trivial(f.graph))
+	b.ReportAllocs()
+	b.ResetTimer()
+	in := make(chan biosig.Segment, streamDepth)
+	out := s.Stream(in)
+	for i := 0; i < b.N; i++ {
+		in <- f.test.Segs[i%len(f.test.Segs)]
+		r := <-out
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+	close(in)
+	for range out {
+	}
+}

@@ -1,0 +1,613 @@
+// Package xsystem simulates a complete XPro wearable computing system:
+// a sensor node executing the in-sensor analytic part in Q16.16
+// hardware cells, a wireless link, and an aggregator executing the
+// in-aggregator part in software (Fig. 2, right).
+//
+// The simulator does two jobs:
+//
+//   - Functional execution: Classify pushes a real segment through the
+//     partitioned pipeline, computing fixed-point values on the sensor
+//     and float64 values on the aggregator, so the cross-end engine's
+//     classification output can be validated against the pure-software
+//     ensemble.
+//
+//   - Cost accounting: per-event energy (Eqs. 1–3) split into sensing,
+//     compute, transmit and receive on both ends, and per-event delay
+//     split into front-end compute, wireless and back-end compute — the
+//     three stacked components of Fig. 10. Sensor cells are independent
+//     asynchronous hardware units, so the front-end delay is the
+//     critical path of the in-sensor subgraph; the aggregator is a
+//     single CPU, so back-end delays add.
+package xsystem
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"xpro/internal/aggregator"
+	"xpro/internal/battery"
+	"xpro/internal/biosig"
+	"xpro/internal/celllib"
+	"xpro/internal/dwt"
+	"xpro/internal/ensemble"
+	"xpro/internal/fixed"
+	"xpro/internal/partition"
+	"xpro/internal/sensornode"
+	"xpro/internal/stats"
+	"xpro/internal/topology"
+	"xpro/internal/wireless"
+)
+
+// System is a fully configured cross-end engine instance.
+type System struct {
+	Graph     *topology.Graph
+	Ens       *ensemble.Ensemble
+	HW        *sensornode.Hardware
+	CPU       aggregator.CPU
+	Link      wireless.Model
+	Placement partition.Placement
+	// SampleRateHz sets the event rate (events/s = rate / segment len).
+	SampleRateHz float64
+
+	problem *partition.Problem
+	order   []topology.CellID
+}
+
+// New builds a system for a trained ensemble, a characterized topology
+// and a placement. proc selects the sensor process node.
+//
+// ens may be nil for cost-analysis-only systems (e.g. multi-class
+// topologies built with topology.BuildMulti): energy, delay and lifetime
+// work as usual, while Classify and Accuracy return an error.
+func New(g *topology.Graph, ens *ensemble.Ensemble, proc celllib.Process, link wireless.Model, cpu aggregator.CPU, p partition.Placement, sampleRateHz float64) (*System, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("xsystem: %w", err)
+	}
+	if len(p) != len(g.Cells) {
+		return nil, fmt.Errorf("xsystem: placement covers %d cells, graph has %d", len(p), len(g.Cells))
+	}
+	if err := cpu.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	hw := sensornode.Characterize(g, proc)
+	sensing, err := sensornode.SensingEnergyPerEvent(g.SegLen, sampleRateHz)
+	if err != nil {
+		return nil, fmt.Errorf("xsystem: %w", err)
+	}
+	prob := &partition.Problem{
+		Graph:         g,
+		HW:            hw,
+		Link:          link,
+		SensingEnergy: sensing,
+		AggDelay: func(id topology.CellID) float64 {
+			return cpu.CellCost(g.Cells[id].Spec).Delay
+		},
+	}
+	return &System{
+		Graph:        g,
+		Ens:          ens,
+		HW:           hw,
+		CPU:          cpu,
+		Link:         link,
+		Placement:    p,
+		SampleRateHz: sampleRateHz,
+		problem:      prob,
+		order:        order,
+	}, nil
+}
+
+// Problem exposes the pricing problem used by this system (shared with
+// the Automatic XPro Generator).
+func (s *System) Problem() *partition.Problem { return s.problem }
+
+// EventsPerSecond returns the segment-analysis rate.
+func (s *System) EventsPerSecond() float64 {
+	ev, _ := sensornode.EventsPerSecond(s.Graph.SegLen, s.SampleRateHz)
+	return ev
+}
+
+// Energy is the per-event energy breakdown of both ends.
+type Energy struct {
+	// Sensor node (Eq. 1): sensing + compute + wireless tx/rx.
+	Sensing       float64
+	SensorCompute float64
+	SensorTx      float64
+	SensorRx      float64
+	// Aggregator: software compute + its radio.
+	AggCompute float64
+	AggRx      float64
+	AggTx      float64
+}
+
+// SensorTotal is the sensor node's per-event energy.
+func (e Energy) SensorTotal() float64 {
+	return e.Sensing + e.SensorCompute + e.SensorTx + e.SensorRx
+}
+
+// SensorWireless is the sensor's communication share.
+func (e Energy) SensorWireless() float64 { return e.SensorTx + e.SensorRx }
+
+// AggregatorTotal is the aggregator's per-event energy.
+func (e Energy) AggregatorTotal() float64 { return e.AggCompute + e.AggRx + e.AggTx }
+
+// EnergyPerEvent computes the full per-event energy breakdown.
+func (s *System) EnergyPerEvent() Energy {
+	g := s.Graph
+	p := s.Placement
+	var e Energy
+	e.Sensing = s.problem.SensingEnergy
+	for _, id := range p.SensorCells() {
+		e.SensorCompute += s.HW.Energy(id)
+	}
+	for _, id := range p.AggregatorCells() {
+		e.AggCompute += s.CPU.CellCost(g.Cells[id].Spec).Energy
+	}
+	rawSent := false
+	for _, id := range g.SourceReaders() {
+		if !p.OnSensor(id) {
+			rawSent = true
+			break
+		}
+	}
+	if rawSent {
+		tr := s.Link.Cost(g.SourceBits)
+		e.SensorTx += tr.TxEnergy
+		e.AggRx += tr.RxEnergy
+	}
+	for _, tg := range g.TransferGroups() {
+		fromS := p.OnSensor(tg.From)
+		crosses := false
+		for _, c := range tg.Consumers {
+			if p.OnSensor(c) != fromS {
+				crosses = true
+				break
+			}
+		}
+		if !crosses {
+			continue
+		}
+		tr := s.Link.Cost(tg.Bits)
+		if fromS {
+			e.SensorTx += tr.TxEnergy
+			e.AggRx += tr.RxEnergy
+		} else {
+			e.SensorRx += tr.RxEnergy
+			e.AggTx += tr.TxEnergy
+		}
+	}
+	if p.OnSensor(g.Output) {
+		tr := s.Link.Cost(wireless.ValueBits)
+		e.SensorTx += tr.TxEnergy
+		e.AggRx += tr.RxEnergy
+	}
+	return e
+}
+
+// Delay is the per-event delay breakdown of Fig. 10.
+type Delay struct {
+	// FrontEnd is the critical path through the in-sensor cells
+	// (asynchronous hardware units run concurrently once data-ready).
+	FrontEnd float64
+	// Wireless is the serialized air time of everything crossing the
+	// link for one event.
+	Wireless float64
+	// BackEnd is the sequential software time on the aggregator CPU.
+	BackEnd float64
+}
+
+// Total is the end-to-end per-event delay.
+func (d Delay) Total() float64 { return d.FrontEnd + d.Wireless + d.BackEnd }
+
+// DelayPerEvent computes the delay breakdown for the system's placement.
+func (s *System) DelayPerEvent() Delay { return s.DelayOf(s.Placement) }
+
+// DelayOf computes the delay breakdown for an arbitrary placement — the
+// delay model handed to the Automatic XPro Generator.
+func (s *System) DelayOf(p partition.Placement) Delay {
+	g := s.Graph
+	var d Delay
+
+	// Front end: longest path over in-sensor cells (intra-end
+	// communication is free, §2.2).
+	finish := make([]float64, len(g.Cells))
+	for _, id := range s.order {
+		if !p.OnSensor(id) {
+			continue
+		}
+		start := 0.0
+		for _, e := range g.InEdges(id) {
+			if e.From == topology.SourceID || !p.OnSensor(e.From) {
+				continue
+			}
+			if finish[e.From] > start {
+				start = finish[e.From]
+			}
+		}
+		finish[id] = start + s.HW.Delay(id)
+		if finish[id] > d.FrontEnd {
+			d.FrontEnd = finish[id]
+		}
+	}
+
+	// Wireless: all crossing payloads, serialized on the link.
+	rawSent := false
+	for _, id := range g.SourceReaders() {
+		if !p.OnSensor(id) {
+			rawSent = true
+			break
+		}
+	}
+	if rawSent {
+		d.Wireless += s.Link.Cost(g.SourceBits).Delay
+	}
+	for _, tg := range g.TransferGroups() {
+		fromS := p.OnSensor(tg.From)
+		for _, c := range tg.Consumers {
+			if p.OnSensor(c) != fromS {
+				d.Wireless += s.Link.Cost(tg.Bits).Delay
+				break
+			}
+		}
+	}
+	if p.OnSensor(g.Output) {
+		d.Wireless += s.Link.Cost(wireless.ValueBits).Delay
+	}
+
+	// Back end: sequential software execution.
+	for _, id := range p.AggregatorCells() {
+		d.BackEnd += s.CPU.CellCost(g.Cells[id].Spec).Delay
+	}
+	return d
+}
+
+// MaxSustainableEventRate returns the highest steady-state event rate
+// the placed system can pipeline, in events/s. With events overlapping,
+// each resource is busy once per event: every asynchronous sensor cell
+// (initiation interval = its own latency), the half-duplex link (total
+// crossing air time), and the aggregator CPU (total back-end time). The
+// slowest of these bounds the throughput.
+func (s *System) MaxSustainableEventRate() float64 {
+	var bottleneck float64
+	for _, id := range s.Placement.SensorCells() {
+		if d := s.HW.Delay(id); d > bottleneck {
+			bottleneck = d
+		}
+	}
+	d := s.DelayPerEvent()
+	if d.Wireless > bottleneck {
+		bottleneck = d.Wireless
+	}
+	if d.BackEnd > bottleneck {
+		bottleneck = d.BackEnd
+	}
+	if bottleneck == 0 {
+		return math.Inf(1)
+	}
+	return 1 / bottleneck
+}
+
+// MaxSampleRateForLifetime returns the highest biosignal sampling rate
+// (Hz) at which the sensor battery still reaches the target lifetime —
+// the inverse of the lifetime question, bounded by the pipelining
+// throughput of the placement. Returns an error for unreachable targets.
+func (s *System) MaxSampleRateForLifetime(hours float64) (float64, error) {
+	if hours <= 0 {
+		return 0, errors.New("xsystem: non-positive lifetime target")
+	}
+	// Energy per event is rate-independent except for the sensing term,
+	// which is a fixed power draw; solve for the event rate directly:
+	// capacity/hours = rate·E_event(no sensing) + SensingPower.
+	budget := battery.SensorBattery().EnergyJ() / (hours * 3600)
+	e := s.EnergyPerEvent()
+	perEvent := e.SensorTotal() - e.Sensing
+	available := budget - sensornode.SensingPower
+	if available <= 0 || perEvent <= 0 {
+		return 0, fmt.Errorf("xsystem: lifetime target %v h unreachable (sensing floor alone exceeds the budget)", hours)
+	}
+	rate := available / perEvent // events/s
+	if cap := s.MaxSustainableEventRate(); rate > cap {
+		rate = cap
+	}
+	return rate * float64(s.Graph.SegLen), nil
+}
+
+// SensorAvgPower returns the sensor node's average power draw at the
+// configured event rate.
+func (s *System) SensorAvgPower() float64 {
+	return s.EnergyPerEvent().SensorTotal() * s.EventsPerSecond()
+}
+
+// SensorLifetimeHours estimates the 40 mAh sensor battery's lifetime.
+func (s *System) SensorLifetimeHours() (float64, error) {
+	return sensorLifetime(s.SensorAvgPower())
+}
+
+func sensorLifetime(avgPowerW float64) (float64, error) {
+	return battery.SensorBattery().LifetimeHours(avgPowerW)
+}
+
+// AggregatorAvgPower returns the aggregator's analytic power draw
+// (events + idle share).
+func (s *System) AggregatorAvgPower() float64 {
+	return s.EnergyPerEvent().AggregatorTotal()*s.EventsPerSecond() + s.CPU.IdlePower
+}
+
+// AggregatorLifetimeHours estimates the 2900 mAh aggregator battery's
+// lifetime under the analytic load (§5.6).
+func (s *System) AggregatorLifetimeHours() (float64, error) {
+	return battery.AggregatorBattery().LifetimeHours(s.AggregatorAvgPower())
+}
+
+// value is one cell's computed output, on whichever end produced it.
+type value struct {
+	fx []fixed.Num // sensor-side representation
+	fl []float64   // aggregator-side representation
+}
+
+func (v value) asFixed() []fixed.Num {
+	if v.fx != nil {
+		return v.fx
+	}
+	return fixed.FromSlice(v.fl)
+}
+
+func (v value) asFloat() []float64 {
+	if v.fl != nil {
+		return v.fl
+	}
+	return fixed.ToSlice(v.fx)
+}
+
+// ErrNotClassified reports a pipeline that produced no output.
+var ErrNotClassified = errors.New("xsystem: pipeline produced no classification")
+
+// Classify executes the partitioned pipeline on one segment and returns
+// the predicted label (0 or 1). Sensor-side cells compute in Q16.16,
+// aggregator-side cells in float64; values crossing the link are
+// converted, exactly as the fixed-point payloads would be decoded.
+func (s *System) Classify(seg biosig.Segment) (int, error) {
+	if s.Ens == nil {
+		return 0, errors.New("xsystem: cost-analysis-only system has no classifier (built with nil ensemble)")
+	}
+	if len(seg.Samples) != s.Graph.SegLen {
+		return 0, fmt.Errorf("xsystem: segment length %d, engine built for %d", len(seg.Samples), s.Graph.SegLen)
+	}
+	g := s.Graph
+	outputs := make([]value, len(g.Cells))
+
+	ev := newEvent(s.Graph, seg)
+	for _, id := range s.order {
+		c := g.Cells[id]
+		ins := g.InEdges(id)
+		fetch := func(i int) value { return outputs[ins[i].From] }
+		out, err := s.evalCell(c, ins, fetch, ev)
+		if err != nil {
+			return 0, fmt.Errorf("xsystem: cell %s: %w", c.Name, err)
+		}
+		outputs[id] = out
+	}
+
+	final := outputs[g.Output]
+	var score float64
+	switch {
+	case final.fl != nil && len(final.fl) > 0:
+		score = final.fl[0]
+	case final.fx != nil && len(final.fx) > 0:
+		score = final.fx[0].Float()
+	default:
+		return 0, ErrNotClassified
+	}
+	if score >= 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// event carries one segment's source data in both representations.
+type event struct {
+	rawFloat    []float64
+	paddedFloat []float64
+	rawFixed    []fixed.Num
+	paddedFixed []fixed.Num
+}
+
+func newEvent(g *topology.Graph, seg biosig.Segment) *event {
+	rawFloat := seg.Samples
+	paddedFloat := seg.PadTo(ensemble.DWTInputLen)
+	return &event{
+		rawFloat:    rawFloat,
+		paddedFloat: paddedFloat,
+		rawFixed:    fixed.FromSlice(rawFloat),
+		paddedFixed: fixed.FromSlice(paddedFloat),
+	}
+}
+
+// dwtSlice selects what a consumer takes from a DWT producer's output
+// (detail‖approx): feature cells of band l take the detail half; the
+// next DWT level and approximation-band features take the approx half.
+func dwtSlice[T any](producer topology.Cell, wantApprox bool, out []T) []T {
+	half := producer.OutValues
+	if wantApprox {
+		return out[half:]
+	}
+	return out[:half]
+}
+
+// evalCell executes one functional cell on one event. fetch returns the
+// producer value of the i-th in-edge; the cell computes in Q16.16 when
+// placed on the sensor, float64 on the aggregator.
+func (s *System) evalCell(c topology.Cell, ins []topology.Edge, fetch func(int) value, ev *event) (value, error) {
+	var out value
+	var err error
+	if s.Placement.OnSensor(c.ID) {
+		out.fx, err = s.evalFixed(c, ins, fetch, ev)
+	} else {
+		out.fl, err = s.evalFloat(c, ins, fetch, ev)
+	}
+	return out, err
+}
+
+func (s *System) evalFixed(c topology.Cell, ins []topology.Edge, fetch func(int) value, ev *event) ([]fixed.Num, error) {
+	raw, padded := ev.rawFixed, ev.paddedFixed
+	gather := func(i int, wantApprox bool) []fixed.Num {
+		e := ins[i]
+		if e.From == topology.SourceID {
+			return nil // handled by caller context
+		}
+		from := s.Graph.Cells[e.From]
+		var v []fixed.Num
+		if s.Placement.OnSensor(e.From) == s.Placement.OnSensor(c.ID) {
+			v = fetch(i).asFixed()
+		} else {
+			// The payload crossed the link: apply wire quantization.
+			v = crossFixed(fetch(i), e)
+		}
+		if from.Role == topology.RoleDWT {
+			return dwtSlice(from, wantApprox, v)
+		}
+		return v
+	}
+	switch c.Role {
+	case topology.RoleDWT:
+		var in []fixed.Num
+		if c.Level == 1 {
+			in = padded
+		} else {
+			in = gather(0, true)
+		}
+		a, d, err := dwt.StepFixed(in)
+		if err != nil {
+			return nil, err
+		}
+		return append(d, a...), nil // detail ‖ approx
+	case topology.RoleFeature:
+		var in []fixed.Num
+		if c.Feature.Domain == ensemble.TimeDomain {
+			in = raw
+		} else {
+			in = gather(0, c.Feature.Domain == ensemble.DWTLevels+1)
+		}
+		v := stats.ComputeFixed(c.Feature.Feat, in)
+		// Feature cells emit the §4.4 [0,1]-normalized value.
+		return []fixed.Num{normFixed(v, s.Ens.FeatureRange(c.Feature))}, nil
+	case topology.RoleStdStage:
+		// The Var cell emits a normalized variance; undo that, take the
+		// square root, and apply the Std feature's own normalization.
+		varRange := s.Ens.FeatureRange(ensemble.FeatureSpec{Domain: c.Feature.Domain, Feat: stats.Var})
+		raw := fixed.FromFloat(varRange.Invert(gather(0, false)[0].Float()))
+		return []fixed.Num{normFixed(fixed.Sqrt(raw), s.Ens.FeatureRange(c.Feature))}, nil
+	case topology.RoleSVM:
+		x := make([]fixed.Num, len(ins))
+		for i := range ins {
+			x[i] = gather(i, false)[0]
+		}
+		return []fixed.Num{s.Ens.Bases[c.Base].Model.DecisionFixed(x)}, nil
+	case topology.RoleFusion:
+		score := fixed.FromFloat(s.Ens.Weights[len(s.Ens.Bases)])
+		for i := range ins {
+			vote := fixed.FromInt(-1)
+			if gather(i, false)[0] >= 0 {
+				vote = fixed.One
+			}
+			score = fixed.Add(score, fixed.Mul(fixed.FromFloat(s.Ens.Weights[i]), vote))
+		}
+		return []fixed.Num{score}, nil
+	default:
+		return nil, fmt.Errorf("unknown role %v", c.Role)
+	}
+}
+
+func (s *System) evalFloat(c topology.Cell, ins []topology.Edge, fetch func(int) value, ev *event) ([]float64, error) {
+	raw, padded := ev.rawFloat, ev.paddedFloat
+	gather := func(i int, wantApprox bool) []float64 {
+		e := ins[i]
+		if e.From == topology.SourceID {
+			return nil
+		}
+		from := s.Graph.Cells[e.From]
+		var v []float64
+		if s.Placement.OnSensor(e.From) == s.Placement.OnSensor(c.ID) {
+			v = fetch(i).asFloat()
+		} else {
+			// The payload crossed the link: apply wire quantization.
+			v = crossFloat(fetch(i), e)
+		}
+		if from.Role == topology.RoleDWT {
+			return dwtSlice(from, wantApprox, v)
+		}
+		return v
+	}
+	switch c.Role {
+	case topology.RoleDWT:
+		var in []float64
+		if c.Level == 1 {
+			in = padded
+		} else {
+			in = gather(0, true)
+		}
+		a, d, err := dwt.Step(dwt.Haar, in)
+		if err != nil {
+			return nil, err
+		}
+		return append(d, a...), nil
+	case topology.RoleFeature:
+		var in []float64
+		if c.Feature.Domain == ensemble.TimeDomain {
+			in = raw
+		} else {
+			in = gather(0, c.Feature.Domain == ensemble.DWTLevels+1)
+		}
+		// Feature cells emit the §4.4 [0,1]-normalized value.
+		return []float64{s.Ens.FeatureRange(c.Feature).Apply(stats.Compute(c.Feature.Feat, in))}, nil
+	case topology.RoleStdStage:
+		// The Var cell emits a normalized variance; undo that, take the
+		// square root, and apply the Std feature's own normalization.
+		varRange := s.Ens.FeatureRange(ensemble.FeatureSpec{Domain: c.Feature.Domain, Feat: stats.Var})
+		rawVar := varRange.Invert(gather(0, false)[0])
+		if rawVar < 0 {
+			rawVar = 0
+		}
+		return []float64{s.Ens.FeatureRange(c.Feature).Apply(math.Sqrt(rawVar))}, nil
+	case topology.RoleSVM:
+		x := make([]float64, len(ins))
+		for i := range ins {
+			x[i] = gather(i, false)[0]
+		}
+		return []float64{s.Ens.Bases[c.Base].Model.Decision(x)}, nil
+	case topology.RoleFusion:
+		score := s.Ens.Weights[len(s.Ens.Bases)]
+		for i := range ins {
+			vote := -1.0
+			if gather(i, false)[0] >= 0 {
+				vote = 1.0
+			}
+			score += s.Ens.Weights[i] * vote
+		}
+		return []float64{score}, nil
+	default:
+		return nil, fmt.Errorf("unknown role %v", c.Role)
+	}
+}
+
+// Accuracy classifies every segment of d through the cross-end pipeline.
+func (s *System) Accuracy(d *biosig.Dataset) (float64, error) {
+	if len(d.Segs) == 0 {
+		return 0, errors.New("xsystem: empty dataset")
+	}
+	correct := 0
+	for _, seg := range d.Segs {
+		got, err := s.Classify(seg)
+		if err != nil {
+			return 0, err
+		}
+		if got == seg.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(d.Segs)), nil
+}

@@ -1,0 +1,88 @@
+package xpro
+
+import (
+	"errors"
+	"fmt"
+
+	"xpro/internal/aggregator"
+	"xpro/internal/bsn"
+)
+
+// Network is a body sensor network: multiple wearable engines sharing
+// one data aggregator (§5.7). Each node runs its own partitioned engine;
+// links are conflict-free (the paper's MIMO assumption), while the
+// aggregator CPU and battery are shared.
+type Network struct {
+	nw      *bsn.Network
+	engines map[string]*Engine
+}
+
+// NewNetwork assembles a network from named engines. The engines should
+// be built with the same Process/Wireless configuration; names must be
+// unique.
+func NewNetwork(engines map[string]*Engine) (*Network, error) {
+	if len(engines) == 0 {
+		return nil, errors.New("xpro: network needs at least one engine")
+	}
+	var nodes []bsn.Node
+	for name, e := range engines {
+		if e == nil {
+			return nil, fmt.Errorf("xpro: nil engine %q", name)
+		}
+		nodes = append(nodes, bsn.Node{Name: name, Sys: e.system})
+	}
+	nw, err := bsn.New(aggregator.CortexA8(), nodes...)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{nw: nw, engines: engines}, nil
+}
+
+// NetworkReport summarizes the shared-resource behaviour of the network.
+type NetworkReport struct {
+	// NodeLifetimeHours is each node's battery life (unaffected by the
+	// other nodes).
+	NodeLifetimeHours map[string]float64
+	// BottleneckNode has the shortest battery life.
+	BottleneckNode  string
+	BottleneckHours float64
+	// AggregatorLifetimeHours is the shared smartphone battery under
+	// the combined event load.
+	AggregatorLifetimeHours float64
+	// AggregatorUtilization is the fraction of CPU time the combined
+	// back-end work consumes (≥ 1 means it cannot keep up).
+	AggregatorUtilization float64
+	// WorstCaseDelaySeconds is each node's end-to-end delay when every
+	// node fires simultaneously (back-end work serializes).
+	WorstCaseDelaySeconds map[string]float64
+}
+
+// Report computes the network summary.
+func (n *Network) Report() (NetworkReport, error) {
+	lifetimes, err := n.nw.NodeLifetimes()
+	if err != nil {
+		return NetworkReport{}, err
+	}
+	name, hours, err := n.nw.BottleneckNode()
+	if err != nil {
+		return NetworkReport{}, err
+	}
+	aggLife, err := n.nw.AggregatorLifetimeHours()
+	if err != nil {
+		return NetworkReport{}, err
+	}
+	return NetworkReport{
+		NodeLifetimeHours:       lifetimes,
+		BottleneckNode:          name,
+		BottleneckHours:         hours,
+		AggregatorLifetimeHours: aggLife,
+		AggregatorUtilization:   n.nw.AggregatorUtilization(),
+		WorstCaseDelaySeconds:   n.nw.WorstCaseDelay(),
+	}, nil
+}
+
+// RealTimeOK reports whether every node meets the delay limit even under
+// simultaneous firing and the aggregator sustains the combined rate.
+func (n *Network) RealTimeOK(limitSeconds float64) bool {
+	return n.nw.RealTimeOK(limitSeconds)
+}

@@ -1,0 +1,59 @@
+package xpro
+
+import "testing"
+
+func TestNetwork(t *testing.T) {
+	engines := map[string]*Engine{}
+	for _, sym := range []string{"C1", "E1"} {
+		e, err := New(Config{Case: sym})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[sym] = e
+	}
+	nw, err := NewNetwork(engines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := nw.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.NodeLifetimeHours) != 2 || len(rep.WorstCaseDelaySeconds) != 2 {
+		t.Fatalf("report incomplete: %+v", rep)
+	}
+	// Per-node lifetimes match the standalone engines.
+	for sym, e := range engines {
+		if got, want := rep.NodeLifetimeHours[sym], e.Report().SensorLifetimeHours; got != want {
+			t.Errorf("%s: network lifetime %v != standalone %v", sym, got, want)
+		}
+		// Shared CPU can only make the worst case slower.
+		if rep.WorstCaseDelaySeconds[sym] < e.Report().DelayPerEventSeconds-1e-12 {
+			t.Errorf("%s: worst case %v below solo delay", sym, rep.WorstCaseDelaySeconds[sym])
+		}
+	}
+	if rep.BottleneckHours > rep.NodeLifetimeHours["C1"] || rep.BottleneckHours > rep.NodeLifetimeHours["E1"] {
+		t.Error("bottleneck not minimal")
+	}
+	if rep.AggregatorUtilization <= 0 || rep.AggregatorUtilization >= 1 {
+		t.Errorf("utilization %v not sustainable", rep.AggregatorUtilization)
+	}
+	if rep.AggregatorLifetimeHours < 52 {
+		t.Errorf("aggregator lifetime %v h below the §5.6 bar", rep.AggregatorLifetimeHours)
+	}
+	if !nw.RealTimeOK(10e-3) {
+		t.Error("network should meet 10 ms")
+	}
+	if nw.RealTimeOK(1e-9) {
+		t.Error("network cannot meet 1 ns")
+	}
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork(nil); err == nil {
+		t.Error("empty network should error")
+	}
+	if _, err := NewNetwork(map[string]*Engine{"x": nil}); err == nil {
+		t.Error("nil engine should error")
+	}
+}

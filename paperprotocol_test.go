@@ -1,0 +1,39 @@
+package xpro
+
+import (
+	"os"
+	"testing"
+)
+
+// TestPaperProtocol runs the full §4.4 training protocol (100 candidate
+// base classifiers, 10-fold cross-validation) on one case end to end.
+// It takes several minutes, so it is gated behind an environment flag:
+//
+//	XPRO_PAPER_PROTOCOL=1 go test -run TestPaperProtocol -timeout 30m .
+func TestPaperProtocol(t *testing.T) {
+	if os.Getenv("XPRO_PAPER_PROTOCOL") == "" {
+		t.Skip("set XPRO_PAPER_PROTOCOL=1 to run the full training protocol")
+	}
+	eng, err := New(Config{Case: "C1", Protocol: ProtocolPaper})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := eng.Report()
+	if rep.SoftwareAccuracy < 0.9 {
+		t.Errorf("paper-protocol accuracy = %v, want ≥ 0.9", rep.SoftwareAccuracy)
+	}
+	// The paper keeps the top 10% of 100 candidates: 10 base
+	// classifiers, hence 10 SVM cells.
+	svmCells := 0
+	for _, cp := range eng.Placement() {
+		if cp.Role == "svm" {
+			svmCells++
+		}
+	}
+	if svmCells != 10 {
+		t.Errorf("paper protocol should yield 10 SVM cells, got %d", svmCells)
+	}
+	if rep.DelayPerEventSeconds >= 4e-3 {
+		t.Errorf("delay %v ≥ 4 ms", rep.DelayPerEventSeconds)
+	}
+}

@@ -1,0 +1,88 @@
+package xpro
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"xpro/internal/aggregator"
+	"xpro/internal/biosig"
+	"xpro/internal/ensemble"
+	"xpro/internal/partition"
+	"xpro/internal/topology"
+	"xpro/internal/xsystem"
+)
+
+// persistVersion guards the on-disk format.
+const persistVersion = 1
+
+// enginePersist is the serialized form of an Engine: the trained
+// classifier and the generated placement. Datasets are regenerated
+// deterministically from the configuration on load, so snapshots stay
+// small (support vectors dominate).
+type enginePersist struct {
+	Version   int
+	Config    Config
+	Ens       *ensemble.Ensemble
+	Gen       partition.Result
+	Placement partition.Placement
+	Accuracy  float64
+}
+
+// Save writes the engine (trained classifier + placement) to w in a
+// self-contained binary format readable by Load. Training is the
+// expensive part of New; a saved engine restores in milliseconds.
+func (e *Engine) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(enginePersist{
+		Version:   persistVersion,
+		Config:    e.cfg,
+		Ens:       e.ens,
+		Gen:       e.gen,
+		Placement: e.system.Placement,
+		Accuracy:  e.acc,
+	})
+}
+
+// Load restores an engine saved with Save: it rebuilds the topology and
+// simulated hardware from the snapshot's classifier and placement, and
+// regenerates the held-out test set deterministically from the saved
+// configuration.
+func Load(r io.Reader) (*Engine, error) {
+	var ep enginePersist
+	if err := gob.NewDecoder(r).Decode(&ep); err != nil {
+		return nil, fmt.Errorf("xpro: decoding engine: %w", err)
+	}
+	if ep.Version != persistVersion {
+		return nil, fmt.Errorf("xpro: snapshot version %d, this build reads %d", ep.Version, persistVersion)
+	}
+	if ep.Ens == nil || len(ep.Ens.Bases) == 0 {
+		return nil, fmt.Errorf("xpro: snapshot has no classifier")
+	}
+	cfg := ep.Config
+	spec, err := biosig.CaseBySymbol(cfg.Case)
+	if err != nil {
+		return nil, err
+	}
+	seed := spec.Seed
+	if cfg.Seed != 0 {
+		seed = cfg.Seed
+	}
+	d := biosig.Generate(spec)
+	rng := rand.New(rand.NewSource(seed))
+	_, test := d.Split(0.75, rng)
+
+	g, err := topology.Build(ep.Ens, d.SegLen)
+	if err != nil {
+		return nil, err
+	}
+	if len(ep.Placement) != len(g.Cells) {
+		return nil, fmt.Errorf("xpro: snapshot placement covers %d cells, rebuilt topology has %d", len(ep.Placement), len(g.Cells))
+	}
+	sys, err := xsystem.New(g, ep.Ens, cfg.Process.internal(), cfg.Wireless.internal(),
+		aggregator.CortexA8(), ep.Placement, cfg.SampleRateHz)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, system: sys, ens: ep.Ens, graph: g, test: test, gen: ep.Gen, acc: ep.Accuracy}, nil
+}

@@ -1,0 +1,90 @@
+package xpro
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig, err := New(Config{Case: "M2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty snapshot")
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reports must be identical: same classifier, same placement, same
+	// models.
+	a, b := orig.Report(), restored.Report()
+	if a != b {
+		t.Errorf("reports differ:\n  orig     %+v\n  restored %+v", a, b)
+	}
+
+	// Classifications must match on the (regenerated) test set.
+	testSet := orig.TestSet()
+	restoredSet := restored.TestSet()
+	if len(testSet) != len(restoredSet) {
+		t.Fatalf("test sets differ in size: %d vs %d", len(testSet), len(restoredSet))
+	}
+	for i := 0; i < 50; i++ {
+		if testSet[i].Label != restoredSet[i].Label {
+			t.Fatal("test set regeneration diverged")
+		}
+		x, err := orig.Classify(testSet[i].Samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := restored.Classify(restoredSet[i].Samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x != y {
+			t.Fatalf("segment %d: original %d != restored %d", i, x, y)
+		}
+	}
+
+	// Placements identical cell by cell.
+	pa, pb := orig.Placement(), restored.Placement()
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("cell %d placement differs: %+v vs %+v", i, pa[i], pb[i])
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a snapshot")); err == nil {
+		t.Error("garbage should fail to decode")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should fail")
+	}
+}
+
+func TestLoadRejectsWrongVersion(t *testing.T) {
+	eng, err := New(Config{Case: "C1", Kind: InSensor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the version by re-encoding with a bumped constant is not
+	// possible from here; instead verify the happy path asserts the
+	// version field by checking a truncated stream fails cleanly.
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Load(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated snapshot should fail")
+	}
+}

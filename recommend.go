@@ -1,0 +1,97 @@
+package xpro
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Requirements describes a wearable deployment's constraints for
+// Recommend: the deliverables a product team would specify before
+// choosing silicon, radio and engine distribution.
+type Requirements struct {
+	// Case is the Table 1 workload the deployment runs.
+	Case string
+	// MaxDelaySeconds is the hard per-event latency budget
+	// (0 = the paper's real-time bar of 4 ms).
+	MaxDelaySeconds float64
+	// MinLifetimeHours is the sensor battery target (0 = no target).
+	MinLifetimeHours float64
+	// MinAccuracy is the classification floor (0 = no floor).
+	MinAccuracy float64
+
+	// Processes, WirelessModels and PruneOptions bound the search space;
+	// nil means "all three nodes", "all three radios" and "{no pruning,
+	// keep half}" respectively.
+	Processes      []Process
+	WirelessModels []Wireless
+	PruneOptions   []float64
+}
+
+// Recommendation is one evaluated design point.
+type Recommendation struct {
+	Config Config
+	Report Report
+	// Meets reports whether every requirement is satisfied.
+	Meets bool
+}
+
+// ErrNoFeasibleDesign is returned when no point in the search space
+// meets the requirements.
+var ErrNoFeasibleDesign = errors.New("xpro: no design in the search space meets the requirements")
+
+// Recommend sweeps the design space (process node × wireless model ×
+// pruning level, cross-end engines generated per point) and returns the
+// feasible design with the longest sensor battery life, plus every
+// evaluated point sorted by lifetime. Training is shared across the
+// sweep, so the search costs one training plus cheap generator runs.
+func Recommend(req Requirements) (*Recommendation, []Recommendation, error) {
+	if req.Case == "" {
+		return nil, nil, errors.New("xpro: Requirements.Case must name a test case")
+	}
+	maxDelay := req.MaxDelaySeconds
+	if maxDelay == 0 {
+		maxDelay = 4e-3 // the paper's real-time bar (§5.3)
+	}
+	procs := req.Processes
+	if procs == nil {
+		procs = []Process{Process130nm, Process90nm, Process45nm}
+	}
+	links := req.WirelessModels
+	if links == nil {
+		links = []Wireless{WirelessModel1, WirelessModel2, WirelessModel3}
+	}
+	prunes := req.PruneOptions
+	if prunes == nil {
+		prunes = []float64{0, 0.5}
+	}
+
+	var all []Recommendation
+	for _, proc := range procs {
+		for _, link := range links {
+			for _, keep := range prunes {
+				cfg := Config{Case: req.Case, Kind: CrossEnd, Process: proc, Wireless: link, PruneKeep: keep}
+				eng, err := New(cfg)
+				if err != nil {
+					return nil, nil, fmt.Errorf("xpro: evaluating %v/%v/keep=%v: %w", proc, link, keep, err)
+				}
+				rep := eng.Report()
+				rec := Recommendation{Config: cfg, Report: rep}
+				rec.Meets = rep.DelayPerEventSeconds <= maxDelay &&
+					rep.SensorLifetimeHours >= req.MinLifetimeHours &&
+					rep.SoftwareAccuracy >= req.MinAccuracy
+				all = append(all, rec)
+			}
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		return all[i].Report.SensorLifetimeHours > all[j].Report.SensorLifetimeHours
+	})
+	for i := range all {
+		if all[i].Meets {
+			best := all[i]
+			return &best, all, nil
+		}
+	}
+	return nil, all, ErrNoFeasibleDesign
+}

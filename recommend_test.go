@@ -1,0 +1,72 @@
+package xpro
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRecommend(t *testing.T) {
+	best, all, err := Recommend(Requirements{
+		Case:             "E1",
+		MinLifetimeHours: 1000,
+		MinAccuracy:      0.8,
+		// Restrict the sweep to keep the test fast (training is shared,
+		// but every point runs the generator).
+		Processes:      []Process{Process90nm, Process45nm},
+		WirelessModels: []Wireless{WirelessModel2, WirelessModel3},
+		PruneOptions:   []float64{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 {
+		t.Fatalf("evaluated %d points, want 4", len(all))
+	}
+	if !best.Meets {
+		t.Fatal("winner does not meet requirements")
+	}
+	// Points are sorted by lifetime, and the winner is the first
+	// feasible one.
+	for i := 1; i < len(all); i++ {
+		if all[i].Report.SensorLifetimeHours > all[i-1].Report.SensorLifetimeHours {
+			t.Error("recommendations not sorted by lifetime")
+		}
+	}
+	for _, r := range all {
+		if r.Meets {
+			if r.Report.SensorLifetimeHours > best.Report.SensorLifetimeHours {
+				t.Error("a feasible point outlives the winner")
+			}
+			break
+		}
+	}
+	// The winner's report must actually satisfy the constraints.
+	if best.Report.DelayPerEventSeconds > 4e-3 || best.Report.SensorLifetimeHours < 1000 || best.Report.SoftwareAccuracy < 0.8 {
+		t.Errorf("winner violates requirements: %+v", best.Report)
+	}
+}
+
+func TestRecommendInfeasible(t *testing.T) {
+	_, all, err := Recommend(Requirements{
+		Case:             "C1",
+		MinLifetimeHours: 1e9, // impossible
+		Processes:        []Process{Process90nm},
+		WirelessModels:   []Wireless{WirelessModel2},
+		PruneOptions:     []float64{0},
+	})
+	if !errors.Is(err, ErrNoFeasibleDesign) {
+		t.Fatalf("err = %v, want ErrNoFeasibleDesign", err)
+	}
+	if len(all) == 0 {
+		t.Error("infeasible search should still report the evaluated points")
+	}
+}
+
+func TestRecommendValidation(t *testing.T) {
+	if _, _, err := Recommend(Requirements{}); err == nil {
+		t.Error("missing case should error")
+	}
+	if _, _, err := Recommend(Requirements{Case: "ZZ", Processes: []Process{Process90nm}, WirelessModels: []Wireless{WirelessModel2}, PruneOptions: []float64{0}}); err == nil {
+		t.Error("unknown case should error")
+	}
+}

@@ -1,0 +1,586 @@
+// Package xpro is a Go reproduction of "XPro: A Cross-End Processing
+// Architecture for Data Analytics in Wearables" (ISCA 2017).
+//
+// XPro embeds a generic biosignal classification pipeline — statistical
+// features on the time and DWT domains feeding a random-subspace SVM
+// ensemble — into a body-sensor-network system made of a
+// battery-constrained wearable sensor node and a smartphone-class data
+// aggregator. The pipeline is decomposed into fine-grained functional
+// cells, and an Automatic XPro Generator places each cell on one of the
+// two ends by solving a min-cut problem whose cut capacity equals the
+// sensor node's per-event energy, under an end-to-end delay constraint.
+//
+// The package exposes four engine kinds: the two classical single-end
+// baselines (everything on the sensor, or raw data streamed to the
+// aggregator), the intuitive trivial cut at the feature/classifier
+// boundary, and the generated cross-end engine, which provably never
+// loses to the baselines on sensor energy.
+//
+// Quickstart:
+//
+//	eng, err := xpro.New(xpro.Config{Case: "C1"})
+//	...
+//	label, err := eng.Classify(eng.TestSet()[0].Samples)
+//	rep := eng.Report()
+//	fmt.Printf("battery life %.0f h, delay %.2f ms\n",
+//		rep.SensorLifetimeHours, rep.DelayPerEventSeconds*1e3)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured comparison of every table and figure.
+package xpro
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+
+	"xpro/internal/aggregator"
+	"xpro/internal/biosig"
+	"xpro/internal/celllib"
+	"xpro/internal/cellsim"
+	"xpro/internal/ensemble"
+	"xpro/internal/eventsim"
+	"xpro/internal/experiments"
+	"xpro/internal/hdl"
+	"xpro/internal/partition"
+	"xpro/internal/sensornode"
+	"xpro/internal/topology"
+	"xpro/internal/wireless"
+	"xpro/internal/xsystem"
+)
+
+// Process selects the sensor node's fabrication technology (§4.3).
+type Process int
+
+const (
+	// Process90nm is the paper's default evaluation node.
+	Process90nm Process = iota
+	Process130nm
+	Process45nm
+)
+
+func (p Process) String() string { return p.internal().String() }
+
+func (p Process) internal() celllib.Process {
+	switch p {
+	case Process130nm:
+		return celllib.P130
+	case Process45nm:
+		return celllib.P45
+	default:
+		return celllib.P90
+	}
+}
+
+// Wireless selects the transceiver energy model (§4.2).
+type Wireless int
+
+const (
+	// WirelessModel2 (1.53/1.71 nJ/bit) is the paper's default.
+	WirelessModel2 Wireless = iota
+	// WirelessModel1 is the high-energy design (2.9/3.3 nJ/bit).
+	WirelessModel1
+	// WirelessModel3 is the ultra-low-power design (0.42/0.295 nJ/bit).
+	WirelessModel3
+)
+
+func (w Wireless) String() string { return w.internal().String() }
+
+func (w Wireless) internal() wireless.Model {
+	switch w {
+	case WirelessModel1:
+		return wireless.Model1()
+	case WirelessModel3:
+		return wireless.Model3()
+	default:
+		return wireless.Model2()
+	}
+}
+
+// EngineKind selects how the analytic engine is distributed.
+type EngineKind int
+
+const (
+	// CrossEnd is the XPro engine: the delay-constrained minimum-energy
+	// placement found by the Automatic XPro Generator (§3.2).
+	CrossEnd EngineKind = iota
+	// InSensor runs every functional cell on the wearable node.
+	InSensor
+	// InAggregator streams raw data and runs everything in software.
+	InAggregator
+	// TrivialCut places feature extraction on the sensor and
+	// classification on the aggregator (§5.5, Fig. 12).
+	TrivialCut
+)
+
+func (k EngineKind) String() string {
+	switch k {
+	case CrossEnd:
+		return "cross-end"
+	case InSensor:
+		return "in-sensor"
+	case InAggregator:
+		return "in-aggregator"
+	case TrivialCut:
+		return "trivial-cut"
+	default:
+		return fmt.Sprintf("EngineKind(%d)", int(k))
+	}
+}
+
+// Protocol selects the ensemble training protocol.
+type Protocol int
+
+const (
+	// ProtocolFast is §4.4 with a scaled candidate pool (seconds per
+	// case).
+	ProtocolFast Protocol = iota
+	// ProtocolPaper is the full §4.4 protocol: 100 candidate base
+	// classifiers on random 12-feature subsets, top 10% kept, 10-fold
+	// cross-validation (minutes per case).
+	ProtocolPaper
+)
+
+// Segment is one labeled biosignal segment, samples normalized to [0,1].
+type Segment struct {
+	Samples []float64
+	Label   int
+}
+
+// CaseInfo describes one of the six evaluation test cases (Table 1).
+type CaseInfo struct {
+	Symbol        string
+	Name          string
+	Family        string
+	SegmentLength int
+	SegmentCount  int
+}
+
+// Cases lists the six test cases of Table 1.
+func Cases() []CaseInfo {
+	var out []CaseInfo
+	for _, c := range biosig.TestCases() {
+		out = append(out, CaseInfo{
+			Symbol:        c.Symbol,
+			Name:          c.Name,
+			Family:        c.Family.String(),
+			SegmentLength: c.SegLen,
+			SegmentCount:  c.Count,
+		})
+	}
+	return out
+}
+
+// Dataset generates the full labeled dataset of a test case.
+func Dataset(caseSym string) ([]Segment, error) {
+	spec, err := biosig.CaseBySymbol(caseSym)
+	if err != nil {
+		return nil, err
+	}
+	d := biosig.Generate(spec)
+	return toPublic(d.Segs), nil
+}
+
+func toPublic(segs []biosig.Segment) []Segment {
+	out := make([]Segment, len(segs))
+	for i, s := range segs {
+		out[i] = Segment{Samples: s.Samples, Label: s.Label}
+	}
+	return out
+}
+
+// Config configures engine construction. The zero value builds the
+// paper's default setup for a case that must be set explicitly.
+type Config struct {
+	// Case is a Table 1 symbol: C1, C2, E1, E2, M1, M2.
+	Case string
+	// Kind selects the engine distribution (default CrossEnd).
+	Kind EngineKind
+	// Process selects the sensor technology (default 90 nm).
+	Process Process
+	// Wireless selects the link model (default Model 2).
+	Wireless Wireless
+	// Protocol selects the training protocol (default fast).
+	Protocol Protocol
+	// SampleRateHz sets the biosignal sampling rate (default 2048).
+	SampleRateHz float64
+	// Seed overrides the case's deterministic training seed.
+	Seed int64
+	// PruneKeep, when in (0,1), prunes every base SVM to that fraction
+	// of its largest-coefficient support vectors before the topology is
+	// built — shrinking the in-sensor SVM cells at some accuracy cost
+	// (see the BenchmarkAblationSVPruning numbers). 0 disables pruning.
+	PruneKeep float64
+}
+
+// trained caches classifiers per (case, seed, protocol): training is by
+// far the most expensive step of New, and Process/Wireless/Kind/pruning
+// choices never affect it, so design-space sweeps (Compare, Recommend)
+// reuse one trained ensemble. Cached ensembles and test sets are
+// read-only after construction and safe to share across engines.
+var trained = struct {
+	sync.Mutex
+	m map[string]*trainedEntry
+}{m: make(map[string]*trainedEntry)}
+
+type trainedEntry struct {
+	ens  *ensemble.Ensemble
+	test *biosig.Dataset
+}
+
+func trainedEnsemble(caseSym string, seed int64, protocol Protocol) (*ensemble.Ensemble, *biosig.Dataset, error) {
+	key := fmt.Sprintf("%s/%d/%d", caseSym, seed, protocol)
+	trained.Lock()
+	defer trained.Unlock()
+	if e, ok := trained.m[key]; ok {
+		return e.ens, e.test, nil
+	}
+	spec, err := biosig.CaseBySymbol(caseSym)
+	if err != nil {
+		return nil, nil, err
+	}
+	d := biosig.Generate(spec)
+	rng := rand.New(rand.NewSource(seed))
+	train, test := d.Split(0.75, rng)
+	var tcfg ensemble.Config
+	if protocol == ProtocolPaper {
+		tcfg = ensemble.PaperConfig(seed)
+	} else {
+		tcfg = ensemble.DefaultConfig(seed)
+	}
+	ens, err := ensemble.Train(train, tcfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("xpro: training %s: %w", caseSym, err)
+	}
+	trained.m[key] = &trainedEntry{ens: ens, test: test}
+	return ens, test, nil
+}
+
+// Engine is a fully built XPro instance: a trained classifier
+// partitioned across a simulated sensor node and aggregator.
+type Engine struct {
+	cfg    Config
+	system *xsystem.System
+	ens    *ensemble.Ensemble
+	graph  *topology.Graph
+	test   *biosig.Dataset
+	gen    partition.Result
+	acc    float64
+}
+
+// New trains the generic classification for cfg.Case, builds its
+// functional-cell topology, characterizes the cells, and places them
+// according to cfg.Kind. For CrossEnd, the Automatic XPro Generator
+// solves the delay-constrained min-cut with T_XPro = min(T_F, T_B).
+func New(cfg Config) (*Engine, error) {
+	if cfg.Case == "" {
+		return nil, errors.New("xpro: Config.Case must name a test case (C1, C2, E1, E2, M1, M2)")
+	}
+	spec, err := biosig.CaseBySymbol(cfg.Case)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.SampleRateHz == 0 {
+		cfg.SampleRateHz = sensornode.DefaultSampleRateHz
+	}
+	seed := spec.Seed
+	if cfg.Seed != 0 {
+		seed = cfg.Seed
+	}
+
+	ens, test, err := trainedEnsemble(cfg.Case, seed, cfg.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.PruneKeep != 0 {
+		if cfg.PruneKeep < 0 || cfg.PruneKeep >= 1 {
+			return nil, fmt.Errorf("xpro: PruneKeep %v outside (0,1)", cfg.PruneKeep)
+		}
+		ens, err = ens.Pruned(cfg.PruneKeep)
+		if err != nil {
+			return nil, err
+		}
+	}
+	acc, err := ens.Accuracy(test)
+	if err != nil {
+		return nil, err
+	}
+	g, err := topology.Build(ens, spec.SegLen)
+	if err != nil {
+		return nil, err
+	}
+
+	proc := cfg.Process.internal()
+	link := cfg.Wireless.internal()
+	cpu := aggregator.CortexA8()
+	mk := func(p partition.Placement) (*xsystem.System, error) {
+		return xsystem.New(g, ens, proc, link, cpu, p, cfg.SampleRateHz)
+	}
+
+	var placement partition.Placement
+	var gen partition.Result
+	switch cfg.Kind {
+	case InSensor:
+		placement = partition.InSensor(g)
+	case InAggregator:
+		placement = partition.InAggregator(g)
+	case TrivialCut:
+		placement = partition.Trivial(g)
+	case CrossEnd:
+		a, err := mk(partition.InAggregator(g))
+		if err != nil {
+			return nil, err
+		}
+		s, err := mk(partition.InSensor(g))
+		if err != nil {
+			return nil, err
+		}
+		limit := a.DelayPerEvent().Total()
+		if ds := s.DelayPerEvent().Total(); ds < limit {
+			limit = ds
+		}
+		gen, err = a.Problem().Generate(func(p partition.Placement) float64 {
+			return a.DelayOf(p).Total()
+		}, limit)
+		if err != nil {
+			return nil, fmt.Errorf("xpro: generating cross-end placement: %w", err)
+		}
+		placement = gen.Placement
+	default:
+		return nil, fmt.Errorf("xpro: unknown engine kind %d", cfg.Kind)
+	}
+
+	sys, err := mk(placement)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, system: sys, ens: ens, graph: g, test: test, gen: gen, acc: acc}, nil
+}
+
+// Classify runs one segment through the partitioned pipeline and returns
+// the predicted label (0 or 1). Sensor-side cells compute in Q16.16
+// fixed point, aggregator-side cells in float64.
+func (e *Engine) Classify(samples []float64) (int, error) {
+	return e.system.Classify(biosig.Segment{Samples: samples})
+}
+
+// TestSet returns the engine's held-out test segments (25% of the case
+// dataset, §4.4).
+func (e *Engine) TestSet() []Segment { return toPublic(e.test.Segs) }
+
+// SoftwareAccuracy is the pure-software ensemble accuracy on the held-out
+// test set.
+func (e *Engine) SoftwareAccuracy() float64 { return e.acc }
+
+// Accuracy classifies the whole held-out test set through the
+// partitioned pipeline.
+func (e *Engine) Accuracy() (float64, error) { return e.system.Accuracy(e.test) }
+
+// CellPlacement describes where one functional cell landed.
+type CellPlacement struct {
+	Name string
+	Role string
+	End  string // "sensor" or "aggregator"
+}
+
+// Placement lists every functional cell and its end.
+func (e *Engine) Placement() []CellPlacement {
+	out := make([]CellPlacement, len(e.graph.Cells))
+	for i, c := range e.graph.Cells {
+		end := "aggregator"
+		if e.system.Placement.OnSensor(c.ID) {
+			end = "sensor"
+		}
+		out[i] = CellPlacement{Name: c.Name, Role: c.Role.String(), End: end}
+	}
+	return out
+}
+
+// Report summarizes the engine's modeled energy, delay and lifetime.
+type Report struct {
+	Case string
+	Kind string
+
+	Cells           int
+	SensorCells     int
+	AggregatorCells int
+	// UsedFallback is true when the generator fell back to a single-end
+	// engine to meet the delay constraint (§3.2.3).
+	UsedFallback bool
+
+	// Sensor node per-event energy (J) and its breakdown.
+	SensorEnergyPerEvent  float64
+	SensorComputeEnergy   float64
+	SensorWirelessEnergy  float64
+	SensorSensingEnergy   float64
+	SensorAvgPowerWatts   float64
+	SensorLifetimeHours   float64
+	AggregatorEnergyEvent float64
+	AggregatorLifetimeH   float64
+
+	// Per-event delay (s) and its Fig. 10 breakdown.
+	DelayPerEventSeconds float64
+	FrontEndDelay        float64
+	WirelessDelay        float64
+	BackEndDelay         float64
+
+	EventsPerSecond float64
+	// MaxEventRate is the highest steady-state rate the placement can
+	// pipeline (slowest resource bound).
+	MaxEventRate     float64
+	SoftwareAccuracy float64
+}
+
+// Report computes the engine's summary.
+func (e *Engine) Report() Report {
+	en := e.system.EnergyPerEvent()
+	d := e.system.DelayPerEvent()
+	life, _ := e.system.SensorLifetimeHours()
+	aggLife, _ := e.system.AggregatorLifetimeHours()
+	ns, na := e.system.Placement.Counts()
+	return Report{
+		Case:                  e.cfg.Case,
+		Kind:                  e.cfg.Kind.String(),
+		Cells:                 len(e.graph.Cells),
+		SensorCells:           ns,
+		AggregatorCells:       na,
+		UsedFallback:          e.gen.Fallback,
+		SensorEnergyPerEvent:  en.SensorTotal(),
+		SensorComputeEnergy:   en.SensorCompute,
+		SensorWirelessEnergy:  en.SensorWireless(),
+		SensorSensingEnergy:   en.Sensing,
+		SensorAvgPowerWatts:   e.system.SensorAvgPower(),
+		SensorLifetimeHours:   life,
+		AggregatorEnergyEvent: en.AggregatorTotal(),
+		AggregatorLifetimeH:   aggLife,
+		DelayPerEventSeconds:  d.Total(),
+		FrontEndDelay:         d.FrontEnd,
+		WirelessDelay:         d.Wireless,
+		BackEndDelay:          d.BackEnd,
+		EventsPerSecond:       e.system.EventsPerSecond(),
+		MaxEventRate:          e.system.MaxSustainableEventRate(),
+		SoftwareAccuracy:      e.acc,
+	}
+}
+
+// SimulatedDelay runs one event through the discrete-event scheduler
+// (internal/eventsim), which models link and CPU contention explicitly
+// and lets pipeline phases overlap. It is a lower, more faithful
+// estimate than Report's additive Fig. 10 decomposition and never
+// exceeds it.
+func (e *Engine) SimulatedDelay() (float64, error) {
+	tr, err := e.simulate()
+	if err != nil {
+		return 0, err
+	}
+	return tr.Finish, nil
+}
+
+// Timeline renders the discrete-event schedule of one classification
+// event: every cell activation and wireless transfer with its start and
+// end time.
+func (e *Engine) Timeline() (string, error) {
+	tr, err := e.simulate()
+	if err != nil {
+		return "", err
+	}
+	return tr.Render(), nil
+}
+
+func (e *Engine) simulate() (*eventsim.Trace, error) {
+	return eventsim.Simulate(eventsim.Input{
+		Graph:       e.graph,
+		Placement:   e.system.Placement,
+		SensorDelay: e.system.HW.Delay,
+		AggDelay: func(id topology.CellID) float64 {
+			return e.system.CPU.CellCost(e.graph.Cells[id].Spec).Delay
+		},
+		Link: e.system.Link,
+	})
+}
+
+// Verilog emits a synthesizable Verilog skeleton of the engine's
+// in-sensor analytic part: one module per sensor-placed functional cell
+// with the asynchronous handshake interface of Fig. 3, plus a top-level
+// module wiring the topology, with tx/rx ports at the cross-end
+// boundary. Engines whose placement keeps no cell on the sensor (the
+// in-aggregator engine) return an error.
+func (e *Engine) Verilog() (string, error) {
+	return hdl.GenerateVerilog(e.graph, e.system.Placement, e.system.HW)
+}
+
+// DomainImportance measures, by permutation on the held-out test set,
+// which signal domains the trained classifier leans on: the share of
+// total margin-importance mass per domain, keyed "time", "dwt1".."dwt5",
+// "dwtA". It makes the paper's §2.1 heterogeneity claim measurable (EEG
+// prefers the DWT domain, EMG the time domain).
+func (e *Engine) DomainImportance() (map[string]float64, error) {
+	n := len(e.test.Segs)
+	if n > 200 {
+		n = 200
+	}
+	eval := &biosig.Dataset{SegLen: e.test.SegLen, Segs: e.test.Segs[:n]}
+	shares, err := e.ens.DomainImportance(eval, 2, 99)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(shares))
+	for d, s := range shares {
+		out[ensemble.DomainName(d)] = s
+	}
+	return out, nil
+}
+
+// PeakPowerWatts returns the sensor node's peak instantaneous compute
+// power during one event, from the cycle-stepped cell-array simulation:
+// the regulator-sizing figure the average-energy model hides.
+func (e *Engine) PeakPowerWatts() (float64, error) {
+	res, err := cellsim.Simulate(e.graph, e.system.Placement, e.system.HW)
+	if err != nil {
+		return 0, err
+	}
+	return cellsim.PeakPower(res, e.system.HW), nil
+}
+
+// DOT renders the engine's placed functional-cell graph in Graphviz
+// format: sensor and aggregator clusters with crossing payloads
+// highlighted.
+func (e *Engine) DOT() string {
+	return e.graph.DOT(e.system.Placement.OnSensor)
+}
+
+// Compare builds all four engine kinds for one configuration and returns
+// their reports in order: in-aggregator, trivial, in-sensor, cross-end.
+// It retrains once per kind with identical seeds, so the underlying
+// classifier is the same.
+func Compare(cfg Config) ([]Report, error) {
+	kinds := []EngineKind{InAggregator, TrivialCut, InSensor, CrossEnd}
+	out := make([]Report, 0, len(kinds))
+	for _, k := range kinds {
+		c := cfg
+		c.Kind = k
+		eng, err := New(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, eng.Report())
+	}
+	return out, nil
+}
+
+// RunExperiments regenerates the requested paper experiment ("all",
+// "table1", "fig4", "fig8".."fig13", "headline") and writes its
+// formatted table to w.
+func RunExperiments(w io.Writer, id string, protocol Protocol, cases ...string) error {
+	lab := experiments.NewLab()
+	if protocol == ProtocolPaper {
+		lab.Config = ensemble.PaperConfig
+	}
+	lab.Cases = cases
+	if id == "all" || id == "" {
+		return experiments.All(lab, w)
+	}
+	return experiments.Run(lab, id, w)
+}
