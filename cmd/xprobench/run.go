@@ -4,15 +4,23 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 
 	"xpro/internal/ensemble"
 	"xpro/internal/experiments"
+	"xpro/internal/telemetry"
 )
 
 // run executes the tool against args, writing results to stdout and
 // diagnostics to stderr. It returns the process exit code, which main
 // passes to os.Exit — keeping the whole tool testable in-process.
+//
+// Experiment harnesses build their systems internally, so their runtime
+// counters land on the process-global telemetry registry
+// (telemetry.Default()); -metrics-addr serves that registry, and
+// -trace-out installs the process-global span tracer before anything
+// runs.
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("xprobench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -21,6 +29,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	protocol := fs.String("protocol", "fast", "training protocol: fast or paper")
 	rate := fs.Float64("rate", 2048, "biosignal sampling rate in Hz")
 	format := fs.String("format", "text", "output format: text, md or csv")
+	metricsAddr := fs.String("metrics-addr", "", "serve the process-global /metrics, /trace and pprof on this address during the run (e.g. :9090)")
+	traceOut := fs.String("trace-out", "", "record per-cell spans process-wide and write them as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -29,6 +39,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "xprobench: %v\n", err)
 		return 2
+	}
+
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		// Install before any experiment runs so every Classify records.
+		tracer = telemetry.NewTracer(2 * telemetry.DefaultTraceCapacity)
+		telemetry.SetDefaultTracer(tracer)
+		defer telemetry.SetDefaultTracer(nil)
+	}
+	if *metricsAddr != "" {
+		srv := telemetry.NewServer(telemetry.Default(), tracer)
+		addr, err := srv.Start(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "xprobench: %v\n", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(stdout, "introspection: http://%s/ (/metrics /trace /debug/pprof)\n", addr)
 	}
 
 	lab := experiments.NewLab()
@@ -55,5 +83,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "xprobench: %v\n", err)
 		return 1
 	}
+
+	if *traceOut != "" {
+		if err := writeTrace(tracer, *traceOut); err != nil {
+			fmt.Fprintf(stderr, "xprobench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "trace: %d spans written to %s (%d recorded, %d dropped)\n",
+			tracer.Len(), *traceOut, tracer.Recorded(), tracer.Dropped())
+	}
 	return 0
+}
+
+func writeTrace(tr *telemetry.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -48,6 +51,31 @@ func TestRunFig4NoTraining(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "Module,Serial") {
 		t.Error("csv output malformed")
+	}
+}
+
+func TestRunMetricsServer(t *testing.T) {
+	// fig4 needs no training, so the server lifecycle test stays fast.
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-exp", "fig4", "-metrics-addr", "127.0.0.1:0",
+		"-trace-out", tracePath}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "introspection: http://127.0.0.1:") {
+		t.Errorf("missing introspection line:\n%s", s)
+	}
+	if !strings.Contains(s, "spans written to "+tracePath) {
+		t.Errorf("missing trace summary:\n%s", s)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(raw) {
+		t.Error("trace file is not valid JSON")
 	}
 }
 

@@ -4,6 +4,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	"os"
+	"strings"
 
 	"xpro"
 )
@@ -17,6 +20,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	kind := fs.String("kind", "cross", "engine kind: cross, sensor, aggregator, trivial")
 	n := fs.Int("n", 200, "number of segments to stream")
 	trace := fs.Bool("trace", false, "print the discrete-event timeline of one event")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /trace, /enginez and pprof on this address during the run (e.g. :9090; :0 picks a free port)")
+	traceOut := fs.String("trace-out", "", "write the recorded per-cell span trace as JSON to this file after the run")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -40,6 +45,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "xprosim: %v\n", err)
 		return 1
+	}
+	obs := eng.Observer()
+	if *metricsAddr != "" {
+		addr, err := obs.StartIntrospection(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "xprosim: %v\n", err)
+			return 1
+		}
+		defer obs.StopIntrospection()
+		fmt.Fprintf(stdout, "introspection: http://%s/ (/metrics /trace /enginez /debug/pprof)\n", addr)
 	}
 	rep := eng.Report()
 	fmt.Fprintf(stdout, "streaming %s through the %s engine (%d sensor / %d aggregator cells)\n",
@@ -85,5 +100,55 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rep.SensorEnergyPerEvent*1e6, rep.DelayPerEventSeconds*1e3)
 	fmt.Fprintf(stdout, "projected battery life at %.1f events/s: %.0f hours\n",
 		rep.EventsPerSecond, rep.SensorLifetimeHours)
+
+	if *metricsAddr != "" {
+		if code := scrapeMetrics(obs.IntrospectionAddr(), stdout, stderr); code != 0 {
+			return code
+		}
+	}
+	if *traceOut != "" {
+		if err := writeTrace(eng, *traceOut); err != nil {
+			fmt.Fprintf(stderr, "xprosim: %v\n", err)
+			return 1
+		}
+		retained, recorded, dropped := obs.TraceStats()
+		fmt.Fprintf(stdout, "trace: %d spans written to %s (%d recorded, %d dropped)\n",
+			retained, *traceOut, recorded, dropped)
+	}
 	return 0
+}
+
+// scrapeMetrics fetches the tool's own /metrics endpoint — proving the
+// server is live — and echoes the classification counters.
+func scrapeMetrics(addr string, stdout, stderr io.Writer) int {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		fmt.Fprintf(stderr, "xprosim: scraping own metrics: %v\n", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fmt.Fprintf(stderr, "xprosim: scraping own metrics: %v\n", err)
+		return 1
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "xpro_classify_total") ||
+			strings.HasPrefix(line, "xpro_cells_executed_total") {
+			fmt.Fprintf(stdout, "metrics: %s\n", line)
+		}
+	}
+	return 0
+}
+
+func writeTrace(eng *xpro.Engine, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := eng.Observer().WriteTraceJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

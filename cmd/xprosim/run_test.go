@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -39,5 +42,55 @@ func TestRunStreamAndTrace(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Errorf("output missing %q", want)
 		}
+	}
+}
+
+func TestRunMetricsAndTraceOut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains an engine")
+	}
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-case", "C1", "-kind", "trivial", "-n", "10",
+		"-metrics-addr", "127.0.0.1:0", "-trace-out", tracePath}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "introspection: http://127.0.0.1:") {
+		t.Errorf("missing introspection line:\n%s", s)
+	}
+	// The self-scrape proves the server was live and the counters moved.
+	if !strings.Contains(s, "metrics: xpro_classify_total 10") {
+		t.Errorf("missing non-zero classify_total scrape:\n%s", s)
+	}
+	if !strings.Contains(s, "spans written to "+tracePath) {
+		t.Errorf("missing trace summary line:\n%s", s)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Recorded uint64 `json:"recorded"`
+		Spans    []struct {
+			Name string `json:"name"`
+			End  string `json:"end"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file invalid JSON: %v", err)
+	}
+	if len(doc.Spans) == 0 || doc.Recorded == 0 {
+		t.Fatalf("trace file empty: %+v", doc)
+	}
+	perCell := 0
+	for _, sp := range doc.Spans {
+		if sp.End == "sensor" || sp.End == "aggregator" {
+			perCell++
+		}
+	}
+	if perCell == 0 {
+		t.Error("trace file has no per-cell spans")
 	}
 }

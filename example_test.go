@@ -1,9 +1,11 @@
 package xpro_test
 
 import (
+	"bytes"
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"xpro"
 )
@@ -56,4 +58,39 @@ func ExampleRunExperiments() {
 	if err := xpro.RunExperiments(os.Stdout, "fig4", xpro.ProtocolFast); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// ExampleEngine_Observer classifies one segment and inspects the
+// telemetry it produced: the Prometheus-style counters and the per-cell
+// span trace.
+func ExampleEngine_Observer() {
+	eng, err := xpro.New(xpro.Config{Case: "C1"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := eng.Classify(eng.TestSet()[0].Samples); err != nil {
+		log.Fatal(err)
+	}
+	obs := eng.Observer()
+
+	var buf bytes.Buffer
+	if err := obs.WriteMetricsText(&buf); err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "xpro_classify_total") {
+			fmt.Println(line)
+		}
+	}
+
+	perCell := 0
+	for _, sp := range obs.Spans() {
+		if sp.End == "sensor" || sp.End == "aggregator" {
+			perCell++
+		}
+	}
+	fmt.Printf("one span per executed cell: %v\n", perCell == eng.Report().Cells)
+	// Output:
+	// xpro_classify_total 1
+	// one span per executed cell: true
 }

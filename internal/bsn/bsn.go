@@ -19,6 +19,7 @@ import (
 
 	"xpro/internal/aggregator"
 	"xpro/internal/battery"
+	"xpro/internal/telemetry"
 	"xpro/internal/xsystem"
 )
 
@@ -34,6 +35,21 @@ type Network struct {
 	// CPU is the shared aggregator processor; it must match the CPU
 	// model the node systems were built with.
 	CPU aggregator.CPU
+	// Metrics receives the network's per-node gauges; nil falls back to
+	// telemetry.Default().
+	Metrics *telemetry.Registry
+}
+
+func (nw *Network) metrics() *telemetry.Registry {
+	if nw.Metrics != nil {
+		return nw.Metrics
+	}
+	return telemetry.Default()
+}
+
+// nodeGauge registers a per-node gauge series labeled node=name.
+func (nw *Network) nodeGauge(family, help, node string) *telemetry.Gauge {
+	return nw.metrics().Gauge(telemetry.WithLabels(family, map[string]string{"node": node}), help)
 }
 
 // New assembles a network. Node names must be unique and non-empty.
@@ -68,21 +84,25 @@ func (nw *Network) NodeLifetimes() (map[string]float64, error) {
 			return nil, fmt.Errorf("bsn: node %s: %w", n.Name, err)
 		}
 		out[n.Name] = h
+		nw.nodeGauge("xpro_node_lifetime_hours",
+			"Modeled sensor battery life per network node.", n.Name).Set(h)
 	}
 	return out, nil
 }
 
 // BottleneckNode returns the node with the shortest battery life — the
-// one that dictates the network's maintenance interval.
+// one that dictates the network's maintenance interval. Ties resolve to
+// the node listed first, so the result is deterministic for a given
+// node order.
 func (nw *Network) BottleneckNode() (string, float64, error) {
 	lifetimes, err := nw.NodeLifetimes()
 	if err != nil {
 		return "", 0, err
 	}
 	name, best := "", 0.0
-	for n, h := range lifetimes {
-		if name == "" || h < best {
-			name, best = n, h
+	for _, n := range nw.Nodes {
+		if h := lifetimes[n.Name]; name == "" || h < best {
+			name, best = n.Name, h
 		}
 	}
 	return name, best, nil
@@ -110,8 +130,14 @@ func (nw *Network) AggregatorLifetimeHours() (float64, error) {
 func (nw *Network) AggregatorUtilization() float64 {
 	u := 0.0
 	for _, n := range nw.Nodes {
-		u += n.Sys.DelayPerEvent().BackEnd * n.Sys.EventsPerSecond()
+		nu := n.Sys.DelayPerEvent().BackEnd * n.Sys.EventsPerSecond()
+		nw.nodeGauge("xpro_node_backend_utilization",
+			"Share of aggregator CPU time each node's back-end work consumes.",
+			n.Name).Set(nu)
+		u += nu
 	}
+	nw.metrics().Gauge("xpro_aggregator_utilization",
+		"Fraction of aggregator CPU time the whole network consumes (≥1 cannot keep up).").Set(u)
 	return u
 }
 
@@ -128,6 +154,9 @@ func (nw *Network) WorstCaseDelay() map[string]float64 {
 	for _, n := range nw.Nodes {
 		d := n.Sys.DelayPerEvent()
 		out[n.Name] = d.FrontEnd + d.Wireless + backendSum
+		nw.nodeGauge("xpro_node_worst_case_delay_seconds",
+			"End-to-end event delay per node when every node fires simultaneously.",
+			n.Name).Set(out[n.Name])
 	}
 	return out
 }

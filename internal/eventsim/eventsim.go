@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"xpro/internal/partition"
+	"xpro/internal/telemetry"
 	"xpro/internal/topology"
 	"xpro/internal/wireless"
 )
@@ -71,6 +72,26 @@ type Input struct {
 	SensorDelay func(topology.CellID) float64
 	AggDelay    func(topology.CellID) float64
 	Link        wireless.Model
+	// Channel, when set, replaces Link's clean air time with the lossy
+	// channel's sampled (re)transmission schedule: each crossing payload
+	// takes as long as its sampled attempts. Payloads that exhaust their
+	// retries are counted as drops and assumed recovered by the upper
+	// layer at the cost already accounted.
+	Channel *wireless.Channel
+	// SensorEnergyPerEvent, when positive, is the modeled per-event
+	// sensor energy added to the battery-drain counter per simulated
+	// event.
+	SensorEnergyPerEvent float64
+	// Metrics receives the simulator's runtime counters; nil falls back
+	// to telemetry.Default().
+	Metrics *telemetry.Registry
+}
+
+func (in Input) metrics() *telemetry.Registry {
+	if in.Metrics != nil {
+		return in.Metrics
+	}
+	return telemetry.Default()
 }
 
 // transfer is one queued link payload.
@@ -160,6 +181,7 @@ func Simulate(in Input) (*Trace, error) {
 
 	trace := &Trace{}
 	linkFree, cpuFree := 0.0, 0.0
+	retransmissions, drops := 0, 0
 
 	// inputsReady returns when all of a cell's inputs are available on
 	// its end, or unscheduled if some dependency is not yet done.
@@ -256,6 +278,16 @@ func Simulate(in Input) (*Trace, error) {
 		if next != nil {
 			start := math.Max(next.readyAt, linkFree)
 			dur := in.Link.Cost(next.bits).Delay
+			if in.Channel != nil {
+				tr, retrans, err := in.Channel.SendStats(next.bits)
+				dur = tr.Delay
+				if retrans > 0 {
+					retransmissions += retrans
+				}
+				if err != nil {
+					drops++
+				}
+			}
 			next.started = true
 			next.arriveAt = start + dur
 			linkFree = next.arriveAt
@@ -303,6 +335,30 @@ func Simulate(in Input) (*Trace, error) {
 	if resultTr != nil {
 		trace.Finish = resultTr.arriveAt
 	}
+
+	m := in.metrics()
+	m.Counter("xpro_eventsim_events_total",
+		"Classification events run through the discrete-event simulator.").Inc()
+	m.Counter("xpro_eventsim_activities_total",
+		"Scheduled activities (cell activations and link transfers).").
+		Add(float64(len(trace.Activities)))
+	m.Counter("xpro_eventsim_transfers_total",
+		"Wireless payloads scheduled on the link.").Add(float64(len(transfers)))
+	if retransmissions > 0 {
+		m.Counter("xpro_eventsim_retransmissions_total",
+			"Packet retransmissions sampled on the lossy channel.").
+			Add(float64(retransmissions))
+	}
+	if drops > 0 {
+		m.Counter("xpro_eventsim_drops_total",
+			"Payloads that exhausted their retry budget.").Add(float64(drops))
+	}
+	if in.SensorEnergyPerEvent > 0 {
+		m.Counter("xpro_eventsim_sensor_energy_joules_total",
+			"Accumulated modeled sensor battery drain of simulated events.").
+			Add(in.SensorEnergyPerEvent)
+	}
+
 	sort.SliceStable(trace.Activities, func(i, j int) bool {
 		if trace.Activities[i].Start != trace.Activities[j].Start {
 			return trace.Activities[i].Start < trace.Activities[j].Start

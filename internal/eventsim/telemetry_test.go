@@ -1,0 +1,83 @@
+package eventsim
+
+import (
+	"testing"
+
+	"xpro/internal/telemetry"
+	"xpro/internal/wireless"
+)
+
+// counterValue extracts one counter's value from a registry snapshot.
+func counterValue(t *testing.T, reg *telemetry.Registry, name string) float64 {
+	t.Helper()
+	for _, m := range reg.Snapshot() {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	return 0
+}
+
+func TestSimulateMetrics(t *testing.T) {
+	in, _, err := syntheticInput(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	in.Metrics = reg
+	in.SensorEnergyPerEvent = 3e-6
+	tr, err := Simulate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(t, reg, "xpro_eventsim_events_total"); got != 1 {
+		t.Errorf("events_total = %v, want 1", got)
+	}
+	if got := counterValue(t, reg, "xpro_eventsim_activities_total"); got != float64(len(tr.Activities)) {
+		t.Errorf("activities_total = %v, want %d", got, len(tr.Activities))
+	}
+	if got := counterValue(t, reg, "xpro_eventsim_sensor_energy_joules_total"); got != 3e-6 {
+		t.Errorf("sensor_energy_joules_total = %v, want 3e-6", got)
+	}
+	// A second event accumulates.
+	if _, err := Simulate(in); err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(t, reg, "xpro_eventsim_events_total"); got != 2 {
+		t.Errorf("events_total after 2 runs = %v, want 2", got)
+	}
+	if got := counterValue(t, reg, "xpro_eventsim_sensor_energy_joules_total"); got != 6e-6 {
+		t.Errorf("battery drain after 2 runs = %v, want 6e-6", got)
+	}
+}
+
+func TestSimulateLossyChannel(t *testing.T) {
+	in, _, err := syntheticInput(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := Simulate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := wireless.NewChannel(in.Link, 0.5, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	in.Metrics = reg
+	in.Channel = ch
+	lossy, err := Simulate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counterValue(t, reg, "xpro_eventsim_transfers_total") > 0 {
+		// With 50% loss some packet almost surely retransmits.
+		if got := counterValue(t, reg, "xpro_eventsim_retransmissions_total"); got == 0 {
+			t.Error("retransmissions_total = 0 on a 50% lossy channel with transfers")
+		}
+		if lossy.Finish < clean.Finish-1e-12 {
+			t.Errorf("lossy finish %v earlier than clean %v", lossy.Finish, clean.Finish)
+		}
+	}
+}

@@ -28,9 +28,11 @@ package partition
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"xpro/internal/maxflow"
 	"xpro/internal/sensornode"
+	"xpro/internal/telemetry"
 	"xpro/internal/topology"
 	"xpro/internal/wireless"
 )
@@ -152,6 +154,16 @@ type Problem struct {
 	// meet tight delay limits. nil disables the term; energy pricing is
 	// unaffected either way.
 	AggDelay func(topology.CellID) float64
+	// Metrics receives the generator's runtime counters; nil falls back
+	// to telemetry.Default().
+	Metrics *telemetry.Registry
+}
+
+func (pr *Problem) metrics() *telemetry.Registry {
+	if pr.Metrics != nil {
+		return pr.Metrics
+	}
+	return telemetry.Default()
 }
 
 // SensorEnergy returns the per-event energy of the sensor node under
@@ -368,6 +380,10 @@ func (pr *Problem) Generate(delayOf func(Placement) float64, limit float64) (Res
 	if limit <= 0 {
 		return Result{}, fmt.Errorf("partition: non-positive delay limit %v", limit)
 	}
+	m := pr.metrics()
+	start := time.Now()
+	mincutRuns := m.Counter("xpro_generate_mincut_runs_total",
+		"Min-cut solves performed by the Automatic XPro Generator.")
 	type cand struct {
 		p      Placement
 		lambda float64
@@ -384,6 +400,7 @@ func (pr *Problem) Generate(delayOf func(Placement) float64, limit float64) (Res
 	for _, l := range lambdaLadder {
 		fg := pr.stGraph(l)
 		_, side, _ := fg.MinCut(0, 1)
+		mincutRuns.Inc()
 		p := pr.placementFromSide(side)
 		if !seen(p) {
 			cands = append(cands, cand{p: p, lambda: l})
@@ -394,15 +411,34 @@ func (pr *Problem) Generate(delayOf func(Placement) float64, limit float64) (Res
 	// λ). Greedy repair fills that gap: walk each infeasible sweep cut
 	// toward the limit by pulling back, one at a time, the offloaded
 	// cell with the best delay reduction per unit of added energy.
+	repairSteps := m.Counter("xpro_generate_repair_steps_total",
+		"Greedy-repair placements explored to bridge Lagrangian feasibility gaps.")
 	for _, c := range append([]cand(nil), cands...) {
 		if delayOf(c.p) <= limit {
 			continue
 		}
-		for _, q := range pr.greedyRepair(c.p, delayOf, limit) {
+		repaired := pr.greedyRepair(c.p, delayOf, limit)
+		repairSteps.Add(float64(len(repaired)))
+		for _, q := range repaired {
 			if !seen(q) {
 				cands = append(cands, cand{p: q, lambda: c.lambda})
 			}
 		}
+	}
+	m.Counter("xpro_generate_candidates_total",
+		"Distinct candidate placements considered by the generator.").
+		Add(float64(len(cands)))
+	done := func(res Result) Result {
+		m.Counter("xpro_generate_total",
+			"Delay-constrained generator runs completed.").Inc()
+		if res.Fallback {
+			m.Counter("xpro_generate_fallback_total",
+				"Generator runs that fell back to a single-end engine (§3.2.3).").Inc()
+		}
+		m.Histogram("xpro_generate_seconds",
+			"Wall time of one generator run.", telemetry.DurationBuckets).
+			Observe(time.Since(start).Seconds())
+		return res
 	}
 
 	best := Result{Energy: -1}
@@ -417,7 +453,7 @@ func (pr *Problem) Generate(delayOf func(Placement) float64, limit float64) (Res
 		}
 	}
 	if best.Energy >= 0 {
-		return best, nil
+		return done(best), nil
 	}
 
 	// Fallback: the better single-end engine. With limit = min(T_F, T_B)
@@ -437,7 +473,7 @@ func (pr *Problem) Generate(delayOf func(Placement) float64, limit float64) (Res
 	if fallback.Placement == nil {
 		return Result{}, fmt.Errorf("partition: delay limit %v infeasible even for single-end engines", limit)
 	}
-	return fallback, nil
+	return done(fallback), nil
 }
 
 // greedyRepair returns the trajectory of placements produced by moving

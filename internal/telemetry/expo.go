@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bucket is one cumulative histogram bucket in a snapshot.
+type Bucket struct {
+	// UpperBound is the bucket's inclusive upper bound (le).
+	UpperBound float64
+	// Count is the cumulative number of observations ≤ UpperBound.
+	Count uint64
+}
+
+// MetricSnapshot is the point-in-time state of one metric series. It is
+// a value copy: later registry updates do not affect it.
+type MetricSnapshot struct {
+	// Name is the full series name, including any {label} suffix.
+	Name string
+	// Help is the family's help text.
+	Help string
+	Kind MetricKind
+	// Value is the counter or gauge value (unused for histograms).
+	Value float64
+	// Count and Sum summarize a histogram's observations.
+	Count uint64
+	Sum   float64
+	// Buckets are the histogram's cumulative buckets, ending with +Inf.
+	Buckets []Bucket
+}
+
+// Snapshot returns a copy of every registered series, sorted by family
+// then full name. The copy is isolated: subsequent metric updates do
+// not change it.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	out := make([]MetricSnapshot, 0, len(names))
+	for _, name := range names {
+		fam := familyOf(name)
+		m := MetricSnapshot{Name: name, Help: help[fam]}
+		switch {
+		case counters[name] != nil:
+			m.Kind = KindCounter
+			m.Value = counters[name].Value()
+		case gauges[name] != nil:
+			m.Kind = KindGauge
+			m.Value = gauges[name].Value()
+		case hists[name] != nil:
+			h := hists[name]
+			m.Kind = KindHistogram
+			m.Buckets = make([]Bucket, len(h.uppers)+1)
+			var cum uint64
+			for i := range h.uppers {
+				cum += h.buckets[i].Load()
+				m.Buckets[i] = Bucket{UpperBound: h.uppers[i], Count: cum}
+			}
+			cum += h.buckets[len(h.uppers)].Load()
+			m.Buckets[len(h.uppers)] = Bucket{UpperBound: math.Inf(1), Count: cum}
+			m.Count = cum
+			m.Sum = h.Sum()
+		default:
+			continue
+		}
+		out = append(out, m)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		fi, fj := familyOf(out[i].Name), familyOf(out[j].Name)
+		if fi != fj {
+			return fi < fj
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// WriteProm writes the registry in the Prometheus text exposition
+// format (version 0.0.4): one HELP/TYPE header per family followed by
+// its series, families in sorted order.
+func (r *Registry) WriteProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	lastFam := ""
+	for _, m := range r.Snapshot() {
+		fam := familyOf(m.Name)
+		if fam != lastFam {
+			if m.Help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", fam, strings.ReplaceAll(m.Help, "\n", " "))
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", fam, m.Kind)
+			lastFam = fam
+		}
+		switch m.Kind {
+		case KindHistogram:
+			base, labels := splitSeries(m.Name)
+			for _, b := range m.Buckets {
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", base, mergeLabels(labels, "le", formatLe(b.UpperBound)), b.Count)
+			}
+			fmt.Fprintf(bw, "%s_sum%s %s\n", base, braced(labels), formatFloat(m.Sum))
+			fmt.Fprintf(bw, "%s_count%s %d\n", base, braced(labels), m.Count)
+		default:
+			fmt.Fprintf(bw, "%s %s\n", m.Name, formatFloat(m.Value))
+		}
+	}
+	return bw.Flush()
+}
+
+// splitSeries splits "fam{a=\"b\"}" into "fam" and `a="b"`.
+func splitSeries(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// braced re-wraps a label body, or returns "" for none.
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// mergeLabels appends one extra label to an existing label body.
+func mergeLabels(labels, key, value string) string {
+	extra := key + `="` + value + `"`
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return "{" + labels + "," + extra + "}"
+}
+
+func formatLe(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return formatFloat(v)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

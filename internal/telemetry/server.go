@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Server is the opt-in introspection HTTP server. It exposes:
+//
+//	/metrics      Prometheus text exposition of the registry
+//	/trace        the span ring as JSON
+//	/enginez      registered status sections (config, placement, report)
+//	/debug/vars   expvar
+//	/debug/pprof  the standard Go profiler endpoints
+//
+// A Server is created idle by NewServer; Start binds and serves in the
+// background until Close.
+type Server struct {
+	reg    *Registry
+	tracer *Tracer
+
+	mu     sync.Mutex
+	status map[string]func() any
+	ln     net.Listener
+	hs     *http.Server
+}
+
+// NewServer creates an idle introspection server over reg and tr.
+// Either may be nil: /metrics then serves an empty exposition and
+// /trace an empty span list.
+func NewServer(reg *Registry, tr *Tracer) *Server {
+	return &Server{reg: reg, tracer: tr, status: make(map[string]func() any)}
+}
+
+// RegisterStatus adds (or replaces) one /enginez section. fn is invoked
+// per request; it must be safe for concurrent use and return a
+// JSON-marshalable value.
+func (s *Server) RegisterStatus(section string, fn func() any) {
+	if s == nil || section == "" || fn == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.status[section] = fn
+}
+
+// Handler returns the server's route mux, usable standalone (e.g. in
+// tests or when embedding into an existing server).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.serveIndex)
+	mux.HandleFunc("/metrics", s.serveMetrics)
+	mux.HandleFunc("/trace", s.serveTrace)
+	mux.HandleFunc("/enginez", s.serveEnginez)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start binds addr (":0" picks a free port) and serves in a background
+// goroutine. It returns the bound address, e.g. "127.0.0.1:43211".
+func (s *Server) Start(addr string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln != nil {
+		return "", errors.New("telemetry: server already started")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: %w", err)
+	}
+	s.ln = ln
+	s.hs = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go s.hs.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address, or "" before Start.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server. Closing an unstarted server is a no-op.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	hs := s.hs
+	s.ln, s.hs = nil, nil
+	s.mu.Unlock()
+	if hs == nil {
+		return nil
+	}
+	return hs.Close()
+}
+
+func (s *Server) serveIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "xpro introspection server")
+	fmt.Fprintln(w, "")
+	fmt.Fprintln(w, "  /metrics      Prometheus text exposition")
+	fmt.Fprintln(w, "  /trace        per-cell span ring (JSON)")
+	fmt.Fprintln(w, "  /enginez      engine config, placement and report (JSON)")
+	fmt.Fprintln(w, "  /debug/vars   expvar")
+	fmt.Fprintln(w, "  /debug/pprof  Go profiler")
+}
+
+func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WriteProm(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) serveTrace(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if err := s.tracer.WriteJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) serveEnginez(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	fns := make(map[string]func() any, len(s.status))
+	for k, v := range s.status {
+		fns[k] = v
+	}
+	s.mu.Unlock()
+	doc := make(map[string]any, len(fns))
+	names := make([]string, 0, len(fns))
+	for k := range fns {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		doc[k] = fns[k]()
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("xpro_classify_total", "Segments classified.").Add(7)
+	tr := NewTracer(8)
+	tr.Add(Span{Event: 1, Name: "mean.time", End: "sensor"})
+
+	srv := NewServer(reg, tr)
+	srv.RegisterStatus("config", func() any { return map[string]string{"case": "C1"} })
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Addr() != addr {
+		t.Errorf("Addr = %s, want %s", srv.Addr(), addr)
+	}
+	base := "http://" + addr
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "xpro_classify_total 7") {
+		t.Errorf("/metrics = %d\n%s", code, body)
+	}
+
+	code, body = get(t, base+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace = %d", code)
+	}
+	var doc struct {
+		Spans []Span `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/trace invalid JSON: %v", err)
+	}
+	if len(doc.Spans) != 1 || doc.Spans[0].Name != "mean.time" {
+		t.Errorf("/trace spans = %+v", doc.Spans)
+	}
+
+	code, body = get(t, base+"/enginez")
+	if code != http.StatusOK || !strings.Contains(body, `"case": "C1"`) {
+		t.Errorf("/enginez = %d\n%s", code, body)
+	}
+
+	code, body = get(t, base+"/")
+	if code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index = %d\n%s", code, body)
+	}
+
+	code, _ = get(t, base+"/debug/vars")
+	if code != http.StatusOK {
+		t.Errorf("/debug/vars = %d", code)
+	}
+	code, _ = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+	code, _ = get(t, base+"/nosuchpage")
+	if code != http.StatusNotFound {
+		t.Errorf("unknown page = %d, want 404", code)
+	}
+}
+
+func TestServerNilBackends(t *testing.T) {
+	srv := NewServer(nil, nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + addr
+	if code, body := get(t, base+"/metrics"); code != http.StatusOK || body != "" {
+		t.Errorf("/metrics with nil registry = %d %q", code, body)
+	}
+	if code, body := get(t, base+"/trace"); code != http.StatusOK || !strings.Contains(body, `"spans":[]`) {
+		t.Errorf("/trace with nil tracer = %d %q", code, body)
+	}
+}
+
+func TestServerLifecycle(t *testing.T) {
+	srv := NewServer(NewRegistry(), nil)
+	if srv.Addr() != "" {
+		t.Error("Addr before Start must be empty")
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close before Start: %v", err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Start("127.0.0.1:0"); err == nil {
+		t.Error("second Start must fail")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Timeout: 2 * time.Second}
+	if _, err := client.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("server still reachable after Close")
+	}
+}

@@ -156,8 +156,15 @@ func (e *ErrDropped) Error() string {
 // returned Transfer accounts for every (re)transmission actually made;
 // on drop, the partial cost is still returned with the error.
 func (c *Channel) Send(dataBits int64) (Transfer, error) {
+	tr, _, err := c.SendStats(dataBits)
+	return tr, err
+}
+
+// SendStats is Send plus the number of retransmissions actually made:
+// packet attempts beyond each packet's first. On drop, the partial cost
+// and retransmission count are still returned with the error.
+func (c *Channel) SendStats(dataBits int64) (tr Transfer, retransmissions int, err error) {
 	packets := Packets(dataBits)
-	var tr Transfer
 	tr.DataBits = dataBits
 	for p := int64(0); p < packets; p++ {
 		bits := int64(MaxPayloadBits)
@@ -167,6 +174,9 @@ func (c *Channel) Send(dataBits int64) (Transfer, error) {
 		bits += HeaderBits
 		delivered := false
 		for attempt := 0; attempt <= c.MaxRetries; attempt++ {
+			if attempt > 0 {
+				retransmissions++
+			}
 			tr.WireBits += bits
 			tr.TxEnergy += float64(bits) * c.TxJPerBit
 			tr.RxEnergy += float64(bits) * c.RxJPerBit
@@ -177,10 +187,10 @@ func (c *Channel) Send(dataBits int64) (Transfer, error) {
 			}
 		}
 		if !delivered {
-			return tr, &ErrDropped{Packet: int(p)}
+			return tr, retransmissions, &ErrDropped{Packet: int(p)}
 		}
 	}
-	return tr, nil
+	return tr, retransmissions, nil
 }
 
 // ExpectedInflation returns the mean retransmission factor of the lossy

@@ -151,6 +151,8 @@ func (s *System) Stream(in <-chan biosig.Segment) <-chan StreamResult {
 	}
 
 	// Distributor: one event envelope per cell per segment.
+	streamed := s.metrics().Counter("xpro_stream_events_total",
+		"Segments accepted by the streaming pipeline.")
 	count := make(chan int, 1)
 	go func() {
 		n := 0
@@ -170,6 +172,7 @@ func (s *System) Stream(in <-chan biosig.Segment) <-chan StreamResult {
 			if !delivered {
 				break
 			}
+			streamed.Inc()
 			n++
 		}
 		count <- n

@@ -1,0 +1,126 @@
+package xsystem
+
+import (
+	"testing"
+
+	"xpro/internal/partition"
+	"xpro/internal/telemetry"
+)
+
+func registryCounter(reg *telemetry.Registry, name string) float64 {
+	for _, m := range reg.Snapshot() {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	return 0
+}
+
+func TestClassifyMetricsAndSpans(t *testing.T) {
+	f := getFixture(t)
+	s := newSystem(t, f, partition.Trivial(f.graph))
+	s.Metrics = telemetry.NewRegistry()
+	s.Tracer = telemetry.NewTracer(4 * len(f.graph.Cells))
+
+	seg := f.test.Segs[0]
+	if _, err := s.Classify(seg); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := registryCounter(s.Metrics, "xpro_classify_total"); got != 1 {
+		t.Errorf("classify_total = %v, want 1", got)
+	}
+	ns, na := s.Placement.Counts()
+	if got := registryCounter(s.Metrics, `xpro_cells_executed_total{end="sensor"}`); got != float64(ns) {
+		t.Errorf("sensor cell executions = %v, want %d", got, ns)
+	}
+	if got := registryCounter(s.Metrics, `xpro_cells_executed_total{end="aggregator"}`); got != float64(na) {
+		t.Errorf("aggregator cell executions = %v, want %d", got, na)
+	}
+
+	spans := s.Tracer.Spans()
+	// One span per cell plus the whole-event span.
+	if len(spans) != len(f.graph.Cells)+1 {
+		t.Fatalf("spans = %d, want %d cells + 1 event", len(spans), len(f.graph.Cells))
+	}
+	byName := make(map[string]telemetry.Span)
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+	}
+	for _, c := range f.graph.Cells {
+		sp, ok := byName[c.Name]
+		if !ok {
+			t.Fatalf("no span for cell %s", c.Name)
+		}
+		wantEnd := "aggregator"
+		if s.Placement.OnSensor(c.ID) {
+			wantEnd = "sensor"
+		}
+		if sp.End != wantEnd {
+			t.Errorf("cell %s span end = %s, want %s", c.Name, sp.End, wantEnd)
+		}
+		energy, delay := s.CellCost(c.ID)
+		if sp.EnergyJoules != energy || sp.DelaySeconds != delay {
+			t.Errorf("cell %s span cost = (%g J, %g s), want (%g, %g)",
+				c.Name, sp.EnergyJoules, sp.DelaySeconds, energy, delay)
+		}
+		if sp.Wall < 0 {
+			t.Errorf("cell %s negative wall time", c.Name)
+		}
+	}
+	evSpan, ok := byName["classify"]
+	if !ok {
+		t.Fatal("no whole-event classify span")
+	}
+	if evSpan.End != "event" {
+		t.Errorf("event span end = %s", evSpan.End)
+	}
+
+	// A second event gets a fresh event ID.
+	if _, err := s.Classify(seg); err != nil {
+		t.Fatal(err)
+	}
+	spans = s.Tracer.Spans()
+	last := spans[len(spans)-1]
+	if last.Event != 2 {
+		t.Errorf("second classification event id = %d, want 2", last.Event)
+	}
+}
+
+func TestClassifyErrorCounted(t *testing.T) {
+	f := getFixture(t)
+	s := newSystem(t, f, partition.Trivial(f.graph))
+	s.Metrics = telemetry.NewRegistry()
+	if _, err := s.Classify(f.test.Segs[0]); err != nil {
+		t.Fatal(err)
+	}
+	short := f.test.Segs[0]
+	short.Samples = short.Samples[:3]
+	if _, err := s.Classify(short); err == nil {
+		t.Fatal("short segment must fail")
+	}
+	if got := registryCounter(s.Metrics, "xpro_classify_errors_total"); got != 1 {
+		t.Errorf("classify_errors_total = %v, want 1", got)
+	}
+	if got := registryCounter(s.Metrics, "xpro_classify_total"); got != 1 {
+		t.Errorf("classify_total = %v, want 1 (errors not counted as successes)", got)
+	}
+}
+
+func TestCellCostMatchesModels(t *testing.T) {
+	f := getFixture(t)
+	s := newSystem(t, f, partition.Trivial(f.graph))
+	for _, c := range f.graph.Cells {
+		energy, delay := s.CellCost(c.ID)
+		if s.Placement.OnSensor(c.ID) {
+			if energy != s.HW.Energy(c.ID) || delay != s.HW.Delay(c.ID) {
+				t.Fatalf("cell %s sensor cost mismatch", c.Name)
+			}
+		} else {
+			cc := s.CPU.CellCost(f.graph.Cells[c.ID].Spec)
+			if energy != cc.Energy || delay != cc.Delay {
+				t.Fatalf("cell %s aggregator cost mismatch", c.Name)
+			}
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"xpro/internal/aggregator"
 	"xpro/internal/battery"
@@ -35,6 +36,7 @@ import (
 	"xpro/internal/partition"
 	"xpro/internal/sensornode"
 	"xpro/internal/stats"
+	"xpro/internal/telemetry"
 	"xpro/internal/topology"
 	"xpro/internal/wireless"
 )
@@ -50,8 +52,45 @@ type System struct {
 	// SampleRateHz sets the event rate (events/s = rate / segment len).
 	SampleRateHz float64
 
+	// Metrics receives the system's runtime counters; nil falls back to
+	// telemetry.Default(). Set it before serving traffic.
+	Metrics *telemetry.Registry
+	// Tracer, when set (or when a process default is installed with
+	// telemetry.SetDefaultTracer), records one span per executed cell
+	// during Classify: cell name, end, measured wall time, and the
+	// modeled per-activation energy and delay.
+	Tracer *telemetry.Tracer
+
 	problem *partition.Problem
 	order   []topology.CellID
+}
+
+// metrics returns the effective registry (never nil-dereferenced:
+// telemetry handles tolerate nil).
+func (s *System) metrics() *telemetry.Registry {
+	if s.Metrics != nil {
+		return s.Metrics
+	}
+	return telemetry.Default()
+}
+
+// tracer returns the effective span sink; usually nil (tracing is
+// opt-in).
+func (s *System) tracer() *telemetry.Tracer {
+	if s.Tracer != nil {
+		return s.Tracer
+	}
+	return telemetry.DefaultTracer()
+}
+
+// CellCost returns the modeled per-activation energy (J) and delay (s)
+// of cell id on the end the placement assigned it to.
+func (s *System) CellCost(id topology.CellID) (energyJ, delayS float64) {
+	if s.Placement.OnSensor(id) {
+		return s.HW.Energy(id), s.HW.Delay(id)
+	}
+	cc := s.CPU.CellCost(s.Graph.Cells[id].Spec)
+	return cc.Energy, cc.Delay
 }
 
 // New builds a system for a trained ensemble, a characterized topology
@@ -370,7 +409,33 @@ var ErrNotClassified = errors.New("xsystem: pipeline produced no classification"
 // the predicted label (0 or 1). Sensor-side cells compute in Q16.16,
 // aggregator-side cells in float64; values crossing the link are
 // converted, exactly as the fixed-point payloads would be decoded.
+//
+// Each call increments the registry's xpro_classify_* series, and when
+// a tracer is wired it records one span per executed cell plus a
+// whole-event "classify" span.
 func (s *System) Classify(seg biosig.Segment) (int, error) {
+	start := time.Now()
+	label, err := s.classify(seg, start)
+	m := s.metrics()
+	if err != nil {
+		m.Counter("xpro_classify_errors_total",
+			"Classify calls that returned an error.").Inc()
+		return label, err
+	}
+	m.Counter("xpro_classify_total",
+		"Segments classified through the partitioned pipeline.").Inc()
+	m.Histogram("xpro_classify_seconds",
+		"Wall time of one Classify call.", telemetry.DurationBuckets).
+		Observe(time.Since(start).Seconds())
+	ns, na := s.Placement.Counts()
+	m.Counter(telemetry.WithLabels("xpro_cells_executed_total", map[string]string{"end": "sensor"}),
+		"Functional-cell activations by end.").Add(float64(ns))
+	m.Counter(telemetry.WithLabels("xpro_cells_executed_total", map[string]string{"end": "aggregator"}),
+		"Functional-cell activations by end.").Add(float64(na))
+	return label, nil
+}
+
+func (s *System) classify(seg biosig.Segment, start time.Time) (int, error) {
 	if s.Ens == nil {
 		return 0, errors.New("xsystem: cost-analysis-only system has no classifier (built with nil ensemble)")
 	}
@@ -380,16 +445,50 @@ func (s *System) Classify(seg biosig.Segment) (int, error) {
 	g := s.Graph
 	outputs := make([]value, len(g.Cells))
 
+	tr := s.tracer()
+	var evID uint64
+	if tr != nil {
+		evID = tr.NextEvent()
+	}
 	ev := newEvent(s.Graph, seg)
 	for _, id := range s.order {
 		c := g.Cells[id]
 		ins := g.InEdges(id)
 		fetch := func(i int) value { return outputs[ins[i].From] }
+		var t0 time.Time
+		if tr != nil {
+			t0 = time.Now()
+		}
 		out, err := s.evalCell(c, ins, fetch, ev)
+		if tr != nil {
+			end := "aggregator"
+			if s.Placement.OnSensor(id) {
+				end = "sensor"
+			}
+			energy, delay := s.CellCost(id)
+			span := telemetry.Span{
+				Event: evID, Name: c.Name, End: end,
+				Start: t0, Wall: time.Since(t0),
+				EnergyJoules: energy, DelaySeconds: delay,
+			}
+			if err != nil {
+				span.Err = err.Error()
+			}
+			tr.Add(span)
+		}
 		if err != nil {
 			return 0, fmt.Errorf("xsystem: cell %s: %w", c.Name, err)
 		}
 		outputs[id] = out
+	}
+	if tr != nil {
+		d := s.DelayPerEvent()
+		tr.Add(telemetry.Span{
+			Event: evID, Name: "classify", End: "event",
+			Start: start, Wall: time.Since(start),
+			EnergyJoules: s.EnergyPerEvent().SensorTotal(),
+			DelaySeconds: d.Total(),
+		})
 	}
 
 	final := outputs[g.Output]

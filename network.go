@@ -3,9 +3,11 @@ package xpro
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"xpro/internal/aggregator"
 	"xpro/internal/bsn"
+	"xpro/internal/telemetry"
 )
 
 // Network is a body sensor network: multiple wearable engines sharing
@@ -15,17 +17,26 @@ import (
 type Network struct {
 	nw      *bsn.Network
 	engines map[string]*Engine
+	obs     *Observer
 }
 
 // NewNetwork assembles a network from named engines. The engines should
 // be built with the same Process/Wireless configuration; names must be
-// unique.
+// unique. Nodes are ordered by name, so network results — including
+// bottleneck tie-breaks — are deterministic regardless of map iteration
+// order.
 func NewNetwork(engines map[string]*Engine) (*Network, error) {
 	if len(engines) == 0 {
 		return nil, errors.New("xpro: network needs at least one engine")
 	}
-	var nodes []bsn.Node
-	for name, e := range engines {
+	names := make([]string, 0, len(engines))
+	for name := range engines {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	nodes := make([]bsn.Node, 0, len(names))
+	for _, name := range names {
+		e := engines[name]
 		if e == nil {
 			return nil, fmt.Errorf("xpro: nil engine %q", name)
 		}
@@ -35,7 +46,18 @@ func NewNetwork(engines map[string]*Engine) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Network{nw: nw, engines: engines}, nil
+	obs := newObserver(telemetry.DefaultTraceCapacity)
+	nw.Metrics = obs.reg
+	n := &Network{nw: nw, engines: engines, obs: obs}
+	obs.setStatus("nodes", func() any { return names })
+	obs.setStatus("report", func() any {
+		rep, err := n.Report()
+		if err != nil {
+			return map[string]string{"error": err.Error()}
+		}
+		return rep
+	})
+	return n, nil
 }
 
 // NetworkReport summarizes the shared-resource behaviour of the network.

@@ -1,0 +1,314 @@
+package xpro
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"xpro/internal/biosig"
+	"xpro/internal/eventsim"
+	"xpro/internal/telemetry"
+	"xpro/internal/wireless"
+)
+
+// This file is the public face of the observability subsystem
+// (internal/telemetry). Every Engine and Network carries an Observer:
+// a private metrics registry plus a bounded per-cell span tracer, with
+// an opt-in introspection HTTP server exposing both.
+//
+// The paper reasons about the system at the granularity of functional
+// cells (§3); the Observer exposes exactly that granularity at runtime:
+// which cell ran where, how long the host actually took, and what the
+// modeled hardware would have spent.
+
+// Metric is a point-in-time copy of one metric series.
+type Metric struct {
+	// Name is the series name, e.g. `xpro_classify_total` or
+	// `xpro_node_lifetime_hours{node="chest"}`.
+	Name string
+	// Help is the family's description.
+	Help string
+	// Kind is "counter", "gauge" or "histogram".
+	Kind string
+	// Value is the counter or gauge value.
+	Value float64
+	// Count and Sum summarize a histogram's observations.
+	Count uint64
+	Sum   float64
+	// Buckets are a histogram's cumulative buckets, ending at +Inf.
+	Buckets []MetricBucket
+}
+
+// MetricBucket is one cumulative histogram bucket.
+type MetricBucket struct {
+	// UpperBound is the inclusive upper bound (+Inf for the last).
+	UpperBound float64
+	// Count is the number of observations ≤ UpperBound.
+	Count uint64
+}
+
+// Span is one recorded unit of work: a functional-cell activation
+// during Classify, or the whole classification event (Cell "classify",
+// End "event").
+type Span struct {
+	// Event groups the spans of one classification event.
+	Event uint64
+	// Cell is the functional-cell name, or "classify".
+	Cell string
+	// End is "sensor", "aggregator" or "event".
+	End string
+	// Start and Wall are the measured host execution window.
+	Start time.Time
+	Wall  time.Duration
+	// EnergyJoules and DelaySeconds are the modeled per-activation
+	// costs on End.
+	EnergyJoules float64
+	DelaySeconds float64
+}
+
+// Observer is the observability handle of one Engine or Network: a
+// concurrency-safe metrics registry, a bounded span tracer, and an
+// opt-in introspection HTTP server. All methods are safe for
+// concurrent use.
+type Observer struct {
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
+
+	mu     sync.Mutex
+	status map[string]func() any
+	srv    *telemetry.Server
+}
+
+func newObserver(traceCapacity int) *Observer {
+	return &Observer{
+		reg:    telemetry.NewRegistry(),
+		tracer: telemetry.NewTracer(traceCapacity),
+		status: make(map[string]func() any),
+	}
+}
+
+// setStatus registers one /enginez section.
+func (o *Observer) setStatus(section string, fn func() any) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.status[section] = fn
+}
+
+// Metrics returns a snapshot of every metric series, sorted by name.
+func (o *Observer) Metrics() []Metric {
+	snap := o.reg.Snapshot()
+	out := make([]Metric, len(snap))
+	for i, m := range snap {
+		out[i] = Metric{
+			Name:  m.Name,
+			Help:  m.Help,
+			Kind:  m.Kind.String(),
+			Value: m.Value,
+			Count: m.Count,
+			Sum:   m.Sum,
+		}
+		if len(m.Buckets) > 0 {
+			out[i].Buckets = make([]MetricBucket, len(m.Buckets))
+			for j, b := range m.Buckets {
+				out[i].Buckets[j] = MetricBucket{UpperBound: b.UpperBound, Count: b.Count}
+			}
+		}
+	}
+	return out
+}
+
+// MetricValue returns the current value of one counter or gauge series
+// by exact name (0 when absent) — a convenience for tests and quick
+// checks.
+func (o *Observer) MetricValue(name string) float64 {
+	for _, m := range o.reg.Snapshot() {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	return 0
+}
+
+// WriteMetricsText writes the registry in the Prometheus text
+// exposition format — the same bytes the /metrics endpoint serves.
+func (o *Observer) WriteMetricsText(w io.Writer) error {
+	return o.reg.WriteProm(w)
+}
+
+// PublishExpvar additionally publishes the metrics under the given
+// expvar name on /debug/vars. Names are process-global; publishing an
+// already-taken name is a no-op.
+func (o *Observer) PublishExpvar(name string) { o.reg.PublishExpvar(name) }
+
+// Spans returns the retained spans, oldest first.
+func (o *Observer) Spans() []Span {
+	spans := o.tracer.Spans()
+	out := make([]Span, len(spans))
+	for i, s := range spans {
+		out[i] = Span{
+			Event:        s.Event,
+			Cell:         s.Name,
+			End:          s.End,
+			Start:        s.Start,
+			Wall:         s.Wall,
+			EnergyJoules: s.EnergyJoules,
+			DelaySeconds: s.DelaySeconds,
+		}
+	}
+	return out
+}
+
+// TraceStats reports the span ring's occupancy: retained spans, total
+// recorded, and how many were evicted.
+func (o *Observer) TraceStats() (retained int, recorded, dropped uint64) {
+	return o.tracer.Len(), o.tracer.Recorded(), o.tracer.Dropped()
+}
+
+// WriteTraceJSON writes the retained spans as one JSON document — the
+// same bytes the /trace endpoint serves.
+func (o *Observer) WriteTraceJSON(w io.Writer) error {
+	return o.tracer.WriteJSON(w)
+}
+
+// StartIntrospection binds addr (":0" picks a free port) and serves
+// /metrics, /trace, /enginez, /debug/vars and /debug/pprof in the
+// background until StopIntrospection. It returns the bound address.
+func (o *Observer) StartIntrospection(addr string) (string, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.srv != nil {
+		return "", errors.New("xpro: introspection server already running")
+	}
+	srv := telemetry.NewServer(o.reg, o.tracer)
+	for name, fn := range o.status {
+		srv.RegisterStatus(name, fn)
+	}
+	bound, err := srv.Start(addr)
+	if err != nil {
+		return "", err
+	}
+	o.srv = srv
+	return bound, nil
+}
+
+// IntrospectionAddr returns the running server's address, or "".
+func (o *Observer) IntrospectionAddr() string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.srv == nil {
+		return ""
+	}
+	return o.srv.Addr()
+}
+
+// StopIntrospection shuts the introspection server down. Stopping an
+// unstarted observer is a no-op.
+func (o *Observer) StopIntrospection() error {
+	o.mu.Lock()
+	srv := o.srv
+	o.srv = nil
+	o.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}
+
+// Observer returns the engine's observability handle. The engine's
+// Classify and ClassifyBatch record metrics and per-cell spans into it,
+// and the Automatic XPro Generator's run during New is accounted there
+// too.
+func (e *Engine) Observer() *Observer { return e.obs }
+
+// Observer returns the network's observability handle: per-node gauges
+// refresh on every Report.
+func (n *Network) Observer() *Observer { return n.obs }
+
+// ClassifyBatch classifies segments through the streaming execution
+// mode: the partitioned pipeline runs as a network of concurrent
+// functional cells and events overlap, exactly like the asynchronous
+// hardware (§3.1.1). Results are returned in input order; the first
+// failing segment aborts the batch.
+func (e *Engine) ClassifyBatch(segments [][]float64) ([]int, error) {
+	start := time.Now()
+	labels, err := e.classifyBatch(segments)
+	m := e.obs.reg
+	if err != nil {
+		m.Counter("xpro_classify_batch_errors_total",
+			"ClassifyBatch calls that returned an error.").Inc()
+		return nil, err
+	}
+	m.Counter("xpro_classify_batch_total",
+		"Completed ClassifyBatch calls.").Inc()
+	m.Counter("xpro_classify_batch_segments_total",
+		"Segments classified by ClassifyBatch calls.").Add(float64(len(segments)))
+	m.Histogram("xpro_classify_batch_seconds",
+		"Wall time of one ClassifyBatch call.", telemetry.DurationBuckets).
+		Observe(time.Since(start).Seconds())
+	return labels, nil
+}
+
+func (e *Engine) classifyBatch(segments [][]float64) ([]int, error) {
+	in := make(chan biosig.Segment)
+	results := e.system.Stream(in)
+	// stop unblocks the feeder when the batch aborts early; the stream's
+	// own shutdown already drains its cell goroutines.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		defer close(in)
+		for _, s := range segments {
+			select {
+			case in <- biosig.Segment{Samples: s}:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	labels := make([]int, 0, len(segments))
+	for r := range results {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		labels = append(labels, r.Label)
+	}
+	if len(labels) != len(segments) {
+		return nil, fmt.Errorf("xpro: stream returned %d results for %d segments", len(labels), len(segments))
+	}
+	return labels, nil
+}
+
+// SimulatedLossyDelay is SimulatedDelay over a lossy wireless link:
+// packets are lost independently with probability loss and retransmitted
+// up to maxRetries times each, seeded deterministically. The returned
+// delay is never smaller than the clean-channel SimulatedDelay, and the
+// retransmission count lands on the engine observer's
+// xpro_eventsim_retransmissions_total counter.
+func (e *Engine) SimulatedLossyDelay(loss float64, maxRetries int, seed int64) (float64, error) {
+	ch, err := wireless.NewChannel(e.system.Link, loss, maxRetries, seed)
+	if err != nil {
+		return 0, err
+	}
+	in := e.simInput()
+	in.Channel = ch
+	tr, err := eventsim.Simulate(in)
+	if err != nil {
+		return 0, err
+	}
+	return tr.Finish, nil
+}
+
+// SortedMetricNames lists the engine observer's registered series names
+// — handy for discovering what to scrape.
+func (e *Engine) SortedMetricNames() []string {
+	snap := e.obs.reg.Snapshot()
+	names := make([]string, len(snap))
+	for i, m := range snap {
+		names[i] = m.Name
+	}
+	sort.Strings(names)
+	return names
+}

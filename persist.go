@@ -10,6 +10,7 @@ import (
 	"xpro/internal/biosig"
 	"xpro/internal/ensemble"
 	"xpro/internal/partition"
+	"xpro/internal/telemetry"
 	"xpro/internal/topology"
 	"xpro/internal/xsystem"
 )
@@ -53,6 +54,9 @@ func Load(r io.Reader) (*Engine, error) {
 	if err := gob.NewDecoder(r).Decode(&ep); err != nil {
 		return nil, fmt.Errorf("xpro: decoding engine: %w", err)
 	}
+	if ep.Version > persistVersion {
+		return nil, fmt.Errorf("xpro: snapshot version %d is newer than this build supports (max %d); update xpro or re-save the engine with this version", ep.Version, persistVersion)
+	}
 	if ep.Version != persistVersion {
 		return nil, fmt.Errorf("xpro: snapshot version %d, this build reads %d", ep.Version, persistVersion)
 	}
@@ -84,5 +88,7 @@ func Load(r io.Reader) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{cfg: cfg, system: sys, ens: ep.Ens, graph: g, test: test, gen: ep.Gen, acc: ep.Accuracy}, nil
+	obs := newObserver(telemetry.DefaultTraceCapacity)
+	attachObserver(sys, obs)
+	return newEngine(cfg, sys, ep.Ens, g, test, ep.Gen, ep.Accuracy, obs), nil
 }

@@ -2,6 +2,8 @@ package xpro
 
 import (
 	"bytes"
+	"encoding/gob"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -86,5 +88,29 @@ func TestLoadRejectsWrongVersion(t *testing.T) {
 	trunc := buf.Bytes()[:buf.Len()/2]
 	if _, err := Load(bytes.NewReader(trunc)); err == nil {
 		t.Error("truncated snapshot should fail")
+	}
+}
+
+func TestLoadRejectsNewerVersion(t *testing.T) {
+	// A snapshot written by a future xpro must be refused with an error
+	// that names both versions, not misread as the current format.
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(enginePersist{
+		Version: persistVersion + 1,
+		Config:  Config{Case: "C1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(&buf)
+	if err == nil {
+		t.Fatal("newer snapshot version must be rejected")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "newer than this build supports") {
+		t.Errorf("error should say the snapshot is too new: %q", msg)
+	}
+	if !strings.Contains(msg, fmt.Sprint(persistVersion+1)) || !strings.Contains(msg, fmt.Sprintf("max %d", persistVersion)) {
+		t.Errorf("error should name both versions: %q", msg)
 	}
 }

@@ -46,6 +46,7 @@ import (
 	"xpro/internal/hdl"
 	"xpro/internal/partition"
 	"xpro/internal/sensornode"
+	"xpro/internal/telemetry"
 	"xpro/internal/topology"
 	"xpro/internal/wireless"
 	"xpro/internal/xsystem"
@@ -268,6 +269,43 @@ type Engine struct {
 	test   *biosig.Dataset
 	gen    partition.Result
 	acc    float64
+	obs    *Observer
+}
+
+// attachObserver points a system's telemetry hooks (and its pricing
+// problem's) at the engine observer, so Classify, Stream and the
+// Automatic XPro Generator all record into the same registry.
+func attachObserver(sys *xsystem.System, obs *Observer) {
+	sys.Metrics = obs.reg
+	sys.Tracer = obs.tracer
+	sys.Problem().Metrics = obs.reg
+}
+
+// newEngine finishes engine construction: it publishes the placement's
+// headline figures as gauges and registers the /enginez status sections.
+func newEngine(cfg Config, sys *xsystem.System, ens *ensemble.Ensemble,
+	g *topology.Graph, test *biosig.Dataset, gen partition.Result,
+	acc float64, obs *Observer) *Engine {
+	e := &Engine{cfg: cfg, system: sys, ens: ens, graph: g, test: test,
+		gen: gen, acc: acc, obs: obs}
+	rep := e.Report()
+	m := obs.reg
+	m.Gauge("xpro_engine_cells", "Functional cells in the engine topology.").
+		Set(float64(rep.Cells))
+	m.Gauge(telemetry.WithLabels("xpro_engine_cells_placed", map[string]string{"end": "sensor"}),
+		"Functional cells placed per end.").Set(float64(rep.SensorCells))
+	m.Gauge(telemetry.WithLabels("xpro_engine_cells_placed", map[string]string{"end": "aggregator"}),
+		"Functional cells placed per end.").Set(float64(rep.AggregatorCells))
+	m.Gauge("xpro_engine_sensor_energy_joules_per_event",
+		"Modeled sensor-node energy per classification event.").Set(rep.SensorEnergyPerEvent)
+	m.Gauge("xpro_engine_delay_seconds_per_event",
+		"Modeled end-to-end delay per classification event.").Set(rep.DelayPerEventSeconds)
+	m.Gauge("xpro_engine_sensor_lifetime_hours",
+		"Modeled sensor battery lifetime.").Set(rep.SensorLifetimeHours)
+	obs.setStatus("config", func() any { return e.cfg })
+	obs.setStatus("placement", func() any { return e.Placement() })
+	obs.setStatus("report", func() any { return e.Report() })
+	return e
 }
 
 // New trains the generic classification for cfg.Case, builds its
@@ -315,8 +353,14 @@ func New(cfg Config) (*Engine, error) {
 	proc := cfg.Process.internal()
 	link := cfg.Wireless.internal()
 	cpu := aggregator.CortexA8()
+	obs := newObserver(telemetry.DefaultTraceCapacity)
 	mk := func(p partition.Placement) (*xsystem.System, error) {
-		return xsystem.New(g, ens, proc, link, cpu, p, cfg.SampleRateHz)
+		sys, err := xsystem.New(g, ens, proc, link, cpu, p, cfg.SampleRateHz)
+		if err != nil {
+			return nil, err
+		}
+		attachObserver(sys, obs)
+		return sys, nil
 	}
 
 	var placement partition.Placement
@@ -356,7 +400,7 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{cfg: cfg, system: sys, ens: ens, graph: g, test: test, gen: gen, acc: acc}, nil
+	return newEngine(cfg, sys, ens, g, test, gen, acc, obs), nil
 }
 
 // Classify runs one segment through the partitioned pipeline and returns
@@ -490,15 +534,24 @@ func (e *Engine) Timeline() (string, error) {
 }
 
 func (e *Engine) simulate() (*eventsim.Trace, error) {
-	return eventsim.Simulate(eventsim.Input{
+	return eventsim.Simulate(e.simInput())
+}
+
+// simInput assembles the discrete-event simulator's view of the engine.
+// Simulator counters (events, transfers, battery drain) land on the
+// engine observer.
+func (e *Engine) simInput() eventsim.Input {
+	return eventsim.Input{
 		Graph:       e.graph,
 		Placement:   e.system.Placement,
 		SensorDelay: e.system.HW.Delay,
 		AggDelay: func(id topology.CellID) float64 {
 			return e.system.CPU.CellCost(e.graph.Cells[id].Spec).Delay
 		},
-		Link: e.system.Link,
-	})
+		Link:                 e.system.Link,
+		SensorEnergyPerEvent: e.system.EnergyPerEvent().SensorTotal(),
+		Metrics:              e.obs.reg,
+	}
 }
 
 // Verilog emits a synthesizable Verilog skeleton of the engine's
