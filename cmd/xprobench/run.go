@@ -24,7 +24,8 @@ import (
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("xprobench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	exp := fs.String("exp", "all", "experiment id (all, table1, fig4, fig8..fig13, headline, ext-lossy, ext-frontier)")
+	exp := fs.String("exp", "all", "experiment id (all, table1, fig4, fig8..fig13, headline, ext-lossy, ext-frontier, ext-faults, ...)")
+	faultsOnly := fs.Bool("faults", false, "shorthand for -exp ext-faults: the graceful-degradation table under injected fault scenarios")
 	cases := fs.String("cases", "", "comma-separated case symbols (default: all six)")
 	protocol := fs.String("protocol", "fast", "training protocol: fast or paper")
 	rate := fs.Float64("rate", 2048, "biosignal sampling rate in Hz")
@@ -74,6 +75,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		lab.Cases = strings.Split(*cases, ",")
 	}
 
+	if *faultsOnly {
+		*exp = "ext-faults"
+	}
 	if *exp == "all" {
 		err = experiments.AllFormat(lab, stdout, of)
 	} else {

@@ -22,11 +22,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	trace := fs.Bool("trace", false, "print the discrete-event timeline of one event")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /trace, /enginez and pprof on this address during the run (e.g. :9090; :0 picks a free port)")
 	traceOut := fs.String("trace-out", "", "write the recorded per-cell span trace as JSON to this file after the run")
+	faultsFlag := fs.String("faults", "", "inject a fault scenario and classify through the resilience ladder: "+strings.Join(xpro.FaultScenarios(), ", "))
+	faultSeed := fs.Int64("fault-seed", 7, "seed of the injected fault plan (same seed replays the identical run)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	cfg := xpro.Config{Case: *caseSym}
+	if *faultsFlag != "" {
+		// The plan's horizon covers the whole streamed run: n events at
+		// the engine's event period (segment length / sample rate).
+		horizon := 60.0
+		for _, ci := range xpro.Cases() {
+			if ci.Symbol == *caseSym {
+				horizon = float64(*n) * float64(ci.SegmentLength) / 2048.0
+			}
+		}
+		plan, err := xpro.FaultScenario(*faultsFlag, *faultSeed, horizon)
+		if err != nil {
+			fmt.Fprintf(stderr, "xprosim: %v\n", err)
+			return 2
+		}
+		cfg.FaultPlan = plan
+		cfg.Resilience = xpro.DefaultResilience()
+	}
 	switch *kind {
 	case "cross":
 		cfg.Kind = xpro.CrossEnd
@@ -76,15 +95,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		*n = len(test)
 	}
 	correct := 0
+	degraded := 0
+	modes := make(map[string]int)
 	var energy, seconds float64
 	for i := 0; i < *n; i++ {
-		got, err := eng.Classify(test[i].Samples)
+		res, err := eng.ClassifyResult(test[i].Samples)
 		if err != nil {
 			fmt.Fprintf(stderr, "xprosim: segment %d: %v\n", i, err)
 			return 1
 		}
-		if got == test[i].Label {
+		if res.Label == test[i].Label {
 			correct++
+		}
+		if res.Degraded {
+			degraded++
+			modes[res.Mode.String()]++
 		}
 		energy += rep.SensorEnergyPerEvent
 		seconds += rep.DelayPerEventSeconds
@@ -95,6 +120,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *n > 0 {
 		fmt.Fprintf(stdout, "\ndone: %d events, accuracy %.3f\n", *n, float64(correct)/float64(*n))
+	}
+	if *faultsFlag != "" {
+		fmt.Fprintf(stdout, "faults (%s, seed %d): %d/%d events degraded", *faultsFlag, *faultSeed, degraded, *n)
+		for _, m := range []string{"partial", "sensor-local", "fallback-sensor", "fallback-software"} {
+			if modes[m] > 0 {
+				fmt.Fprintf(stdout, ", %s %d", m, modes[m])
+			}
+		}
+		fmt.Fprintf(stdout, "\nbreaker transitions %.0f, transfer retries %.0f, drops %.0f, deadline overruns %.0f\n",
+			obs.MetricValue("xpro_breaker_transitions_total"),
+			obs.MetricValue("xpro_transfer_retries_total"),
+			obs.MetricValue("xpro_transfer_drops_total"),
+			obs.MetricValue("xpro_deadline_exceeded_total"))
+		sim := *n
+		if sim > 200 {
+			sim = 200
+		}
+		if delays, err := eng.SimulatedFaultyDelays(cfg.FaultPlan, sim); err == nil {
+			violations := 0
+			for _, d := range delays {
+				if d > rep.DelayPerEventSeconds {
+					violations++
+				}
+			}
+			fmt.Fprintf(stdout, "event schedule under faults: %d/%d events exceed the clean per-event delay\n",
+				violations, sim)
+		}
 	}
 	fmt.Fprintf(stdout, "per event: %.3f µJ sensor energy, %.3f ms delay\n",
 		rep.SensorEnergyPerEvent*1e6, rep.DelayPerEventSeconds*1e3)

@@ -94,3 +94,23 @@ func ExampleEngine_Observer() {
 	// xpro_classify_total 1
 	// one span per executed cell: true
 }
+
+// ExampleEngine_ClassifyResult forces a hard link outage and shows the
+// engine degrading gracefully: the classification still returns — served
+// from the sensor side — tagged Degraded instead of erroring.
+func ExampleEngine_ClassifyResult() {
+	plan := &xpro.FaultPlan{Windows: []xpro.FaultWindow{
+		{Kind: "link-outage", StartSeconds: 0, EndSeconds: 60},
+	}}
+	eng, err := xpro.New(xpro.Config{Case: "C1", FaultPlan: plan})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.ClassifyResult(eng.TestSet()[0].Samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("degraded=%v mode=%s breaker=%s\n", res.Degraded, res.Mode, res.Breaker)
+	// Output:
+	// degraded=true mode=sensor-local breaker=closed
+}

@@ -20,8 +20,10 @@ package eventsim
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 
+	"xpro/internal/faults"
 	"xpro/internal/partition"
 	"xpro/internal/telemetry"
 	"xpro/internal/topology"
@@ -36,13 +38,20 @@ const (
 	KindCell Kind = iota
 	// KindTransfer is a wireless payload crossing the link.
 	KindTransfer
+	// KindStall is time a resource spent blocked by a fault window
+	// (link outage, sensor brownout, aggregator stall).
+	KindStall
 )
 
 func (k Kind) String() string {
-	if k == KindCell {
+	switch k {
+	case KindCell:
 		return "cell"
+	case KindTransfer:
+		return "transfer"
+	default:
+		return "stall"
 	}
-	return "transfer"
 }
 
 // Activity is one scheduled piece of work.
@@ -78,6 +87,19 @@ type Input struct {
 	// retries are counted as drops and assumed recovered by the upper
 	// layer at the cost already accounted.
 	Channel *wireless.Channel
+	// Faults, when set, subjects the schedule to the plan's windows:
+	// transfers cannot start during a link outage, sensor cells cannot
+	// start during a brownout, aggregator cells cannot start during an
+	// aggregator stall (each blocked start appears as a KindStall
+	// activity), and loss bursts inflate transfer air time by sampled
+	// retransmissions seeded from FaultSeed.
+	Faults *faults.Plan
+	// FaultSeed seeds the loss-burst retransmission sampling.
+	FaultSeed int64
+	// Start offsets the event on the fault plan's timeline: the event
+	// begins at this modeled time, and all trace activities (and
+	// Finish) are reported relative to the event start.
+	Start float64
 	// SensorEnergyPerEvent, when positive, is the modeled per-event
 	// sensor energy added to the battery-drain counter per simulated
 	// event.
@@ -182,6 +204,63 @@ func Simulate(in Input) (*Trace, error) {
 	trace := &Trace{}
 	linkFree, cpuFree := 0.0, 0.0
 	retransmissions, drops := 0, 0
+	stalls := 0
+	var stallTime float64
+
+	// Fault-window helpers: times inside the schedule are relative to
+	// the event start; the plan's windows are absolute. deferPast moves
+	// a start time past any blocking window of kind k, recording the
+	// wait as a KindStall activity.
+	var faultRNG *rand.Rand
+	if in.Faults != nil {
+		faultRNG = rand.New(rand.NewSource(in.FaultSeed))
+	}
+	blockedBy := func(st faults.State, k faults.Kind) bool {
+		switch k {
+		case faults.LinkOutage:
+			return st.LinkDown
+		case faults.Brownout:
+			return st.Brownout
+		case faults.AggStall:
+			return st.AggStall
+		}
+		return false
+	}
+	deferPast := func(t float64, k faults.Kind, where string) float64 {
+		if in.Faults == nil {
+			return t
+		}
+		abs := in.Start + t
+		if !blockedBy(in.Faults.At(abs), k) {
+			return t
+		}
+		until := in.Faults.Until(abs, k) - in.Start
+		trace.Activities = append(trace.Activities, Activity{
+			Kind: KindStall, Name: k.String(), Where: where, Start: t, End: until,
+		})
+		stalls++
+		stallTime += until - t
+		return until
+	}
+	// burstFactor samples per-payload retransmission inflation inside a
+	// loss-burst window (capped at 8 attempts), seeded by FaultSeed.
+	burstFactor := func(t float64) float64 {
+		if in.Faults == nil {
+			return 1
+		}
+		loss := in.Faults.At(in.Start + t).Loss
+		if loss <= 0 {
+			return 1
+		}
+		attempts := 1
+		for attempts < 8 && faultRNG.Float64() < loss {
+			attempts++
+		}
+		if attempts > 1 {
+			retransmissions += attempts - 1
+		}
+		return float64(attempts)
+	}
 
 	// inputsReady returns when all of a cell's inputs are available on
 	// its end, or unscheduled if some dependency is not yet done.
@@ -247,6 +326,7 @@ func Simulate(in Input) (*Trace, error) {
 			if r == unscheduled {
 				continue
 			}
+			r = deferPast(r, faults.Brownout, "sensor")
 			d := in.SensorDelay(id)
 			finish[id] = r + d
 			trace.Activities = append(trace.Activities, Activity{
@@ -277,6 +357,7 @@ func Simulate(in Input) (*Trace, error) {
 		}
 		if next != nil {
 			start := math.Max(next.readyAt, linkFree)
+			start = deferPast(start, faults.LinkOutage, "link")
 			dur := in.Link.Cost(next.bits).Delay
 			if in.Channel != nil {
 				tr, retrans, err := in.Channel.SendStats(next.bits)
@@ -288,6 +369,7 @@ func Simulate(in Input) (*Trace, error) {
 					drops++
 				}
 			}
+			dur *= burstFactor(start)
 			next.started = true
 			next.arriveAt = start + dur
 			linkFree = next.arriveAt
@@ -316,6 +398,7 @@ func Simulate(in Input) (*Trace, error) {
 		}
 		if aggNext != -1 {
 			start := math.Max(aggReady, cpuFree)
+			start = deferPast(start, faults.AggStall, "aggregator")
 			d := in.AggDelay(aggNext)
 			finish[aggNext] = start + d
 			cpuFree = finish[aggNext]
@@ -353,6 +436,14 @@ func Simulate(in Input) (*Trace, error) {
 		m.Counter("xpro_eventsim_drops_total",
 			"Payloads that exhausted their retry budget.").Add(float64(drops))
 	}
+	if stalls > 0 {
+		m.Counter("xpro_eventsim_fault_stalls_total",
+			"Activities blocked by a fault window (outage, brownout, stall).").
+			Add(float64(stalls))
+		m.Counter("xpro_eventsim_fault_stall_seconds_total",
+			"Modeled time activities spent blocked by fault windows.").
+			Add(stallTime)
+	}
 	if in.SensorEnergyPerEvent > 0 {
 		m.Counter("xpro_eventsim_sensor_energy_joules_total",
 			"Accumulated modeled sensor battery drain of simulated events.").
@@ -373,9 +464,29 @@ func Simulate(in Input) (*Trace, error) {
 func (t *Trace) BusyTime() map[string]float64 {
 	m := make(map[string]float64)
 	for _, a := range t.Activities {
+		if a.Kind == KindStall {
+			continue
+		}
 		m[a.Where] += a.End - a.Start
 	}
 	return m
+}
+
+// StallTime sums the time activities spent blocked by fault windows.
+func (t *Trace) StallTime() float64 {
+	var s float64
+	for _, a := range t.Activities {
+		if a.Kind == KindStall {
+			s += a.End - a.Start
+		}
+	}
+	return s
+}
+
+// ViolatesDeadline reports whether the event finished after the given
+// delay constraint — how an outage window shows up in a trace.
+func (t *Trace) ViolatesDeadline(limitSeconds float64) bool {
+	return t.Finish > limitSeconds
 }
 
 // Render formats the trace as an indented timeline (µs).

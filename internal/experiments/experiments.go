@@ -342,6 +342,7 @@ func Runners() []runner {
 		{"ext-robustness", ExtRobustness},
 		{"ext-wirebits", ExtWireBits},
 		{"ext-importance", ExtImportance},
+		{"ext-faults", ExtFaults},
 		{"scorecard", Scorecard},
 	}
 }

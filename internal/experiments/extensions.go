@@ -9,6 +9,7 @@ import (
 	"xpro/internal/bsn"
 	"xpro/internal/celllib"
 	"xpro/internal/ensemble"
+	"xpro/internal/faults"
 	"xpro/internal/partition"
 	"xpro/internal/topology"
 	"xpro/internal/wireless"
@@ -369,5 +370,79 @@ func ExtBSN(l *Lab) (*Table, error) {
 	}
 	t.AddNote("bottleneck node %s (%.0f h); shared aggregator sustains the network %.0f h at %.1f%% CPU utilization; real-time %v under a 4 ms bound",
 		bottleneck, h, aggLife, nw.AggregatorUtilization()*100, nw.RealTimeOK(4e-3))
+	return t, nil
+}
+
+// ExtFaults runs the cross-end engine of each case through seeded fault
+// scenarios (internal/faults) under the default resilience policy and
+// reports how classifications degrade rather than fail: full-fidelity,
+// partial fusion of the base scores that arrived, sensor-local results
+// whose delivery was lost, and events that produced nothing. A wearable
+// cut in the field rides these faults; this table shows how much of the
+// timeline each degradation mode absorbs.
+func ExtFaults(l *Lab) (*Table, error) {
+	t := &Table{
+		ID:     "ext-faults",
+		Title:  "EXTENSION: graceful degradation under injected faults (90nm, Model 2, 60 events per scenario)",
+		Header: []string{"Case", "Scenario", "Full", "Partial", "SensorLocal", "NoResult", "AvgSpent(ms)"},
+	}
+	scenarios := []string{"outage", "bursty", "flaky"}
+	const events = 60
+	const seed = 7
+	for _, sym := range l.Symbols() {
+		es, err := l.Engines(sym, evalProc, evalLink)
+		if err != nil {
+			return nil, err
+		}
+		sys := es.CrossEnd
+		period := 0.0
+		if ev := sys.EventsPerSecond(); ev > 0 {
+			period = 1 / ev
+		}
+		for _, sc := range scenarios {
+			plan, err := faults.Scenario(sc, seed, period*events)
+			if err != nil {
+				return nil, err
+			}
+			clock := &faults.Clock{}
+			pol := faults.DefaultPolicy()
+			link, err := faults.NewLink(evalLink, plan, clock, 0, 0, seed)
+			if err != nil {
+				return nil, err
+			}
+			breaker, err := faults.NewBreaker(pol.BreakerThreshold, pol.BreakerCooldown, clock)
+			if err != nil {
+				return nil, err
+			}
+			var full, partial, local, nores int
+			var spent float64
+			for i := 0; i < events; i++ {
+				seg := es.Inst.Test.Segs[i%len(es.Inst.Test.Segs)]
+				if !breaker.Allow() {
+					nores++
+					clock.Advance(period)
+					continue
+				}
+				out, err := sys.ClassifyOver(seg, &xsystem.ResilientOptions{
+					Transport: link, Plan: plan, Clock: clock, Policy: pol, Breaker: breaker,
+				})
+				spent += out.SpentSeconds
+				switch {
+				case err != nil:
+					nores++
+				case out.Complete:
+					full++
+				case !out.Delivered:
+					local++
+				default:
+					partial++
+				}
+				clock.Advance(period)
+			}
+			t.AddRow(sym, sc, fmt.Sprint(full), fmt.Sprint(partial), fmt.Sprint(local),
+				fmt.Sprint(nores), fmt.Sprintf("%.3f", spent/events*1e3))
+		}
+	}
+	t.AddNote("the breaker fails fast during hard outages (NoResult when no sensor-side fallback is consulted here); the public engine additionally reroutes those events through the in-sensor fallback cut")
 	return t, nil
 }

@@ -1,0 +1,268 @@
+// Package faults models the failure modes of a deployed XPro system
+// and the policies that ride them out. The paper's evaluation assumes
+// an infallible body-area link and a healthy sensor node; a wearable in
+// the field sees packet-loss bursts, hard link outages, battery
+// brownouts and aggregator stalls. This package makes those faults
+// deterministic and injectable:
+//
+//   - a Plan is a seeded, reproducible schedule of fault windows on a
+//     virtual timeline measured in modeled seconds;
+//   - a Clock is the deterministic time source the runtime advances as
+//     events flow (no wall time, so runs replay bit-identically);
+//   - a Link wraps a wireless transceiver model into a fault-injected
+//     transport for the functional pipeline;
+//   - Breaker, Backoff and Policy implement the resilience side:
+//     circuit breaking, capped exponential retry and per-event deadline
+//     budgets.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Clock is a deterministic virtual clock in modeled seconds. The
+// runtime advances it as events are processed; fault windows and
+// breaker cooldowns are measured against it, never against wall time,
+// so a seeded run replays identically.
+type Clock struct{ t float64 }
+
+// Now returns the current modeled time.
+func (c *Clock) Now() float64 { return c.t }
+
+// Advance moves the clock forward by dt seconds (negative dt is
+// ignored: modeled time never runs backwards).
+func (c *Clock) Advance(dt float64) {
+	if dt > 0 {
+		c.t += dt
+	}
+}
+
+// Kind classifies a fault window.
+type Kind int
+
+const (
+	// LossBurst raises the link's packet-loss probability to
+	// Window.Loss for the duration of the window.
+	LossBurst Kind = iota
+	// LinkOutage takes the link hard down: every send fails
+	// immediately.
+	LinkOutage
+	// Brownout models a sensor battery sag below the cell array's
+	// operating threshold: sensing continues but in-sensor compute is
+	// unavailable.
+	Brownout
+	// AggStall models the aggregator CPU being preempted (GC pause,
+	// thermal throttle, competing app): aggregator cells cannot start
+	// during the window.
+	AggStall
+)
+
+func (k Kind) String() string {
+	switch k {
+	case LossBurst:
+		return "loss-burst"
+	case LinkOutage:
+		return "link-outage"
+	case Brownout:
+		return "brownout"
+	case AggStall:
+		return "agg-stall"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Window is one fault interval, half-open [Start, End) in modeled
+// seconds. Loss is only meaningful for LossBurst windows.
+type Window struct {
+	Kind  Kind
+	Start float64
+	End   float64
+	Loss  float64
+}
+
+// Plan is a deterministic schedule of fault windows. The zero value is
+// a fault-free plan.
+type Plan struct {
+	Windows []Window
+}
+
+// Validate rejects malformed windows: NaN/Inf bounds, inverted
+// intervals and loss probabilities outside [0, 1].
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for i, w := range p.Windows {
+		if !isFinite(w.Start) || !isFinite(w.End) || w.Start < 0 || w.End <= w.Start {
+			return fmt.Errorf("faults: window %d has invalid interval [%v, %v)", i, w.Start, w.End)
+		}
+		if w.Kind == LossBurst && !(w.Loss >= 0 && w.Loss <= 1) { // NaN fails both comparisons
+			return fmt.Errorf("faults: window %d has loss %v outside [0,1]", i, w.Loss)
+		}
+	}
+	return nil
+}
+
+// State is the aggregate fault condition at one instant.
+type State struct {
+	// LinkDown is true inside a LinkOutage window.
+	LinkDown bool
+	// Loss is the packet-loss probability contributed by LossBurst
+	// windows (the maximum of overlapping bursts).
+	Loss float64
+	// Brownout is true inside a Brownout window.
+	Brownout bool
+	// AggStall is true inside an AggStall window.
+	AggStall bool
+}
+
+// At returns the fault state at modeled time t. A nil plan is
+// fault-free.
+func (p *Plan) At(t float64) State {
+	var s State
+	if p == nil {
+		return s
+	}
+	for _, w := range p.Windows {
+		if t < w.Start || t >= w.End {
+			continue
+		}
+		switch w.Kind {
+		case LossBurst:
+			if w.Loss > s.Loss {
+				s.Loss = w.Loss
+			}
+		case LinkOutage:
+			s.LinkDown = true
+		case Brownout:
+			s.Brownout = true
+		case AggStall:
+			s.AggStall = true
+		}
+	}
+	return s
+}
+
+// Until returns when the active windows of kind k covering time t end
+// (the latest end among them), or t itself when none is active — the
+// earliest instant the fault is guaranteed over.
+func (p *Plan) Until(t float64, k Kind) float64 {
+	end := t
+	if p == nil {
+		return end
+	}
+	for _, w := range p.Windows {
+		if w.Kind == k && t >= w.Start && t < w.End && w.End > end {
+			end = w.End
+		}
+	}
+	return end
+}
+
+// Horizon returns the end of the last window (0 for an empty plan).
+func (p *Plan) Horizon() float64 {
+	h := 0.0
+	if p == nil {
+		return h
+	}
+	for _, w := range p.Windows {
+		if w.End > h {
+			h = w.End
+		}
+	}
+	return h
+}
+
+// PlanConfig shapes RandomPlan's seeded schedule.
+type PlanConfig struct {
+	// Horizon is the timeline length in modeled seconds.
+	Horizon float64
+	// Outages, Bursts, Brownouts, Stalls count the windows of each
+	// kind to scatter over the horizon.
+	Outages, Bursts, Brownouts, Stalls int
+	// MeanDuration is the mean window length (exponentially
+	// distributed, clamped to the horizon).
+	MeanDuration float64
+	// BurstLoss is the packet-loss probability inside LossBurst
+	// windows (default 0.5).
+	BurstLoss float64
+}
+
+// RandomPlan scatters fault windows over the horizon, deterministically
+// from seed. The same seed always produces the identical plan.
+func RandomPlan(seed int64, cfg PlanConfig) *Plan {
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 60
+	}
+	if cfg.MeanDuration <= 0 {
+		cfg.MeanDuration = cfg.Horizon / 20
+	}
+	if cfg.BurstLoss <= 0 {
+		cfg.BurstLoss = 0.5
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := &Plan{}
+	add := func(kind Kind, n int, loss float64) {
+		for i := 0; i < n; i++ {
+			dur := rng.ExpFloat64() * cfg.MeanDuration
+			if dur > cfg.Horizon/2 {
+				dur = cfg.Horizon / 2
+			}
+			if dur < cfg.MeanDuration/10 {
+				dur = cfg.MeanDuration / 10
+			}
+			start := rng.Float64() * (cfg.Horizon - dur)
+			p.Windows = append(p.Windows, Window{Kind: kind, Start: start, End: start + dur, Loss: loss})
+		}
+	}
+	add(LinkOutage, cfg.Outages, 0)
+	add(LossBurst, cfg.Bursts, cfg.BurstLoss)
+	add(Brownout, cfg.Brownouts, 0)
+	add(AggStall, cfg.Stalls, 0)
+	sort.SliceStable(p.Windows, func(i, j int) bool { return p.Windows[i].Start < p.Windows[j].Start })
+	return p
+}
+
+// ScenarioNames lists the named scenarios Scenario accepts.
+func ScenarioNames() []string {
+	return []string{"outage", "bursty", "brownout", "stall", "flaky"}
+}
+
+// Scenario builds a named fault plan over the given horizon, seeded
+// deterministically:
+//
+//	outage    one hard link outage covering the middle third
+//	bursty    recurring loss bursts (70% loss) over the run
+//	brownout  one sensor brownout covering the middle third
+//	stall     one aggregator stall covering the middle third
+//	flaky     a seeded random mix of all four kinds
+func Scenario(name string, seed int64, horizon float64) (*Plan, error) {
+	if horizon <= 0 || !isFinite(horizon) {
+		return nil, fmt.Errorf("faults: scenario horizon %v must be positive and finite", horizon)
+	}
+	third := horizon / 3
+	switch name {
+	case "outage":
+		return &Plan{Windows: []Window{{Kind: LinkOutage, Start: third, End: 2 * third}}}, nil
+	case "brownout":
+		return &Plan{Windows: []Window{{Kind: Brownout, Start: third, End: 2 * third}}}, nil
+	case "stall":
+		return &Plan{Windows: []Window{{Kind: AggStall, Start: third, End: 2 * third}}}, nil
+	case "bursty":
+		n := int(horizon / 10)
+		if n < 2 {
+			n = 2
+		}
+		return RandomPlan(seed, PlanConfig{Horizon: horizon, Bursts: n, MeanDuration: horizon / 12, BurstLoss: 0.7}), nil
+	case "flaky":
+		return RandomPlan(seed, PlanConfig{Horizon: horizon, Outages: 1, Bursts: 2, Brownouts: 1, Stalls: 1, MeanDuration: horizon / 15, BurstLoss: 0.6}), nil
+	default:
+		return nil, fmt.Errorf("faults: unknown scenario %q (have %v)", name, ScenarioNames())
+	}
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -1,0 +1,338 @@
+package faults
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"xpro/internal/wireless"
+)
+
+func TestClock(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("fresh clock at %v", c.Now())
+	}
+	c.Advance(1.5)
+	c.Advance(-3) // ignored: modeled time never runs backwards
+	c.Advance(0.5)
+	if c.Now() != 2 {
+		t.Errorf("clock at %v, want 2", c.Now())
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	bad := []Plan{
+		{Windows: []Window{{Kind: LinkOutage, Start: 2, End: 1}}},
+		{Windows: []Window{{Kind: LinkOutage, Start: -1, End: 1}}},
+		{Windows: []Window{{Kind: LinkOutage, Start: math.NaN(), End: 1}}},
+		{Windows: []Window{{Kind: LinkOutage, Start: 0, End: math.Inf(1)}}},
+		{Windows: []Window{{Kind: LossBurst, Start: 0, End: 1, Loss: math.NaN()}}},
+		{Windows: []Window{{Kind: LossBurst, Start: 0, End: 1, Loss: 1.5}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d should be invalid: %+v", i, p.Windows)
+		}
+	}
+	var nilPlan *Plan
+	if err := nilPlan.Validate(); err != nil {
+		t.Errorf("nil plan: %v", err)
+	}
+	ok := Plan{Windows: []Window{{Kind: LossBurst, Start: 0, End: 1, Loss: 0.5}}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+func TestPlanAtUntil(t *testing.T) {
+	p := &Plan{Windows: []Window{
+		{Kind: LinkOutage, Start: 1, End: 3},
+		{Kind: LinkOutage, Start: 2, End: 5},
+		{Kind: LossBurst, Start: 0, End: 2, Loss: 0.3},
+		{Kind: LossBurst, Start: 1, End: 2, Loss: 0.7},
+		{Kind: Brownout, Start: 10, End: 11},
+		{Kind: AggStall, Start: 10, End: 12},
+	}}
+	st := p.At(1.5)
+	if !st.LinkDown || st.Loss != 0.7 || st.Brownout || st.AggStall {
+		t.Errorf("state at 1.5: %+v", st)
+	}
+	if st := p.At(10.5); !st.Brownout || !st.AggStall || st.LinkDown {
+		t.Errorf("state at 10.5: %+v", st)
+	}
+	// Half-open intervals: the window end is outside.
+	if st := p.At(5); st.LinkDown {
+		t.Error("window end should be outside the window")
+	}
+	// Until spans overlapping windows of the kind.
+	if got := p.Until(2.5, LinkOutage); got != 5 {
+		t.Errorf("Until(2.5, outage) = %v, want 5", got)
+	}
+	if got := p.Until(7, LinkOutage); got != 7 {
+		t.Errorf("Until outside any window = %v, want 7", got)
+	}
+	if h := p.Horizon(); h != 12 {
+		t.Errorf("horizon = %v, want 12", h)
+	}
+	var nilPlan *Plan
+	if st := nilPlan.At(1); st != (State{}) {
+		t.Errorf("nil plan state: %+v", st)
+	}
+}
+
+func TestRandomPlanDeterministic(t *testing.T) {
+	cfg := PlanConfig{Horizon: 60, Outages: 2, Bursts: 3, Brownouts: 1, Stalls: 1}
+	a := RandomPlan(42, cfg)
+	b := RandomPlan(42, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed must produce the identical plan")
+	}
+	c := RandomPlan(43, cfg)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds should produce different plans")
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("random plan invalid: %v", err)
+	}
+	if len(a.Windows) != 7 {
+		t.Errorf("windows = %d, want 7", len(a.Windows))
+	}
+}
+
+func TestScenarios(t *testing.T) {
+	for _, name := range ScenarioNames() {
+		p, err := Scenario(name, 1, 30)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(p.Windows) == 0 {
+			t.Errorf("%s: empty plan", name)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: invalid: %v", name, err)
+		}
+	}
+	if _, err := Scenario("nope", 1, 30); err == nil {
+		t.Error("unknown scenario should error")
+	}
+	if _, err := Scenario("outage", 1, 0); err == nil {
+		t.Error("non-positive horizon should error")
+	}
+	if _, err := Scenario("outage", 1, math.NaN()); err == nil {
+		t.Error("NaN horizon should error")
+	}
+}
+
+func TestBackoff(t *testing.T) {
+	b := Backoff{Base: 1e-3, Max: 8e-3, Factor: 2}
+	want := []float64{1e-3, 2e-3, 4e-3, 8e-3, 8e-3}
+	for n, w := range want {
+		if got := b.Delay(n); math.Abs(got-w) > 1e-12 {
+			t.Errorf("delay(%d) = %v, want %v", n, got, w)
+		}
+	}
+	if (Backoff{}).Delay(3) != 0 {
+		t.Error("zero backoff should wait nothing")
+	}
+	if err := (Backoff{Base: math.NaN()}).Validate(); err == nil {
+		t.Error("NaN base should be invalid")
+	}
+	if err := (Backoff{Base: 1, Max: -1}).Validate(); err == nil {
+		t.Error("negative max should be invalid")
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	clock := &Clock{}
+	var transitions []BreakerState
+	b, err := NewBreaker(3, 5, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.OnTransition = func(from, to BreakerState) { transitions = append(transitions, to) }
+
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatal("fresh breaker should be closed")
+	}
+	b.RecordFailure()
+	b.RecordFailure()
+	if b.State() != BreakerClosed {
+		t.Fatal("under threshold should stay closed")
+	}
+	b.RecordSuccess() // resets the streak
+	b.RecordFailure()
+	b.RecordFailure()
+	b.RecordFailure()
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatal("threshold consecutive failures should trip the breaker")
+	}
+
+	clock.Advance(4.9)
+	if b.Allow() {
+		t.Fatal("open before cooldown elapses")
+	}
+	clock.Advance(0.2)
+	if b.State() != BreakerHalfOpen || !b.Allow() {
+		t.Fatal("cooldown elapsed should half-open")
+	}
+	b.RecordFailure() // failed probe reopens
+	if b.State() != BreakerOpen {
+		t.Fatal("failed probe should reopen")
+	}
+	clock.Advance(6)
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("second cooldown should half-open again")
+	}
+	b.RecordSuccess()
+	if b.State() != BreakerClosed || b.Failures() != 0 {
+		t.Fatal("successful probe should close and reset")
+	}
+
+	want := []BreakerState{BreakerOpen, BreakerHalfOpen, BreakerOpen, BreakerHalfOpen, BreakerClosed}
+	if !reflect.DeepEqual(transitions, want) {
+		t.Errorf("transitions %v, want %v", transitions, want)
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b, err := NewBreaker(0, 1, &Clock{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		b.RecordFailure()
+	}
+	if !b.Allow() {
+		t.Error("threshold 0 should never trip")
+	}
+}
+
+func TestBreakerValidation(t *testing.T) {
+	if _, err := NewBreaker(3, 1, nil); err == nil {
+		t.Error("nil clock should error")
+	}
+	if _, err := NewBreaker(3, math.NaN(), &Clock{}); err == nil {
+		t.Error("NaN cooldown should error")
+	}
+	if _, err := NewBreaker(3, -1, &Clock{}); err == nil {
+		t.Error("negative cooldown should error")
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	if err := DefaultPolicy().Validate(); err != nil {
+		t.Fatalf("default policy invalid: %v", err)
+	}
+	bad := []Policy{
+		{Deadline: math.NaN()},
+		{Deadline: math.Inf(1)},
+		{Deadline: -1},
+		{MaxRetries: -1},
+		{Backoff: Backoff{Base: math.NaN()}},
+		{BreakerThreshold: -1},
+		{BreakerCooldown: math.NaN()},
+		{MinVotes: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("policy %d should be invalid: %+v", i, p)
+		}
+	}
+}
+
+func TestLinkValidation(t *testing.T) {
+	m := wireless.Model2()
+	if _, err := NewLink(m, nil, nil, 0, 0, 1); err == nil {
+		t.Error("nil clock should error")
+	}
+	if _, err := NewLink(m, nil, &Clock{}, math.NaN(), 0, 1); err == nil {
+		t.Error("NaN base loss should error")
+	}
+	if _, err := NewLink(m, nil, &Clock{}, 1, 0, 1); err == nil {
+		t.Error("loss 1 should error")
+	}
+	if _, err := NewLink(m, nil, &Clock{}, 0, -1, 1); err == nil {
+		t.Error("negative retries should error")
+	}
+	badPlan := &Plan{Windows: []Window{{Kind: LinkOutage, Start: 2, End: 1}}}
+	if _, err := NewLink(m, badPlan, &Clock{}, 0, 0, 1); err == nil {
+		t.Error("invalid plan should error")
+	}
+}
+
+func TestLinkOutageAndBursts(t *testing.T) {
+	plan := &Plan{Windows: []Window{
+		{Kind: LinkOutage, Start: 10, End: 20},
+		{Kind: LossBurst, Start: 30, End: 40, Loss: 1}, // certain loss
+	}}
+	clock := &Clock{}
+	l, err := NewLink(wireless.Model2(), plan, clock, 0, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean period: every send succeeds with the clean-channel cost.
+	tr, err := l.Send(256)
+	if err != nil {
+		t.Fatalf("clean send: %v", err)
+	}
+	if want := wireless.Model2().Cost(256); tr != want {
+		t.Errorf("clean transfer %+v, want %+v", tr, want)
+	}
+
+	// Outage: immediate *ErrLinkDown with zero cost, reporting the window.
+	clock.Advance(15)
+	tr, err = l.Send(256)
+	var down *ErrLinkDown
+	if !errors.As(err, &down) {
+		t.Fatalf("outage send err = %v, want *ErrLinkDown", err)
+	}
+	if down.At != 15 || down.Until != 20 {
+		t.Errorf("outage err %+v, want at 15 until 20", down)
+	}
+	if tr.WireBits != 0 {
+		t.Errorf("outage should not put bits on the air, got %d", tr.WireBits)
+	}
+	if !IsLinkDown(err) {
+		t.Error("IsLinkDown should see through")
+	}
+
+	// Certain-loss burst: retries exhaust, *wireless.ErrDropped with the
+	// partial (all-attempts) cost accounted.
+	clock.Advance(20) // t=35
+	tr, err = l.Send(100)
+	var dropped *wireless.ErrDropped
+	if !errors.As(err, &dropped) {
+		t.Fatalf("burst send err = %v, want *wireless.ErrDropped", err)
+	}
+	attempts := int64(3) // 1 + MaxRetries
+	if want := attempts * (100 + wireless.HeaderBits); tr.WireBits != want {
+		t.Errorf("burst wire bits %d, want %d", tr.WireBits, want)
+	}
+}
+
+func TestLinkDeterministic(t *testing.T) {
+	plan := &Plan{Windows: []Window{{Kind: LossBurst, Start: 0, End: 100, Loss: 0.5}}}
+	run := func() []error {
+		clock := &Clock{}
+		l, err := NewLink(wireless.Model2(), plan, clock, 0, 1, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []error
+		for i := 0; i < 50; i++ {
+			_, err := l.Send(512)
+			out = append(out, err)
+			clock.Advance(1)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if (a[i] == nil) != (b[i] == nil) {
+			t.Fatalf("send %d diverged between identical seeded runs", i)
+		}
+	}
+}

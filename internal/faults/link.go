@@ -1,0 +1,114 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"xpro/internal/wireless"
+)
+
+// ErrLinkDown reports a send attempted inside a LinkOutage window.
+type ErrLinkDown struct {
+	// At is the modeled time of the attempt.
+	At float64
+	// Until is when the covering outage window ends.
+	Until float64
+}
+
+func (e *ErrLinkDown) Error() string {
+	return fmt.Sprintf("faults: link down at %.3fs (outage until %.3fs)", e.At, e.Until)
+}
+
+// IsLinkDown reports whether err is (or wraps) an outage failure.
+func IsLinkDown(err error) bool {
+	var ld *ErrLinkDown
+	return errors.As(err, &ld)
+}
+
+// Link is a fault-injected wireless transport: the clean transceiver
+// model of internal/wireless, subjected to a Plan read against a Clock.
+// Inside LinkOutage windows every send fails with *ErrLinkDown; inside
+// LossBurst windows packets are lost with the burst probability (plus
+// the link's BaseLoss elsewhere) and retransmitted up to MaxRetries
+// times each, failing with *wireless.ErrDropped when the budget is
+// exhausted — the exact error shape of wireless.Channel, so callers
+// unwrap both transports identically.
+//
+// All randomness comes from the construction seed; with a fixed seed
+// and clock trajectory, a Link replays the identical fault sequence.
+type Link struct {
+	Model wireless.Model
+	Plan  *Plan
+	Clock *Clock
+	// BaseLoss is the ambient packet-loss probability outside bursts.
+	BaseLoss float64
+	// MaxRetries caps retransmissions per packet.
+	MaxRetries int
+
+	rng *rand.Rand
+}
+
+// NewLink builds a fault-injected transport. plan may be nil (ambient
+// loss only); clock must not be nil.
+func NewLink(m wireless.Model, plan *Plan, clock *Clock, baseLoss float64, maxRetries int, seed int64) (*Link, error) {
+	if clock == nil {
+		return nil, errors.New("faults: NewLink needs a clock")
+	}
+	if !(baseLoss >= 0 && baseLoss < 1) { // NaN fails both comparisons
+		return nil, fmt.Errorf("faults: base loss %v outside [0,1)", baseLoss)
+	}
+	if maxRetries < 0 {
+		return nil, fmt.Errorf("faults: negative retry limit %d", maxRetries)
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &Link{
+		Model: m, Plan: plan, Clock: clock,
+		BaseLoss: baseLoss, MaxRetries: maxRetries,
+		rng: rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Send moves dataBits across the link at the clock's current time. The
+// returned Transfer accounts every (re)transmission actually made; on
+// failure the partial cost is still returned with the error. Send does
+// not advance the clock — the caller owns time (it also pays backoff
+// waits and event periods into the same clock).
+func (l *Link) Send(dataBits int64) (wireless.Transfer, error) {
+	now := l.Clock.Now()
+	st := l.Plan.At(now)
+	var tr wireless.Transfer
+	tr.DataBits = dataBits
+	if st.LinkDown {
+		return tr, &ErrLinkDown{At: now, Until: l.Plan.Until(now, LinkOutage)}
+	}
+	loss := l.BaseLoss
+	if st.Loss > loss {
+		loss = st.Loss
+	}
+	packets := wireless.Packets(dataBits)
+	for p := int64(0); p < packets; p++ {
+		bits := int64(wireless.MaxPayloadBits)
+		if rem := dataBits - p*wireless.MaxPayloadBits; rem < bits {
+			bits = rem
+		}
+		bits += wireless.HeaderBits
+		delivered := false
+		for attempt := 0; attempt <= l.MaxRetries; attempt++ {
+			tr.WireBits += bits
+			tr.TxEnergy += float64(bits) * l.Model.TxJPerBit
+			tr.RxEnergy += float64(bits) * l.Model.RxJPerBit
+			tr.Delay += float64(bits) / l.Model.RateBps
+			if loss == 0 || l.rng.Float64() >= loss {
+				delivered = true
+				break
+			}
+		}
+		if !delivered {
+			return tr, &wireless.ErrDropped{Packet: int(p)}
+		}
+	}
+	return tr, nil
+}

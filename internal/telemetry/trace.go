@@ -30,6 +30,9 @@ type Span struct {
 	EnergyJoules float64 `json:"energy_j,omitempty"`
 	// DelaySeconds is the modeled per-activation latency on End.
 	DelaySeconds float64 `json:"delay_s,omitempty"`
+	// Degraded marks an event span whose classification was served
+	// through a degraded path (partial fusion or a fallback cut).
+	Degraded bool `json:"degraded,omitempty"`
 	// Err carries a failure message, empty on success.
 	Err string `json:"err,omitempty"`
 }

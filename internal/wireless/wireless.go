@@ -134,7 +134,8 @@ type Channel struct {
 
 // NewChannel creates a lossy channel. loss must be in [0, 1).
 func NewChannel(m Model, loss float64, maxRetries int, seed int64) (*Channel, error) {
-	if loss < 0 || loss >= 1 {
+	// The negated form also rejects NaN, which fails every comparison.
+	if !(loss >= 0 && loss < 1) {
 		return nil, fmt.Errorf("wireless: loss probability %v outside [0,1)", loss)
 	}
 	if maxRetries < 0 {

@@ -208,3 +208,60 @@ func BenchmarkCost(b *testing.B) {
 		_ = m.Cost(2048)
 	}
 }
+
+func TestNewChannelRejectsNaN(t *testing.T) {
+	// NaN fails every comparison, so naive range checks let it through;
+	// the constructor must reject it explicitly.
+	if _, err := NewChannel(Model2(), math.NaN(), 3, 1); err == nil {
+		t.Error("NaN loss should be rejected")
+	}
+	for _, loss := range []float64{-0.1, 1, 1.5, math.Inf(1)} {
+		if _, err := NewChannel(Model2(), loss, 3, 1); err == nil {
+			t.Errorf("loss %v should be rejected", loss)
+		}
+	}
+	if _, err := NewChannel(Model2(), 0.999, 3, 1); err != nil {
+		t.Errorf("loss just under 1 should be accepted: %v", err)
+	}
+}
+
+// On a drop, SendStats must still return the partial transfer cost and
+// the retransmissions actually made alongside the error — callers
+// account the energy of the failed attempts too.
+func TestSendStatsPartialCostOnDrop(t *testing.T) {
+	ch, err := NewChannel(Model2(), 0.9999, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, retrans, err := ch.SendStats(1000)
+	var dropped *ErrDropped
+	if !errors.As(err, &dropped) {
+		t.Fatalf("err = %v, want *ErrDropped", err)
+	}
+	if tr.WireBits == 0 || tr.TxEnergy == 0 || tr.RxEnergy == 0 || tr.Delay == 0 {
+		t.Errorf("partial transfer not accounted: %+v", tr)
+	}
+	if retrans == 0 {
+		t.Error("near-certain loss should have retransmitted before dropping")
+	}
+	// Every attempt (first tries + observed retransmissions) is on the
+	// wire, each at least one header longer than its payload share.
+	attempts := int64(retrans) + 1
+	if tr.WireBits < attempts*HeaderBits {
+		t.Errorf("wire bits %d inconsistent with %d attempts", tr.WireBits, attempts)
+	}
+}
+
+func TestSendStatsCleanNoRetransmissions(t *testing.T) {
+	ch, err := NewChannel(Model2(), 0, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, retrans, err := ch.SendStats(512)
+	if err != nil || retrans != 0 {
+		t.Fatalf("clean channel: err=%v retrans=%d", err, retrans)
+	}
+	if want := Model2().Cost(512); tr != want {
+		t.Errorf("clean transfer %+v, want %+v", tr, want)
+	}
+}

@@ -1,0 +1,394 @@
+package xsystem
+
+import (
+	"errors"
+	"fmt"
+
+	"xpro/internal/biosig"
+	"xpro/internal/faults"
+	"xpro/internal/fixed"
+	"xpro/internal/topology"
+	"xpro/internal/wireless"
+)
+
+// This file implements the fault-tolerant execution mode. The plain
+// Classify treats the link as infallible: values cross instantly and
+// nothing fails. ClassifyOver instead moves every crossing payload
+// through a Transport that may drop it (a lossy wireless.Channel, a
+// fault-injected faults.Link), retries with capped exponential backoff
+// under a per-event modeled deadline budget, and keeps computing with
+// whatever arrived: a cell with a lost input is itself lost, except the
+// fusion cell, which fuses the base-classifier scores that did arrive.
+
+// Transport moves one payload across the link, possibly failing.
+// *wireless.Channel and *faults.Link implement it; a nil Transport is
+// the paper's infallible link.
+type Transport interface {
+	Send(dataBits int64) (wireless.Transfer, error)
+}
+
+// ResilientOptions configures one ClassifyOver run.
+type ResilientOptions struct {
+	// Transport carries crossing payloads; nil never fails.
+	Transport Transport
+	// Plan supplies the brownout / aggregator-stall state; the link
+	// faults are the Transport's business. May be nil.
+	Plan *faults.Plan
+	// Clock is the modeled time source (shared with Transport and
+	// Breaker). May be nil when neither Plan nor Breaker is used.
+	Clock *faults.Clock
+	// Policy sets deadline, retry and fusion-quorum knobs.
+	Policy faults.Policy
+	// Breaker, when set, records per-transfer outcomes (the caller
+	// decides whether to attempt the event at all while it is open).
+	Breaker *faults.Breaker
+}
+
+func (o *ResilientOptions) now() float64 {
+	if o.Clock == nil {
+		return 0
+	}
+	return o.Clock.Now()
+}
+
+// Outcome reports how one resilient classification went.
+type Outcome struct {
+	// Label is the predicted class (0 or 1).
+	Label int
+	// Score is the fused decision value the label was cut from.
+	Score float64
+	// Delivered is true when the result is available at the
+	// aggregator; false when it was computed on-sensor but the result
+	// payload could not cross (sensor-local result).
+	Delivered bool
+	// Complete is true when every cell computed and every crossing
+	// payload arrived — a full-fidelity classification.
+	Complete bool
+	// PartialFusion is true when the fusion cell used a strict subset
+	// of the base-classifier scores.
+	PartialFusion bool
+	// VotesUsed / VotesTotal count the base scores fused vs trained.
+	VotesUsed, VotesTotal int
+	// LostTransfers counts payloads that exhausted their retry budget;
+	// SkippedTransfers counts payloads abandoned without an attempt
+	// after the deadline budget ran out; Retries counts re-sends.
+	LostTransfers, SkippedTransfers, Retries int
+	// SpentSeconds is the modeled time the event consumed: compute,
+	// air time of every attempt, backoff waits and stall waits.
+	SpentSeconds float64
+	// DeadlineExceeded is true when the budget ran out mid-event.
+	DeadlineExceeded bool
+}
+
+// NoResultError reports a resilient classification that could not
+// produce any label — too many payloads lost, or the whole pipeline
+// unavailable. Cause (when set) is the last transfer failure, so
+// errors.As reaches *wireless.ErrDropped / *faults.ErrLinkDown.
+type NoResultError struct {
+	Cause   error
+	Outcome Outcome
+}
+
+func (e *NoResultError) Error() string {
+	msg := "xsystem: resilient pipeline produced no classification"
+	if e.Cause != nil {
+		msg += ": " + e.Cause.Error()
+	}
+	return msg
+}
+
+func (e *NoResultError) Unwrap() error { return e.Cause }
+
+// run is the per-event budget and transfer bookkeeping.
+type run struct {
+	opt     *ResilientOptions
+	out     *Outcome
+	lastErr error
+	exhaust bool
+}
+
+func (r *run) deadline() float64 { return r.opt.Policy.Deadline }
+
+func (r *run) overBudget(extra float64) bool {
+	return r.deadline() > 0 && r.out.SpentSeconds+extra > r.deadline()
+}
+
+// send moves bits through the transport with retry + backoff under the
+// remaining budget; it reports whether the payload arrived.
+func (r *run) send(bits int64) bool {
+	if r.opt.Transport == nil {
+		return true
+	}
+	if r.exhaust {
+		r.out.SkippedTransfers++
+		return false
+	}
+	for attempt := 0; ; attempt++ {
+		tr, err := r.opt.Transport.Send(bits)
+		r.out.SpentSeconds += tr.Delay
+		if err == nil {
+			if r.opt.Breaker != nil {
+				r.opt.Breaker.RecordSuccess()
+			}
+			return true
+		}
+		r.lastErr = err
+		if attempt >= r.opt.Policy.MaxRetries {
+			break
+		}
+		wait := r.opt.Policy.Backoff.Delay(attempt)
+		if r.overBudget(wait) {
+			r.exhaust = true
+			r.out.DeadlineExceeded = true
+			break
+		}
+		r.out.SpentSeconds += wait
+		r.out.Retries++
+	}
+	if r.opt.Breaker != nil {
+		r.opt.Breaker.RecordFailure()
+	}
+	r.out.LostTransfers++
+	return false
+}
+
+// xfer memoizes one crossing payload: it is sent at most once per
+// event, however many consumers read it.
+type xfer struct {
+	bits      int64
+	attempted bool
+	ok        bool
+}
+
+func (r *run) ensure(x *xfer) bool {
+	if x == nil {
+		return false
+	}
+	if !x.attempted {
+		x.attempted = true
+		x.ok = r.send(x.bits)
+	}
+	return x.ok
+}
+
+// ClassifyOver executes the partitioned pipeline on one segment with
+// every crossing payload subject to opt's transport, faults and
+// policy. It returns the best label the surviving data supports; when
+// nothing survives, the error is a *NoResultError wrapping the last
+// transfer failure.
+func (s *System) ClassifyOver(seg biosig.Segment, opt *ResilientOptions) (Outcome, error) {
+	if opt == nil {
+		opt = &ResilientOptions{}
+	}
+	var out Outcome
+	if s.Ens == nil {
+		return out, errors.New("xsystem: cost-analysis-only system has no classifier (built with nil ensemble)")
+	}
+	if len(seg.Samples) != s.Graph.SegLen {
+		return out, fmt.Errorf("xsystem: segment length %d, engine built for %d", len(seg.Samples), s.Graph.SegLen)
+	}
+
+	g := s.Graph
+	p := s.Placement
+	state := opt.Plan.At(opt.now())
+
+	r := &run{opt: opt, out: &out}
+	// The compute schedule is fixed hardware / fixed software: charge it
+	// up front, then add what the faulty link actually costs.
+	d := s.DelayPerEvent()
+	out.SpentSeconds = d.FrontEnd + d.BackEnd
+
+	// An aggregator stall blocks every back-end cell until the window
+	// ends; the wait comes out of the deadline budget.
+	if state.AggStall {
+		if _, na := p.Counts(); na > 0 || !p.OnSensor(g.Output) {
+			wait := opt.Plan.Until(opt.now(), faults.AggStall) - opt.now()
+			if r.overBudget(wait) {
+				out.DeadlineExceeded = true
+				return out, &NoResultError{Outcome: out}
+			}
+			out.SpentSeconds += wait
+		}
+	}
+
+	// Crossing payloads, memoized per event: the raw segment (when a
+	// source reader sits on the aggregator), one per crossing transfer
+	// group, and the final result (when the output sits on the sensor).
+	var rawX *xfer
+	for _, id := range g.SourceReaders() {
+		if !p.OnSensor(id) {
+			rawX = &xfer{bits: g.SourceBits}
+			break
+		}
+	}
+	groups := g.TransferGroups()
+	groupX := make([]*xfer, len(groups))
+	// byPair[consumer][producer] lists the crossing groups feeding that
+	// consumer from that producer.
+	byPair := make(map[topology.CellID]map[topology.CellID][]int)
+	for gi, tg := range groups {
+		fromS := p.OnSensor(tg.From)
+		for _, c := range tg.Consumers {
+			if p.OnSensor(c) == fromS {
+				continue
+			}
+			if groupX[gi] == nil {
+				groupX[gi] = &xfer{bits: tg.Bits}
+			}
+			if byPair[c] == nil {
+				byPair[c] = make(map[topology.CellID][]int)
+			}
+			byPair[c][tg.From] = append(byPair[c][tg.From], gi)
+		}
+	}
+	crossed := func(consumer, producer topology.CellID) bool {
+		ok := true
+		for _, gi := range byPair[consumer][producer] {
+			if !r.ensure(groupX[gi]) {
+				ok = false
+			}
+		}
+		return ok
+	}
+
+	ev := newEvent(g, seg)
+	lost := make([]bool, len(g.Cells))
+	outputs := make([]value, len(g.Cells))
+	complete := true
+	for _, id := range s.order {
+		c := g.Cells[id]
+		if state.Brownout && p.OnSensor(id) {
+			// The cell array is below its operating threshold; sensing
+			// itself survives, so raw data can still stream out.
+			lost[id] = true
+			complete = false
+			continue
+		}
+		ins := g.InEdges(id)
+		avail := make([]bool, len(ins))
+		for i, e := range ins {
+			switch {
+			case e.From == topology.SourceID:
+				avail[i] = p.OnSensor(id) || r.ensure(rawX)
+			case lost[e.From]:
+				avail[i] = false
+			case p.OnSensor(e.From) != p.OnSensor(id):
+				avail[i] = crossed(id, e.From)
+			default:
+				avail[i] = true
+			}
+		}
+		if c.Role == topology.RoleFusion {
+			v, used := s.fusePartial(c, ins, avail, outputs)
+			out.VotesTotal = len(ins)
+			out.VotesUsed = used
+			minVotes := opt.Policy.MinVotes
+			if minVotes < 1 {
+				minVotes = 1
+			}
+			if used < minVotes {
+				lost[id] = true
+				complete = false
+				continue
+			}
+			if used < len(ins) {
+				out.PartialFusion = true
+				complete = false
+			}
+			outputs[id] = v
+			continue
+		}
+		allIn := true
+		for _, a := range avail {
+			if !a {
+				allIn = false
+				break
+			}
+		}
+		if !allIn {
+			lost[id] = true
+			complete = false
+			continue
+		}
+		v, err := s.evalCell(c, ins, func(i int) value { return outputs[ins[i].From] }, ev)
+		if err != nil {
+			return out, fmt.Errorf("xsystem: cell %s: %w", c.Name, err)
+		}
+		outputs[id] = v
+	}
+
+	if lost[g.Output] {
+		return out, &NoResultError{Cause: r.lastErr, Outcome: out}
+	}
+	final := outputs[g.Output]
+	switch {
+	case final.fl != nil && len(final.fl) > 0:
+		out.Score = final.fl[0]
+	case final.fx != nil && len(final.fx) > 0:
+		out.Score = final.fx[0].Float()
+	default:
+		return out, &NoResultError{Cause: r.lastErr, Outcome: out}
+	}
+	if out.Score >= 0 {
+		out.Label = 1
+	}
+
+	// Deliver the result to the aggregator when it was produced on the
+	// sensor; failure leaves a valid sensor-local label.
+	out.Delivered = true
+	if p.OnSensor(g.Output) {
+		out.Delivered = r.send(wireless.ValueBits)
+	}
+	out.Complete = complete && out.Delivered
+	return out, nil
+}
+
+// fusePartial fuses the available base-classifier scores: the trained
+// bias plus each available vote, exactly the fusion cell's computation
+// restricted to the votes that arrived. It returns the fused value in
+// the representation of the fusion cell's end and the vote count used.
+func (s *System) fusePartial(c topology.Cell, ins []topology.Edge, avail []bool, outputs []value) (value, int) {
+	used := 0
+	if s.Placement.OnSensor(c.ID) {
+		score := fixed.FromFloat(s.Ens.Weights[len(s.Ens.Bases)])
+		for i, e := range ins {
+			if !avail[i] {
+				continue
+			}
+			v := outputs[e.From]
+			var sv fixed.Num
+			if s.Placement.OnSensor(e.From) == s.Placement.OnSensor(c.ID) {
+				sv = v.asFixed()[0]
+			} else {
+				sv = crossFixed(v, e)[0]
+			}
+			vote := fixed.FromInt(-1)
+			if sv >= 0 {
+				vote = fixed.One
+			}
+			score = fixed.Add(score, fixed.Mul(fixed.FromFloat(s.Ens.Weights[i]), vote))
+			used++
+		}
+		return value{fx: []fixed.Num{score}}, used
+	}
+	score := s.Ens.Weights[len(s.Ens.Bases)]
+	for i, e := range ins {
+		if !avail[i] {
+			continue
+		}
+		v := outputs[e.From]
+		var sv float64
+		if s.Placement.OnSensor(e.From) == s.Placement.OnSensor(c.ID) {
+			sv = v.asFloat()[0]
+		} else {
+			sv = crossFloat(v, e)[0]
+		}
+		vote := -1.0
+		if sv >= 0 {
+			vote = 1.0
+		}
+		score += s.Ens.Weights[i] * vote
+		used++
+	}
+	return value{fl: []float64{score}}, used
+}

@@ -1,0 +1,277 @@
+package xsystem
+
+import (
+	"errors"
+	"testing"
+
+	"xpro/internal/faults"
+	"xpro/internal/partition"
+	"xpro/internal/wireless"
+)
+
+// failNTransport fails the first n sends, then succeeds, charging the
+// clean cost for every attempt.
+type failNTransport struct {
+	m     wireless.Model
+	n     int
+	sends int
+}
+
+func (f *failNTransport) Send(bits int64) (wireless.Transfer, error) {
+	f.sends++
+	tr := f.m.Cost(bits)
+	if f.sends <= f.n {
+		return tr, &wireless.ErrDropped{Packet: 0}
+	}
+	return tr, nil
+}
+
+func resilientOpts(plan *faults.Plan) (*ResilientOptions, *faults.Clock) {
+	clock := &faults.Clock{}
+	return &ResilientOptions{
+		Plan:   plan,
+		Clock:  clock,
+		Policy: faults.DefaultPolicy(),
+	}, clock
+}
+
+// With a nil transport, ClassifyOver must agree with Classify on every
+// placement: the resilient walk is the same computation.
+func TestClassifyOverMatchesClassify(t *testing.T) {
+	f := getFixture(t)
+	for name, p := range map[string]partition.Placement{
+		"sensor":     partition.InSensor(f.graph),
+		"aggregator": partition.InAggregator(f.graph),
+		"trivial":    partition.Trivial(f.graph),
+	} {
+		s := newSystem(t, f, p)
+		for i := 0; i < 40; i++ {
+			want, err := s.Classify(f.test.Segs[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := s.ClassifyOver(f.test.Segs[i], nil)
+			if err != nil {
+				t.Fatalf("%s seg %d: %v", name, i, err)
+			}
+			if out.Label != want {
+				t.Errorf("%s seg %d: label %d, want %d", name, i, out.Label, want)
+			}
+			if !out.Complete || !out.Delivered || out.PartialFusion {
+				t.Errorf("%s seg %d: clean run not complete: %+v", name, i, out)
+			}
+			if out.VotesUsed != out.VotesTotal {
+				t.Errorf("%s seg %d: votes %d/%d on a clean run", name, i, out.VotesUsed, out.VotesTotal)
+			}
+		}
+	}
+}
+
+func TestClassifyOverValidation(t *testing.T) {
+	f := getFixture(t)
+	s := newSystem(t, f, partition.Trivial(f.graph))
+	if _, err := s.ClassifyOver(f.test.Segs[0], nil); err != nil {
+		t.Fatalf("nil options must mean the infallible link: %v", err)
+	}
+	short := f.test.Segs[0]
+	short.Samples = short.Samples[:3]
+	if _, err := s.ClassifyOver(short, nil); err == nil {
+		t.Error("wrong segment length should error")
+	}
+}
+
+// A transport that recovers within the retry budget must still deliver a
+// complete classification, with the struggle accounted.
+func TestClassifyOverRetriesThrough(t *testing.T) {
+	f := getFixture(t)
+	s := newSystem(t, f, partition.Trivial(f.graph))
+	opt, _ := resilientOpts(nil)
+	tr := &failNTransport{m: wireless.Model2(), n: 1}
+	opt.Transport = tr
+	out, err := s.ClassifyOver(f.test.Segs[0], opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Complete {
+		t.Errorf("should recover to a complete result: %+v", out)
+	}
+	if out.Retries != 1 || out.LostTransfers != 0 {
+		t.Errorf("retries %d lost %d, want 1 retry 0 lost", out.Retries, out.LostTransfers)
+	}
+	want, _ := s.Classify(f.test.Segs[0])
+	if out.Label != want {
+		t.Errorf("label %d, want %d", out.Label, want)
+	}
+}
+
+// A hard outage on the trivial cut loses every crossing feature payload;
+// fusion has nothing to fuse and the event reports NoResultError whose
+// chain reaches the transport's error.
+func TestClassifyOverHardOutage(t *testing.T) {
+	f := getFixture(t)
+	s := newSystem(t, f, partition.Trivial(f.graph))
+	plan := &faults.Plan{Windows: []faults.Window{{Kind: faults.LinkOutage, Start: 0, End: 1e9}}}
+	opt, clock := resilientOpts(plan)
+	link, err := faults.NewLink(wireless.Model2(), plan, clock, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Transport = link
+	out, err := s.ClassifyOver(f.test.Segs[0], opt)
+	var nores *NoResultError
+	if !errors.As(err, &nores) {
+		t.Fatalf("err = %v, want *NoResultError", err)
+	}
+	if !faults.IsLinkDown(err) {
+		t.Error("error chain should reach *faults.ErrLinkDown")
+	}
+	if out.LostTransfers == 0 {
+		t.Errorf("outage should lose transfers: %+v", out)
+	}
+	if d := opt.Policy.Deadline; d > 0 && out.SpentSeconds > d+1e-9 {
+		// Budget may stop retrying mid-event but never runs away.
+		t.Errorf("spent %v exceeds deadline %v", out.SpentSeconds, d)
+	}
+}
+
+// On an all-sensor placement only the result payload crosses: an outage
+// yields a valid sensor-local label, not an error.
+func TestClassifyOverSensorLocal(t *testing.T) {
+	f := getFixture(t)
+	s := newSystem(t, f, partition.InSensor(f.graph))
+	plan := &faults.Plan{Windows: []faults.Window{{Kind: faults.LinkOutage, Start: 0, End: 1e9}}}
+	opt, clock := resilientOpts(plan)
+	link, err := faults.NewLink(wireless.Model2(), plan, clock, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Transport = link
+	out, err := s.ClassifyOver(f.test.Segs[0], opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Delivered || out.Complete {
+		t.Errorf("outage result should be sensor-local: %+v", out)
+	}
+	want, _ := s.Classify(f.test.Segs[0])
+	if out.Label != want {
+		t.Errorf("sensor-local label %d, want %d", out.Label, want)
+	}
+}
+
+// A brownout on the all-sensor placement kills the whole pipeline.
+func TestClassifyOverBrownout(t *testing.T) {
+	f := getFixture(t)
+	s := newSystem(t, f, partition.InSensor(f.graph))
+	plan := &faults.Plan{Windows: []faults.Window{{Kind: faults.Brownout, Start: 0, End: 1e9}}}
+	opt, _ := resilientOpts(plan)
+	_, err := s.ClassifyOver(f.test.Segs[0], opt)
+	var nores *NoResultError
+	if !errors.As(err, &nores) {
+		t.Fatalf("brownout on all-sensor cut: err = %v, want *NoResultError", err)
+	}
+}
+
+// An aggregator stall charges the wait against the budget; a stall
+// longer than the deadline fails the event without hanging.
+func TestClassifyOverAggStall(t *testing.T) {
+	f := getFixture(t)
+	s := newSystem(t, f, partition.Trivial(f.graph))
+	plan := &faults.Plan{Windows: []faults.Window{{Kind: faults.AggStall, Start: 0, End: 1e9}}}
+	opt, _ := resilientOpts(plan)
+	out, err := s.ClassifyOver(f.test.Segs[0], opt)
+	var nores *NoResultError
+	if !errors.As(err, &nores) {
+		t.Fatalf("unbounded stall: err = %v, want *NoResultError", err)
+	}
+	if !out.DeadlineExceeded {
+		t.Errorf("stall past deadline should mark DeadlineExceeded: %+v", out)
+	}
+
+	// A short stall inside the budget just costs its wait.
+	shortPlan := &faults.Plan{Windows: []faults.Window{{Kind: faults.AggStall, Start: 0, End: 10e-3}}}
+	opt2, _ := resilientOpts(shortPlan)
+	out2, err := s.ClassifyOver(f.test.Segs[0], opt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.SpentSeconds < 10e-3 {
+		t.Errorf("stall wait not charged: spent %v", out2.SpentSeconds)
+	}
+}
+
+// Under a certain-loss burst, fusion uses whatever arrived; with
+// MinVotes 1 and a sensor-side majority of base SVMs the trivial cut
+// still yields a partial result... or NoResult when nothing crosses.
+// Either way the breaker records every final failure.
+func TestClassifyOverBreakerRecords(t *testing.T) {
+	f := getFixture(t)
+	s := newSystem(t, f, partition.Trivial(f.graph))
+	plan := &faults.Plan{Windows: []faults.Window{{Kind: faults.LinkOutage, Start: 0, End: 1e9}}}
+	opt, clock := resilientOpts(plan)
+	link, err := faults.NewLink(wireless.Model2(), plan, clock, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Transport = link
+	breaker, err := faults.NewBreaker(3, 5, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Breaker = breaker
+	for i := 0; i < 3 && breaker.Allow(); i++ {
+		s.ClassifyOver(f.test.Segs[i], opt)
+	}
+	if breaker.Allow() {
+		t.Errorf("breaker should have tripped after %d failing events (failures %d)", 3, breaker.Failures())
+	}
+}
+
+// One crossing payload feeding many consumers is sent exactly once per
+// event: the transfer-group memoization.
+type countingTransport struct {
+	m     wireless.Model
+	sends int
+}
+
+func (c *countingTransport) Send(bits int64) (wireless.Transfer, error) {
+	c.sends++
+	return c.m.Cost(bits), nil
+}
+
+func TestClassifyOverSendsEachGroupOnce(t *testing.T) {
+	f := getFixture(t)
+	s := newSystem(t, f, partition.Trivial(f.graph))
+	ct := &countingTransport{m: wireless.Model2()}
+	opt, _ := resilientOpts(nil)
+	opt.Transport = ct
+	if _, err := s.ClassifyOver(f.test.Segs[0], opt); err != nil {
+		t.Fatal(err)
+	}
+	// Count the distinct crossing transfer groups of this placement (plus
+	// the raw segment and the result payload when they cross).
+	p := s.Placement
+	groups := 0
+	for _, tg := range f.graph.TransferGroups() {
+		fromS := p.OnSensor(tg.From)
+		for _, c := range tg.Consumers {
+			if p.OnSensor(c) != fromS {
+				groups++
+				break
+			}
+		}
+	}
+	want := groups
+	for _, id := range f.graph.SourceReaders() {
+		if !p.OnSensor(id) {
+			want++ // raw segment crosses once
+			break
+		}
+	}
+	if p.OnSensor(f.graph.Output) {
+		want++ // result payload crosses
+	}
+	if ct.sends != want {
+		t.Errorf("sends = %d, want %d (one per crossing payload)", ct.sends, want)
+	}
+}

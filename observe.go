@@ -67,6 +67,9 @@ type Span struct {
 	// costs on End.
 	EnergyJoules float64
 	DelaySeconds float64
+	// Degraded marks an event span whose classification was served
+	// through a degraded path (partial fusion or a fallback cut).
+	Degraded bool
 }
 
 // Observer is the observability handle of one Engine or Network: a
@@ -156,6 +159,7 @@ func (o *Observer) Spans() []Span {
 			Wall:         s.Wall,
 			EnergyJoules: s.EnergyJoules,
 			DelaySeconds: s.DelaySeconds,
+			Degraded:     s.Degraded,
 		}
 	}
 	return out
@@ -252,6 +256,20 @@ func (e *Engine) ClassifyBatch(segments [][]float64) ([]int, error) {
 }
 
 func (e *Engine) classifyBatch(segments [][]float64) ([]int, error) {
+	if e.res != nil {
+		// The resilient path is a serial modeled timeline: events run
+		// through the degradation ladder one by one; degraded answers
+		// are answers, only genuine failures abort the batch.
+		labels := make([]int, len(segments))
+		for i, s := range segments {
+			res, err := e.res.classify(e, biosig.Segment{Samples: s})
+			if err != nil {
+				return nil, fmt.Errorf("xpro: segment %d: %w", i, err)
+			}
+			labels[i] = res.Label
+		}
+		return labels, nil
+	}
 	in := make(chan biosig.Segment)
 	results := e.system.Stream(in)
 	// stop unblocks the feeder when the batch aborts early; the stream's

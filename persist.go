@@ -90,5 +90,5 @@ func Load(r io.Reader) (*Engine, error) {
 	}
 	obs := newObserver(telemetry.DefaultTraceCapacity)
 	attachObserver(sys, obs)
-	return newEngine(cfg, sys, ep.Ens, g, test, ep.Gen, ep.Accuracy, obs), nil
+	return newEngine(cfg, sys, ep.Ens, g, test, ep.Gen, ep.Accuracy, obs)
 }

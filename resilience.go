@@ -1,0 +1,532 @@
+package xpro
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"xpro/internal/biosig"
+	"xpro/internal/ensemble"
+	"xpro/internal/eventsim"
+	"xpro/internal/faults"
+	"xpro/internal/partition"
+	"xpro/internal/telemetry"
+	"xpro/internal/topology"
+	"xpro/internal/xsystem"
+)
+
+// This file is the fault-tolerance layer of the engine. The paper
+// evaluates XPro over an infallible link; a deployed wearable sees
+// loss bursts, hard outages, battery brownouts and aggregator stalls.
+// An engine built with a Resilience policy (and optionally a FaultPlan
+// injecting those faults) answers every Classify within a bounded
+// modeled deadline: cross-end transfers retry with capped exponential
+// backoff, a circuit breaker stops hammering a dead link, and when the
+// cross-end cut cannot complete, the event degrades — fusing the base
+// scores that arrived, or routing through the in-sensor fallback cut
+// precomputed at New() time — instead of failing.
+
+// DegradeMode says how a classification was produced.
+type DegradeMode int
+
+const (
+	// ModeFull is the normal cross-end path: every payload arrived.
+	ModeFull DegradeMode = iota
+	// ModePartial fused only the base-classifier scores that arrived.
+	ModePartial
+	// ModeSensorLocal computed the full result on the sensor but could
+	// not deliver it across the link.
+	ModeSensorLocal
+	// ModeFallbackSensor routed the event through the precomputed
+	// in-sensor fallback cut (the all-sensor extreme of the same s-t
+	// graph).
+	ModeFallbackSensor
+	// ModeFallbackSoftware ran the pure-software ensemble on the
+	// aggregator from raw samples (used when the sensor's cell array is
+	// browned out but sensing and the link survive).
+	ModeFallbackSoftware
+)
+
+func (m DegradeMode) String() string {
+	switch m {
+	case ModeFull:
+		return "full"
+	case ModePartial:
+		return "partial"
+	case ModeSensorLocal:
+		return "sensor-local"
+	case ModeFallbackSensor:
+		return "fallback-sensor"
+	case ModeFallbackSoftware:
+		return "fallback-software"
+	default:
+		return fmt.Sprintf("DegradeMode(%d)", int(m))
+	}
+}
+
+// Result is one classification with its degradation provenance.
+type Result struct {
+	// Label is the predicted class (0 or 1).
+	Label int
+	// Degraded is true when the event did not complete the full
+	// cross-end path (Mode != ModeFull).
+	Degraded bool
+	// Mode says which path produced the label.
+	Mode DegradeMode
+	// VotesUsed / VotesTotal count the base-classifier scores fused
+	// (equal unless Mode is ModePartial).
+	VotesUsed, VotesTotal int
+	// Retries and LostTransfers report the link-layer struggle.
+	Retries, LostTransfers int
+	// DeadlineExceeded is true when the per-event budget ran out.
+	DeadlineExceeded bool
+	// SpentSeconds is the modeled time the event consumed.
+	SpentSeconds float64
+	// Breaker is the circuit breaker state after the event
+	// ("closed", "half-open", "open"); empty without a policy.
+	Breaker string
+}
+
+// Resilience is the engine's fault-tolerance policy. Construct it with
+// DefaultResilience and override fields; a zero field is taken
+// literally (e.g. MaxRetries 0 really means no re-sends).
+type Resilience struct {
+	// DeadlineSeconds is the per-event modeled time budget; events
+	// that exhaust it degrade instead of retrying further.
+	DeadlineSeconds float64
+	// MaxRetries caps re-sends per cross-end transfer.
+	MaxRetries int
+	// BackoffBaseSeconds / BackoffMaxSeconds shape the capped
+	// exponential retry schedule (modeled seconds, factor 2).
+	BackoffBaseSeconds float64
+	BackoffMaxSeconds  float64
+	// BreakerThreshold trips the circuit breaker after that many
+	// consecutive dropped transfers (0 disables the breaker);
+	// BreakerCooldownSeconds is the open → half-open probe delay.
+	BreakerThreshold       int
+	BreakerCooldownSeconds float64
+	// MinVotes is the minimum base-classifier quorum for a partial
+	// fusion (values below 1 mean 1).
+	MinVotes int
+	// BaseLoss is the ambient packet-loss probability of the link,
+	// applied outside any fault-plan burst window.
+	BaseLoss float64
+	// FailFast returns transfer errors to the caller instead of
+	// degrading — the pre-resilience behaviour, kept for callers that
+	// prefer an error to a degraded answer.
+	FailFast bool
+}
+
+// DefaultResilience returns the default policy: 50 ms modeled
+// deadline, two retries backing off 1 ms → 8 ms, breaker tripping
+// after 3 consecutive drops with a 5 s cooldown.
+func DefaultResilience() *Resilience {
+	p := faults.DefaultPolicy()
+	return &Resilience{
+		DeadlineSeconds:        p.Deadline,
+		MaxRetries:             p.MaxRetries,
+		BackoffBaseSeconds:     p.Backoff.Base,
+		BackoffMaxSeconds:      p.Backoff.Max,
+		BreakerThreshold:       p.BreakerThreshold,
+		BreakerCooldownSeconds: p.BreakerCooldown,
+		MinVotes:               p.MinVotes,
+	}
+}
+
+func (r *Resilience) policy() faults.Policy {
+	return faults.Policy{
+		Deadline:         r.DeadlineSeconds,
+		MaxRetries:       r.MaxRetries,
+		Backoff:          faults.Backoff{Base: r.BackoffBaseSeconds, Max: r.BackoffMaxSeconds, Factor: 2},
+		BreakerThreshold: r.BreakerThreshold,
+		BreakerCooldown:  r.BreakerCooldownSeconds,
+		MinVotes:         r.MinVotes,
+	}
+}
+
+// FaultWindow is one fault interval on the engine's modeled timeline,
+// half-open [StartSeconds, EndSeconds). Kind is "loss-burst",
+// "link-outage", "brownout" or "agg-stall"; Loss applies to
+// loss-burst windows only.
+type FaultWindow struct {
+	Kind         string
+	StartSeconds float64
+	EndSeconds   float64
+	Loss         float64
+}
+
+// FaultPlan is a deterministic schedule of fault windows injected into
+// an engine (Config.FaultPlan) or into the discrete-event simulator
+// (SimulatedFaultyDelays). Seed drives every random draw the faults
+// make, so one seed replays one identical run.
+type FaultPlan struct {
+	Windows []FaultWindow
+	Seed    int64
+}
+
+// FaultScenarios lists the named scenarios FaultScenario accepts.
+func FaultScenarios() []string { return faults.ScenarioNames() }
+
+// FaultScenario builds a named fault plan ("outage", "bursty",
+// "brownout", "stall", "flaky") over a horizon of modeled seconds.
+func FaultScenario(name string, seed int64, horizonSeconds float64) (*FaultPlan, error) {
+	p, err := faults.Scenario(name, seed, horizonSeconds)
+	if err != nil {
+		return nil, err
+	}
+	out := &FaultPlan{Seed: seed}
+	for _, w := range p.Windows {
+		out.Windows = append(out.Windows, FaultWindow{
+			Kind: w.Kind.String(), StartSeconds: w.Start, EndSeconds: w.End, Loss: w.Loss,
+		})
+	}
+	return out, nil
+}
+
+var faultKinds = map[string]faults.Kind{
+	"loss-burst":  faults.LossBurst,
+	"link-outage": faults.LinkOutage,
+	"brownout":    faults.Brownout,
+	"agg-stall":   faults.AggStall,
+}
+
+func (p *FaultPlan) internal() (*faults.Plan, error) {
+	if p == nil {
+		return nil, nil
+	}
+	out := &faults.Plan{}
+	for i, w := range p.Windows {
+		k, ok := faultKinds[w.Kind]
+		if !ok {
+			return nil, fmt.Errorf("xpro: fault window %d has unknown kind %q", i, w.Kind)
+		}
+		out.Windows = append(out.Windows, faults.Window{Kind: k, Start: w.StartSeconds, End: w.EndSeconds, Loss: w.Loss})
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// resilient is the engine's fault-tolerance state: the policy compiled
+// to internal types, the virtual clock, the fault-injected transport,
+// the circuit breaker and the precomputed in-sensor fallback cut.
+// Events are serialized through mu — the modeled clock, the breaker
+// and the link's random stream are single-threaded by design, so that
+// a seeded run replays bit-identically.
+type resilient struct {
+	mu       sync.Mutex
+	policy   faults.Policy
+	plan     *faults.Plan
+	clock    *faults.Clock
+	breaker  *faults.Breaker
+	link     *faults.Link
+	fallback *xsystem.System
+	period   float64
+	failFast bool
+}
+
+// buildResilient assembles the fault-tolerance layer during engine
+// construction. Returns nil when the config requests none.
+func buildResilient(cfg Config, sys *xsystem.System, g *topology.Graph,
+	ens *ensemble.Ensemble, obs *Observer) (*resilient, error) {
+	if cfg.Resilience == nil && cfg.FaultPlan == nil {
+		return nil, nil
+	}
+	rc := cfg.Resilience
+	if rc == nil {
+		rc = DefaultResilience()
+	}
+	pol := rc.policy()
+	if err := pol.Validate(); err != nil {
+		return nil, err
+	}
+	plan, err := cfg.FaultPlan.internal()
+	if err != nil {
+		return nil, err
+	}
+	clock := &faults.Clock{}
+	var seed int64
+	if cfg.FaultPlan != nil {
+		seed = cfg.FaultPlan.Seed
+	}
+	link, err := faults.NewLink(sys.Link, plan, clock, rc.BaseLoss, 0, seed)
+	if err != nil {
+		return nil, err
+	}
+	breaker, err := faults.NewBreaker(pol.BreakerThreshold, pol.BreakerCooldown, clock)
+	if err != nil {
+		return nil, err
+	}
+	stateGauge := obs.reg.Gauge("xpro_breaker_state",
+		"Circuit breaker state: 0 closed, 1 half-open, 2 open.")
+	transitions := obs.reg.Counter("xpro_breaker_transitions_total",
+		"Circuit breaker state changes.")
+	stateGauge.Set(float64(faults.BreakerClosed))
+	breaker.OnTransition = func(from, to faults.BreakerState) {
+		stateGauge.Set(float64(to))
+		transitions.Inc()
+	}
+	// The all-sensor extreme of the same s-t graph: the fallback cut
+	// events route through when the cross-end path cannot complete.
+	fb, err := xsystem.New(g, ens, cfg.Process.internal(), sys.Link, sys.CPU,
+		partition.InSensor(g), cfg.SampleRateHz)
+	if err != nil {
+		return nil, fmt.Errorf("xpro: building fallback cut: %w", err)
+	}
+	fb.Metrics = obs.reg
+	period := 0.0
+	if ev := sys.EventsPerSecond(); ev > 0 {
+		period = 1 / ev
+	}
+	return &resilient{
+		policy: pol, plan: plan, clock: clock, breaker: breaker, link: link,
+		fallback: fb, period: period, failFast: rc.FailFast,
+	}, nil
+}
+
+// classify runs one event through the resilience ladder:
+//
+//  1. breaker open → skip the link entirely, fallback cut;
+//  2. cross-end attempt with retry/backoff under the deadline budget;
+//  3. partial fusion when only some base scores arrived;
+//  4. fallback: in-sensor cut (link faults) or software ensemble
+//     (sensor brownout);
+//  5. FailFast policies surface the error instead of steps 3–4.
+func (r *resilient) classify(e *Engine, seg biosig.Segment) (Result, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	start := time.Now()
+	res, err := r.classifyLocked(e, seg)
+	r.clock.Advance(r.period)
+
+	m := e.obs.reg
+	if err != nil {
+		m.Counter("xpro_classify_errors_total",
+			"Classify calls that returned an error.").Inc()
+		return res, err
+	}
+	res.Breaker = r.breaker.State().String()
+	m.Counter("xpro_classify_total",
+		"Segments classified through the partitioned pipeline.").Inc()
+	m.Histogram("xpro_classify_seconds",
+		"Wall time of one Classify call.", telemetry.DurationBuckets).
+		Observe(time.Since(start).Seconds())
+	if res.Retries > 0 {
+		m.Counter("xpro_transfer_retries_total",
+			"Cross-end transfer re-sends made by the resilience policy.").
+			Add(float64(res.Retries))
+	}
+	if res.LostTransfers > 0 {
+		m.Counter("xpro_transfer_drops_total",
+			"Cross-end transfers that exhausted their retry budget.").
+			Add(float64(res.LostTransfers))
+	}
+	if res.DeadlineExceeded {
+		m.Counter("xpro_deadline_exceeded_total",
+			"Events whose modeled deadline budget ran out.").Inc()
+	}
+	if res.Degraded {
+		m.Counter(telemetry.WithLabels("xpro_classify_degraded_total",
+			map[string]string{"mode": res.Mode.String()}),
+			"Classifications served through a degraded path, by mode.").Inc()
+	}
+	if tr := e.obs.tracer; tr != nil {
+		tr.Add(telemetry.Span{
+			Event: tr.NextEvent(), Name: "classify", End: "event",
+			Start: start, Wall: time.Since(start),
+			DelaySeconds: res.SpentSeconds, Degraded: res.Degraded,
+		})
+	}
+	return res, nil
+}
+
+func (r *resilient) classifyLocked(e *Engine, seg biosig.Segment) (Result, error) {
+	state := r.plan.At(r.clock.Now())
+	opt := &xsystem.ResilientOptions{
+		Transport: r.link,
+		Plan:      r.plan,
+		Clock:     r.clock,
+		Policy:    r.policy,
+		Breaker:   r.breaker,
+	}
+
+	if r.breaker.Allow() {
+		out, err := e.system.ClassifyOver(seg, opt)
+		if err == nil {
+			res := Result{
+				Label: out.Label, VotesUsed: out.VotesUsed, VotesTotal: out.VotesTotal,
+				Retries: out.Retries, LostTransfers: out.LostTransfers,
+				DeadlineExceeded: out.DeadlineExceeded, SpentSeconds: out.SpentSeconds,
+			}
+			switch {
+			case out.Complete:
+				res.Mode = ModeFull
+			case !out.Delivered:
+				res.Mode, res.Degraded = ModeSensorLocal, true
+			default:
+				res.Mode, res.Degraded = ModePartial, true
+			}
+			return res, nil
+		}
+		var nores *xsystem.NoResultError
+		if !errors.As(err, &nores) {
+			return Result{}, err // a genuine pipeline failure, not a fault
+		}
+		if r.failFast {
+			return Result{}, fmt.Errorf("xpro: classify failed without fallback (FailFast): %w", err)
+		}
+		return r.fallbackClassify(e, seg, state, nores.Outcome)
+	}
+	if r.failFast {
+		return Result{}, fmt.Errorf("xpro: circuit breaker open and FailFast set: %w",
+			&faults.ErrLinkDown{At: r.clock.Now(), Until: r.plan.Until(r.clock.Now(), faults.LinkOutage)})
+	}
+	return r.fallbackClassify(e, seg, state, xsystem.Outcome{})
+}
+
+// fallbackClassify serves the event from a degraded path after the
+// cross-end cut failed (or was skipped by an open breaker).
+func (r *resilient) fallbackClassify(e *Engine, seg biosig.Segment, state faults.State, attempt xsystem.Outcome) (Result, error) {
+	base := Result{
+		Degraded: true,
+		Retries:  attempt.Retries, LostTransfers: attempt.LostTransfers,
+		DeadlineExceeded: attempt.DeadlineExceeded, SpentSeconds: attempt.SpentSeconds,
+	}
+	if state.Brownout {
+		// The sensor's cell array is below threshold: the in-sensor
+		// fallback cannot compute, but sensing survives — stream raw
+		// samples and classify in software on the aggregator.
+		if ok := r.sendRaw(e); !ok {
+			return Result{}, fmt.Errorf("xpro: sensor browned out and link unavailable: no path to a classification")
+		}
+		label, err := e.ens.Predict(seg)
+		if err != nil {
+			return Result{}, err
+		}
+		base.Label, base.Mode = label, ModeFallbackSoftware
+		return base, nil
+	}
+	// The in-sensor fallback cut: every cell on the wearable, the label
+	// available locally even with the link hard down.
+	out, err := r.fallback.ClassifyOver(seg, &xsystem.ResilientOptions{Policy: r.policy})
+	if err != nil {
+		return Result{}, fmt.Errorf("xpro: fallback cut failed: %w", err)
+	}
+	base.Label, base.Mode = out.Label, ModeFallbackSensor
+	base.VotesUsed, base.VotesTotal = out.VotesUsed, out.VotesTotal
+	if base.SpentSeconds == 0 {
+		base.SpentSeconds = out.SpentSeconds
+	}
+	return base, nil
+}
+
+// sendRaw attempts to move the raw segment across the link under the
+// retry policy (used by the software fallback during brownouts).
+func (r *resilient) sendRaw(e *Engine) bool {
+	for attempt := 0; attempt <= r.policy.MaxRetries; attempt++ {
+		if _, err := r.link.Send(e.graph.SourceBits); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// ClassifyResult is Classify with degradation provenance: the label
+// plus how it was produced. On an engine without a Resilience policy it
+// always reports ModeFull.
+func (e *Engine) ClassifyResult(samples []float64) (Result, error) {
+	seg := biosig.Segment{Samples: samples}
+	if e.res == nil {
+		label, err := e.system.Classify(seg)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Label: label, Mode: ModeFull}, nil
+	}
+	return e.res.classify(e, seg)
+}
+
+// StreamResult is one streamed classification with its degradation
+// provenance.
+type StreamResult struct {
+	// Index is the 0-based position of the segment in the input stream.
+	Index  int
+	Result Result
+	Err    error
+}
+
+// Stream classifies segments arriving on in until it is closed; results
+// arrive in input order and the returned channel closes after the last.
+// Without a Resilience policy events pipeline through the concurrent
+// cell network; with one, events run sequentially through the
+// resilience ladder (the modeled clock and breaker are a serial
+// timeline) and faults degrade results instead of erroring.
+func (e *Engine) Stream(in <-chan []float64) <-chan StreamResult {
+	out := make(chan StreamResult)
+	if e.res != nil {
+		go func() {
+			defer close(out)
+			i := 0
+			for s := range in {
+				res, err := e.res.classify(e, biosig.Segment{Samples: s})
+				out <- StreamResult{Index: i, Result: res, Err: err}
+				i++
+			}
+		}()
+		return out
+	}
+	sysIn := make(chan biosig.Segment)
+	results := e.system.Stream(sysIn)
+	go func() {
+		defer close(sysIn)
+		for s := range in {
+			sysIn <- biosig.Segment{Samples: s}
+		}
+	}()
+	go func() {
+		defer close(out)
+		for r := range results {
+			out <- StreamResult{Index: r.Index, Result: Result{Label: r.Label, Mode: ModeFull}, Err: r.Err}
+		}
+	}()
+	return out
+}
+
+// SimulatedFaultyDelays runs n consecutive events through the
+// discrete-event scheduler (internal/eventsim) under a fault plan:
+// event i starts at i × event-period on the plan's timeline, so outage,
+// brownout and stall windows stall the schedule and show up as
+// delay-constraint violations. It returns each event's finish time
+// (its latency); compare against Report().DelayPerEventSeconds to count
+// violations. A nil plan reproduces the clean SimulatedDelay per event.
+func (e *Engine) SimulatedFaultyDelays(plan *FaultPlan, n int) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("xpro: event count %d must be positive", n)
+	}
+	p, err := plan.internal()
+	if err != nil {
+		return nil, err
+	}
+	in := e.simInput()
+	in.Faults = p
+	if plan != nil {
+		in.FaultSeed = plan.Seed
+	}
+	period := 0.0
+	if ev := e.system.EventsPerSecond(); ev > 0 {
+		period = 1 / ev
+	}
+	out := make([]float64, n)
+	for i := range out {
+		in.Start = float64(i) * period
+		tr, err := eventsim.Simulate(in)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = tr.Finish
+	}
+	return out, nil
+}

@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"sync"
 
@@ -214,6 +215,14 @@ type Config struct {
 	// built — shrinking the in-sensor SVM cells at some accuracy cost
 	// (see the BenchmarkAblationSVPruning numbers). 0 disables pruning.
 	PruneKeep float64
+	// Resilience, when set, arms the fault-tolerance layer: deadline
+	// budgets, retry/backoff, circuit breaking and graceful degradation
+	// through the in-sensor fallback cut (see DefaultResilience).
+	Resilience *Resilience
+	// FaultPlan, when set, injects a deterministic fault schedule into
+	// the engine's modeled timeline (implies DefaultResilience when
+	// Resilience is nil).
+	FaultPlan *FaultPlan
 }
 
 // trained caches classifiers per (case, seed, protocol): training is by
@@ -270,6 +279,7 @@ type Engine struct {
 	gen    partition.Result
 	acc    float64
 	obs    *Observer
+	res    *resilient // nil without a Resilience policy
 }
 
 // attachObserver points a system's telemetry hooks (and its pricing
@@ -285,9 +295,13 @@ func attachObserver(sys *xsystem.System, obs *Observer) {
 // headline figures as gauges and registers the /enginez status sections.
 func newEngine(cfg Config, sys *xsystem.System, ens *ensemble.Ensemble,
 	g *topology.Graph, test *biosig.Dataset, gen partition.Result,
-	acc float64, obs *Observer) *Engine {
+	acc float64, obs *Observer) (*Engine, error) {
+	res, err := buildResilient(cfg, sys, g, ens, obs)
+	if err != nil {
+		return nil, err
+	}
 	e := &Engine{cfg: cfg, system: sys, ens: ens, graph: g, test: test,
-		gen: gen, acc: acc, obs: obs}
+		gen: gen, acc: acc, obs: obs, res: res}
 	rep := e.Report()
 	m := obs.reg
 	m.Gauge("xpro_engine_cells", "Functional cells in the engine topology.").
@@ -305,7 +319,7 @@ func newEngine(cfg Config, sys *xsystem.System, ens *ensemble.Ensemble,
 	obs.setStatus("config", func() any { return e.cfg })
 	obs.setStatus("placement", func() any { return e.Placement() })
 	obs.setStatus("report", func() any { return e.Report() })
-	return e
+	return e, nil
 }
 
 // New trains the generic classification for cfg.Case, builds its
@@ -323,6 +337,10 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.SampleRateHz == 0 {
 		cfg.SampleRateHz = sensornode.DefaultSampleRateHz
 	}
+	// The negated form also rejects NaN, which fails every comparison.
+	if !(cfg.SampleRateHz > 0) || math.IsInf(cfg.SampleRateHz, 0) {
+		return nil, fmt.Errorf("xpro: SampleRateHz %v must be positive and finite", cfg.SampleRateHz)
+	}
 	seed := spec.Seed
 	if cfg.Seed != 0 {
 		seed = cfg.Seed
@@ -333,7 +351,8 @@ func New(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	if cfg.PruneKeep != 0 {
-		if cfg.PruneKeep < 0 || cfg.PruneKeep >= 1 {
+		// The negated form also rejects NaN, which fails every comparison.
+		if !(cfg.PruneKeep > 0 && cfg.PruneKeep < 1) {
 			return nil, fmt.Errorf("xpro: PruneKeep %v outside (0,1)", cfg.PruneKeep)
 		}
 		ens, err = ens.Pruned(cfg.PruneKeep)
@@ -400,13 +419,20 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newEngine(cfg, sys, ens, g, test, gen, acc, obs), nil
+	return newEngine(cfg, sys, ens, g, test, gen, acc, obs)
 }
 
 // Classify runs one segment through the partitioned pipeline and returns
 // the predicted label (0 or 1). Sensor-side cells compute in Q16.16
-// fixed point, aggregator-side cells in float64.
+// fixed point, aggregator-side cells in float64. On an engine with a
+// Resilience policy the event runs through the fault-tolerance ladder
+// and faults degrade the answer instead of erroring — ClassifyResult
+// exposes the provenance.
 func (e *Engine) Classify(samples []float64) (int, error) {
+	if e.res != nil {
+		res, err := e.res.classify(e, biosig.Segment{Samples: samples})
+		return res.Label, err
+	}
 	return e.system.Classify(biosig.Segment{Samples: samples})
 }
 
