@@ -1,0 +1,159 @@
+package xpro
+
+import (
+	"xpro/internal/adaptive"
+)
+
+// This file is the public face of closed-loop adaptive repartitioning
+// (internal/adaptive). The paper's Automatic XPro Generator prices the
+// cross-end cut once, against the datasheet channel; a deployed
+// wearable's channel drifts — interference raises the packet-loss
+// rate, the wearer walks out of range — and the once-optimal cut can
+// quietly become the most expensive one as every crossing payload pays
+// retransmissions. An engine built with Config.Adaptive closes the
+// loop: an online channel estimator folds the evidence the resilience
+// layer already produces (per-send statistics, fault-window state,
+// breaker transitions), a controller re-runs the same min-cut
+// generator against the estimated channel, and a sufficiently better
+// cut is hot-swapped in between events — with hysteresis and a
+// probation window that rolls a misbehaving fresh cut back.
+
+// Adaptive configures the adaptive repartitioning controller.
+// Construct it with DefaultAdaptive and override fields; every field
+// must be set (the controller rejects zero and non-finite knobs).
+type Adaptive struct {
+	// Alpha is the EWMA weight of the channel estimator, in (0, 1]:
+	// larger tracks drift faster, smaller smooths noise harder.
+	Alpha float64
+	// MinDwellSeconds is the minimum modeled time between cut changes —
+	// the hysteresis that stops a flapping channel from thrashing the
+	// placement.
+	MinDwellSeconds float64
+	// ImprovementThreshold is the minimum relative sensor-energy
+	// improvement (under the estimated channel) a candidate cut needs
+	// before it replaces the active one, in (0, 1).
+	ImprovementThreshold float64
+	// ProbationEvents is how many events a freshly installed cut is
+	// watched: violating the deadline more often than the previous cut
+	// already did rolls the swap back.
+	ProbationEvents int
+	// MaxInflation caps the estimated retransmission factor the
+	// re-pricing applies (≥ 1); a hard outage pins the effective channel
+	// to this cap.
+	MaxInflation float64
+}
+
+// DefaultAdaptive returns the default controller tuning.
+func DefaultAdaptive() *Adaptive {
+	c := adaptive.DefaultConfig()
+	return &Adaptive{
+		Alpha:                c.Alpha,
+		MinDwellSeconds:      c.MinDwellSeconds,
+		ImprovementThreshold: c.ImprovementThreshold,
+		ProbationEvents:      c.ProbationEvents,
+		MaxInflation:         c.MaxInflation,
+	}
+}
+
+func (a *Adaptive) internal() adaptive.Config {
+	return adaptive.Config{
+		Alpha:                a.Alpha,
+		MinDwellSeconds:      a.MinDwellSeconds,
+		ImprovementThreshold: a.ImprovementThreshold,
+		ProbationEvents:      a.ProbationEvents,
+		MaxInflation:         a.MaxInflation,
+	}
+}
+
+// RecutDecision is one entry of the adaptive controller's decision
+// log: a hot swap to a better cut, or a probation rollback to the
+// previous one. The log is fully determined by the engine's fault-plan
+// seed, so a seeded run replays an identical sequence.
+type RecutDecision struct {
+	// AtSeconds is the modeled time of the decision.
+	AtSeconds float64
+	// Kind is "swap" or "rollback".
+	Kind string
+	// EstimatedLoss / EstimatedOutage are the channel estimate that
+	// motivated the decision.
+	EstimatedLoss, EstimatedOutage float64
+	// SensorCellsBefore / SensorCellsAfter count the sensor-side cells
+	// of the outgoing and incoming cuts.
+	SensorCellsBefore, SensorCellsAfter int
+	// FromEnergyJ / ToEnergyJ are the per-event sensor energies of the
+	// two cuts priced under the estimated channel (zero on rollbacks).
+	FromEnergyJ, ToEnergyJ float64
+}
+
+// RecutLog returns the adaptive controller's decision log, oldest
+// first. Engines without Config.Adaptive return nil.
+func (e *Engine) RecutLog() []RecutDecision {
+	if e.res == nil || e.res.ctrl == nil {
+		return nil
+	}
+	e.res.mu.Lock()
+	ds := e.res.ctrl.Decisions()
+	e.res.mu.Unlock()
+	out := make([]RecutDecision, len(ds))
+	for i, d := range ds {
+		fs, _ := d.From.Counts()
+		ts, _ := d.To.Counts()
+		out[i] = RecutDecision{
+			AtSeconds:         d.At,
+			Kind:              d.Kind,
+			EstimatedLoss:     d.Loss,
+			EstimatedOutage:   d.Outage,
+			SensorCellsBefore: fs,
+			SensorCellsAfter:  ts,
+			FromEnergyJ:       d.FromEnergy,
+			ToEnergyJ:         d.ToEnergy,
+		}
+	}
+	return out
+}
+
+// AdaptiveStatus is a point-in-time snapshot of the adaptive
+// repartitioning loop.
+type AdaptiveStatus struct {
+	// Enabled is true when the engine was built with Config.Adaptive.
+	Enabled bool
+	// EstimatedLoss / EstimatedOutage are the channel estimator's
+	// current EWMA view; Samples counts the observations folded in.
+	EstimatedLoss, EstimatedOutage float64
+	Samples                        int
+	// SensorCells / AggregatorCells describe the currently active cut.
+	SensorCells, AggregatorCells int
+	// OnProbation is true while a freshly swapped cut is still being
+	// watched for rollback.
+	OnProbation bool
+	// Swaps / Rollbacks count the decisions taken so far.
+	Swaps, Rollbacks int
+}
+
+// AdaptiveStatus reports the adaptive loop's current state. On an
+// engine without Config.Adaptive only the active-cut cell counts are
+// populated.
+func (e *Engine) AdaptiveStatus() AdaptiveStatus {
+	var st AdaptiveStatus
+	st.SensorCells, st.AggregatorCells = e.sys().Placement.Counts()
+	if e.res == nil || e.res.ctrl == nil {
+		return st
+	}
+	e.res.mu.Lock()
+	defer e.res.mu.Unlock()
+	est := e.res.ctrl.Estimator().Estimate()
+	st.Enabled = true
+	st.EstimatedLoss = est.Loss
+	st.EstimatedOutage = est.Outage
+	st.Samples = est.Samples
+	st.OnProbation = e.res.ctrl.OnProbation()
+	for _, d := range e.res.ctrl.Decisions() {
+		switch d.Kind {
+		case "swap":
+			st.Swaps++
+		case "rollback":
+			st.Rollbacks++
+		}
+	}
+	return st
+}

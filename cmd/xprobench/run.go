@@ -24,8 +24,9 @@ import (
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("xprobench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	exp := fs.String("exp", "all", "experiment id (all, table1, fig4, fig8..fig13, headline, ext-lossy, ext-frontier, ext-faults, ...)")
+	exp := fs.String("exp", "all", "experiment id (all, table1, fig4, fig8..fig13, headline, ext-lossy, ext-frontier, ext-faults, ext-adaptive, ...)")
 	faultsOnly := fs.Bool("faults", false, "shorthand for -exp ext-faults: the graceful-degradation table under injected fault scenarios")
+	adaptiveOnly := fs.Bool("adaptive", false, "shorthand for -exp ext-adaptive: the chaos-soak table comparing static, ladder and adaptive re-cut variants under channel drift")
 	cases := fs.String("cases", "", "comma-separated case symbols (default: all six)")
 	protocol := fs.String("protocol", "fast", "training protocol: fast or paper")
 	rate := fs.Float64("rate", 2048, "biosignal sampling rate in Hz")
@@ -77,6 +78,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *faultsOnly {
 		*exp = "ext-faults"
+	}
+	if *adaptiveOnly {
+		*exp = "ext-adaptive"
 	}
 	if *exp == "all" {
 		err = experiments.AllFormat(lab, stdout, of)

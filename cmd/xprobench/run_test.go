@@ -88,3 +88,22 @@ func TestRunTable1SingleCase(t *testing.T) {
 		t.Error("table1 missing C1 row")
 	}
 }
+
+func TestRunAdaptiveShorthand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains an engine and runs a chaos soak")
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-adaptive", "-cases", "C1"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "=== ext-adaptive:") {
+		t.Errorf("missing ext-adaptive table:\n%s", s)
+	}
+	for _, variant := range []string{"static", "ladder", "adaptive"} {
+		if !strings.Contains(s, variant) {
+			t.Errorf("table missing %q variant:\n%s", variant, s)
+		}
+	}
+}

@@ -24,6 +24,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	traceOut := fs.String("trace-out", "", "write the recorded per-cell span trace as JSON to this file after the run")
 	faultsFlag := fs.String("faults", "", "inject a fault scenario and classify through the resilience ladder: "+strings.Join(xpro.FaultScenarios(), ", "))
 	faultSeed := fs.Int64("fault-seed", 7, "seed of the injected fault plan (same seed replays the identical run)")
+	adaptiveFlag := fs.Bool("adaptive", false, "arm closed-loop adaptive repartitioning: estimate the channel online and hot-swap the cut when the estimate says a different one is cheaper")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -45,6 +46,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		cfg.FaultPlan = plan
 		cfg.Resilience = xpro.DefaultResilience()
+	}
+	if *adaptiveFlag {
+		cfg.Adaptive = xpro.DefaultAdaptive()
 	}
 	switch *kind {
 	case "cross":
@@ -147,6 +151,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "event schedule under faults: %d/%d events exceed the clean per-event delay\n",
 				violations, sim)
 		}
+	}
+	if *adaptiveFlag {
+		st := eng.AdaptiveStatus()
+		fmt.Fprintf(stdout, "adaptive: estimated loss %.3f, outage %.3f (%d samples); active cut %d sensor / %d aggregator cells; %d swaps, %d rollbacks\n",
+			st.EstimatedLoss, st.EstimatedOutage, st.Samples,
+			st.SensorCells, st.AggregatorCells, st.Swaps, st.Rollbacks)
+		for _, d := range eng.RecutLog() {
+			fmt.Fprintf(stdout, "  %-8s t=%6.2fs loss=%.3f outage=%.3f cells %d->%d\n",
+				d.Kind, d.AtSeconds, d.EstimatedLoss, d.EstimatedOutage,
+				d.SensorCellsBefore, d.SensorCellsAfter)
+		}
+		rep = eng.Report() // re-read: hot swaps move the active cut
 	}
 	fmt.Fprintf(stdout, "per event: %.3f µJ sensor energy, %.3f ms delay\n",
 		rep.SensorEnergyPerEvent*1e6, rep.DelayPerEventSeconds*1e3)

@@ -94,3 +94,23 @@ func TestRunMetricsAndTraceOut(t *testing.T) {
 		t.Error("trace file has no per-cell spans")
 	}
 }
+
+func TestRunAdaptive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains an engine")
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-case", "C1", "-faults", "flaky", "-adaptive", "-n", "40"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"adaptive: estimated loss",
+		"swaps",
+		"rollbacks",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -114,3 +114,46 @@ func ExampleEngine_ClassifyResult() {
 	// Output:
 	// degraded=true mode=sensor-local breaker=closed
 }
+
+// ExampleEngine_AdaptiveStatus arms closed-loop adaptive repartitioning and
+// rides out a heavy loss storm: the channel estimator watches the link
+// degrade, the controller re-prices the min-cut under the estimated
+// channel and retreats the active cut to the in-sensor anchor while
+// retransmissions are expensive, then swaps back once the air clears.
+func ExampleEngine_AdaptiveStatus() {
+	plan := &xpro.FaultPlan{
+		Windows: []xpro.FaultWindow{
+			{Kind: "loss-burst", StartSeconds: 2.5, EndSeconds: 10, Loss: 0.9},
+		},
+		Seed: 7,
+	}
+	eng, err := xpro.New(xpro.Config{Case: "E2", Wireless: xpro.WirelessModel3,
+		FaultPlan: plan, Adaptive: xpro.DefaultAdaptive()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	test := eng.TestSet()
+	for i := 0; i < 200; i++ {
+		if _, err := eng.Classify(test[i%len(test)].Samples); err != nil {
+			log.Fatal(err)
+		}
+	}
+	cells := eng.Report().Cells
+	st := eng.AdaptiveStatus()
+	retreated, recovered := false, false
+	for _, d := range eng.RecutLog() {
+		if d.Kind == "swap" && d.SensorCellsAfter == cells {
+			retreated = true
+		}
+		if retreated && d.Kind == "swap" && d.SensorCellsAfter < cells {
+			recovered = true
+		}
+	}
+	fmt.Printf("stormed: retreated to in-sensor: %v\n", retreated)
+	fmt.Printf("cleared: back on a cross-end cut: %v\n", recovered && st.SensorCells < cells)
+	fmt.Printf("probation still pending: %v\n", st.OnProbation)
+	// Output:
+	// stormed: retreated to in-sensor: true
+	// cleared: back on a cross-end cut: true
+	// probation still pending: false
+}

@@ -1,0 +1,184 @@
+package adaptive
+
+import (
+	"math"
+	"testing"
+
+	"xpro/internal/faults"
+	"xpro/internal/wireless"
+	"xpro/internal/xsystem"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mut := func(f func(*Config)) Config {
+		c := DefaultConfig()
+		f(&c)
+		return c
+	}
+	bad := map[string]Config{
+		"zero alpha":          mut(func(c *Config) { c.Alpha = 0 }),
+		"alpha above one":     mut(func(c *Config) { c.Alpha = 1.5 }),
+		"NaN alpha":           mut(func(c *Config) { c.Alpha = math.NaN() }),
+		"zero dwell":          mut(func(c *Config) { c.MinDwellSeconds = 0 }),
+		"negative dwell":      mut(func(c *Config) { c.MinDwellSeconds = -1 }),
+		"NaN dwell":           mut(func(c *Config) { c.MinDwellSeconds = math.NaN() }),
+		"infinite dwell":      mut(func(c *Config) { c.MinDwellSeconds = math.Inf(1) }),
+		"zero threshold":      mut(func(c *Config) { c.ImprovementThreshold = 0 }),
+		"threshold of one":    mut(func(c *Config) { c.ImprovementThreshold = 1 }),
+		"NaN threshold":       mut(func(c *Config) { c.ImprovementThreshold = math.NaN() }),
+		"zero probation":      mut(func(c *Config) { c.ProbationEvents = 0 }),
+		"negative probation":  mut(func(c *Config) { c.ProbationEvents = -3 }),
+		"sub-unity inflation": mut(func(c *Config) { c.MaxInflation = 0.5 }),
+		"NaN inflation":       mut(func(c *Config) { c.MaxInflation = math.NaN() }),
+		"infinite inflation":  mut(func(c *Config) { c.MaxInflation = math.Inf(1) }),
+	}
+	for name, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, cfg)
+		}
+	}
+}
+
+func TestNewEstimatorValidation(t *testing.T) {
+	for _, alpha := range []float64{0, -0.1, 1.1, math.NaN(), math.Inf(1)} {
+		if _, err := NewEstimator(alpha); err == nil {
+			t.Errorf("alpha %v accepted", alpha)
+		}
+	}
+	if _, err := NewEstimator(0.3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObserveStateFolds(t *testing.T) {
+	e, _ := NewEstimator(0.5)
+	e.ObserveState(faults.State{Loss: 0.8})
+	if got := e.Estimate().Loss; math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("loss after one 0.8 sample at alpha 0.5: %v, want 0.4", got)
+	}
+	e.ObserveState(faults.State{Loss: 0.8, LinkDown: true})
+	if got := e.Estimate().Outage; math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("outage after one down sample: %v, want 0.5", got)
+	}
+	// NaN and out-of-range garbage must not poison the estimate.
+	before := e.Estimate()
+	e.ObserveState(faults.State{Loss: math.NaN()})
+	if got := e.Estimate().Loss; got != before.Loss {
+		t.Errorf("NaN loss sample moved the estimate: %v -> %v", before.Loss, got)
+	}
+	e.ObserveState(faults.State{Loss: 7})
+	if got := e.Estimate().Loss; !(got <= 1) {
+		t.Errorf("over-range sample pushed the estimate out of [0,1]: %v", got)
+	}
+}
+
+func TestSendStatsBatching(t *testing.T) {
+	e, _ := NewEstimator(1) // alpha 1: estimate = last folded sample
+	one := wireless.Transfer{DataBits: 16}
+
+	// Single-packet sends stay pending until minFlushAttempts packet
+	// attempts have accumulated, however many times Flush runs.
+	e.ObserveSendStats(one, 1, nil) // 2 attempts, 1 failed
+	e.Flush()
+	if got := e.Estimate().Loss; got != 0 {
+		t.Fatalf("loss folded from %d pending attempts: %v", 2, got)
+	}
+	for i := 0; i < 3; i++ {
+		e.ObserveSendStats(one, 1, nil) // +2 attempts, +1 failed each
+	}
+	e.Flush() // 8 attempts, 4 failed
+	if got := e.Estimate().Loss; math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("aggregated loss sample: %v, want 0.5", got)
+	}
+
+	// A hard outage folds outage immediately and leaves loss pending.
+	e.ObserveSendStats(wireless.Transfer{}, 0, &faults.ErrLinkDown{})
+	if got := e.Estimate().Outage; got != 1 {
+		t.Errorf("outage after link-down send: %v, want 1", got)
+	}
+}
+
+func TestObserveOutcomeFoldsOutageOnly(t *testing.T) {
+	e, _ := NewEstimator(1)
+	e.ObserveOutcome(xsystem.Outcome{TransfersOK: 3, HardOutage: true})
+	if got := e.Estimate().Outage; got != 1 {
+		t.Errorf("outage after hard-outage outcome: %v, want 1", got)
+	}
+	e.ObserveOutcome(xsystem.Outcome{TransfersOK: 3})
+	if got := e.Estimate().Outage; got != 0 {
+		t.Errorf("outage after clean outcome: %v, want 0", got)
+	}
+	// An event that put nothing on the air observes nothing.
+	before := e.Estimate()
+	e.ObserveOutcome(xsystem.Outcome{})
+	if got := e.Estimate(); got != before {
+		t.Errorf("airless outcome moved the estimate: %+v -> %+v", before, got)
+	}
+}
+
+func TestObserveBreaker(t *testing.T) {
+	e, _ := NewEstimator(1)
+	e.ObserveBreaker(faults.BreakerOpen)
+	if got := e.Estimate().Outage; got != 1 {
+		t.Errorf("outage after breaker open: %v, want 1", got)
+	}
+	e.ObserveBreaker(faults.BreakerHalfOpen)
+	if got := e.Estimate().Outage; got != 1 {
+		t.Errorf("half-open probe moved the outage estimate: %v", got)
+	}
+	e.ObserveBreaker(faults.BreakerClosed)
+	if got := e.Estimate().Outage; got != 0 {
+		t.Errorf("outage after breaker close: %v, want 0", got)
+	}
+}
+
+func TestInflation(t *testing.T) {
+	cases := []struct {
+		est  Estimate
+		cap  float64
+		want float64
+	}{
+		{Estimate{}, 64, 1},
+		{Estimate{Loss: 0.5}, 64, 2},
+		{Estimate{Loss: 0.75}, 64, 4},
+		{Estimate{Loss: 0.5, Outage: 0.2}, 64, 2.5},
+		{Estimate{Loss: 0.99}, 10, 10},       // capped
+		{Estimate{Outage: 0.6}, 64, 64},      // hard outage pins to cap
+		{Estimate{Loss: 1}, 64, 64},          // total loss pins to cap
+		{Estimate{Loss: math.NaN()}, 64, 64}, // garbage pins to cap
+		{Estimate{Loss: 0.5}, 0.5, 1},        // sub-unity cap clamps to 1
+	}
+	for _, c := range cases {
+		if got := c.est.Inflation(c.cap); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Inflation(%+v, cap %v) = %v, want %v", c.est, c.cap, got, c.want)
+		}
+	}
+}
+
+func TestEffectiveModel(t *testing.T) {
+	base := wireless.Model2()
+	eff := Estimate{Loss: 0.5}.EffectiveModel(base, 64)
+	if math.Abs(eff.TxJPerBit-2*base.TxJPerBit) > 1e-18 ||
+		math.Abs(eff.RxJPerBit-2*base.RxJPerBit) > 1e-18 {
+		t.Errorf("per-bit energies not doubled at 2x inflation: %+v", eff)
+	}
+	if math.Abs(eff.RateBps-base.RateBps/2) > 1e-9 {
+		t.Errorf("rate not halved at 2x inflation: %v", eff.RateBps)
+	}
+	clean := Estimate{}.EffectiveModel(base, 64)
+	if clean != base {
+		t.Errorf("clean estimate changed the model: %+v", clean)
+	}
+}
+
+func TestNewControllerValidation(t *testing.T) {
+	if _, err := NewController(Config{}, nil, 1, nil); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := NewController(DefaultConfig(), nil, 1, nil); err == nil {
+		t.Error("nil system accepted")
+	}
+}

@@ -1,0 +1,279 @@
+package adaptive
+
+import (
+	"errors"
+	"fmt"
+
+	"xpro/internal/partition"
+	"xpro/internal/telemetry"
+	"xpro/internal/xsystem"
+)
+
+// Decision is one entry of the controller's re-cut log: a hot swap to
+// a better cut, or a probation rollback to the previous one. The log
+// is fully determined by the fault-plan seed, so two runs over the
+// same plan produce identical decision sequences — the determinism
+// contract the chaos harness asserts.
+type Decision struct {
+	// At is the modeled time of the decision.
+	At float64
+	// Kind is "swap" or "rollback".
+	Kind string
+	// Loss / Outage are the channel estimate at decision time.
+	Loss, Outage float64
+	// From / To are the placements before and after.
+	From, To partition.Placement
+	// FromEnergy / ToEnergy are the per-event sensor energies of the
+	// two cuts priced under the effective (estimated) channel.
+	FromEnergy, ToEnergy float64
+}
+
+func (d Decision) String() string {
+	fs, _ := d.From.Counts()
+	ts, _ := d.To.Counts()
+	return fmt.Sprintf("%s@%.2fs loss=%.2f outage=%.2f sensor-cells %d→%d energy %.3g→%.3g",
+		d.Kind, d.At, d.Loss, d.Outage, fs, ts, d.FromEnergy, d.ToEnergy)
+}
+
+// Change is what the controller wants the runtime to install: a copy
+// of the reference system running under the new placement. The caller
+// stores System atomically and the swap is live for the next event.
+type Change struct {
+	// Kind is "swap" or "rollback".
+	Kind string
+	// Placement is the newly active cut.
+	Placement partition.Placement
+	// System executes the same trained pipeline under Placement.
+	System *xsystem.System
+}
+
+// Controller is the hot-swap re-cut loop. It owns the channel
+// estimator, re-runs the delay-constrained generator against the
+// estimated channel, and applies hysteresis so the cut moves only when
+// the channel has genuinely shifted: a minimum dwell time between
+// changes, a minimum relative energy improvement, and a probation
+// window on every fresh cut with automatic rollback on a delay
+// violation.
+//
+// The controller is not safe for concurrent use; the engine serializes
+// events through it, like the Breaker.
+type Controller struct {
+	cfg Config
+	est *Estimator
+	// sys is the pristine reference system: its placement is the
+	// static cut, its link the datasheet channel. All candidate cuts
+	// are validated against its clean delay model.
+	sys   *xsystem.System
+	limit float64
+	m     *telemetry.Registry
+
+	active     partition.Placement
+	prev       partition.Placement // non-nil while on probation
+	prevSys    *xsystem.System
+	lastChange float64
+	probation  int
+	// violRate is the EWMA deadline-violation rate of recent events;
+	// probation compares the fresh cut against it rather than against
+	// zero, so ambient chaos the old cut was already suffering does
+	// not shoot down a swap that improves on it.
+	violRate  float64
+	probViol  int
+	probLimit int
+	decisions []Decision
+
+	evals, swaps, rollbacks *telemetry.Counter
+	gaugeLoss, gaugeOutage  *telemetry.Gauge
+	gaugeCells              *telemetry.Gauge
+}
+
+// NewController builds a controller around a reference system. limit
+// is the delay constraint T_XPro every candidate cut must meet under
+// the clean delay model (the same limit the static generator used).
+// metrics may be nil to use the process-default registry.
+func NewController(cfg Config, sys *xsystem.System, limit float64, metrics *telemetry.Registry) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if sys == nil {
+		return nil, errors.New("adaptive: nil reference system")
+	}
+	if !(limit > 0) { // rejects NaN too
+		return nil, fmt.Errorf("adaptive: non-positive delay limit %v", limit)
+	}
+	est, err := NewEstimator(cfg.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	if metrics == nil {
+		metrics = telemetry.Default()
+	}
+	c := &Controller{
+		cfg:    cfg,
+		est:    est,
+		sys:    sys,
+		limit:  limit,
+		m:      metrics,
+		active: append(partition.Placement(nil), sys.Placement...),
+
+		evals: metrics.Counter("xpro_recut_evals_total",
+			"Re-cut evaluations performed by the adaptive controller."),
+		swaps: metrics.Counter("xpro_recut_swaps_total",
+			"Hot swaps of the active cut performed by the adaptive controller."),
+		rollbacks: metrics.Counter("xpro_recut_rollbacks_total",
+			"Probation rollbacks to the previous cut."),
+		gaugeLoss: metrics.Gauge("xpro_adaptive_est_loss",
+			"EWMA per-attempt packet-loss estimate of the channel."),
+		gaugeOutage: metrics.Gauge("xpro_adaptive_est_outage",
+			"EWMA hard-outage estimate of the channel."),
+		gaugeCells: metrics.Gauge("xpro_active_cut_sensor_cells",
+			"Sensor-side cell count of the currently active cut."),
+	}
+	ns, _ := c.active.Counts()
+	c.gaugeCells.Set(float64(ns))
+	return c, nil
+}
+
+// Estimator exposes the controller's channel estimator so the runtime
+// can feed it observations (outcomes, fault state, breaker
+// transitions, send statistics).
+func (c *Controller) Estimator() *Estimator { return c.est }
+
+// Active returns the currently active placement. The returned slice is
+// the controller's own copy; treat it as read-only.
+func (c *Controller) Active() partition.Placement { return c.active }
+
+// OnProbation reports whether the active cut is still on probation.
+func (c *Controller) OnProbation() bool { return c.prev != nil }
+
+// Decisions returns a copy of the re-cut decision log.
+func (c *Controller) Decisions() []Decision {
+	return append([]Decision(nil), c.decisions...)
+}
+
+// publishEstimate refreshes the estimator gauges.
+func (c *Controller) publishEstimate(est Estimate) {
+	c.gaugeLoss.Set(est.Loss)
+	c.gaugeOutage.Set(est.Outage)
+}
+
+// Evaluate re-prices the partition problem under the estimated channel
+// and returns a Change when a sufficiently better cut exists, nil when
+// the active cut stands. Hysteresis applies: no change within the
+// dwell window, while a fresh cut is on probation, or for an
+// improvement below the threshold.
+func (c *Controller) Evaluate(now float64) (*Change, error) {
+	c.evals.Inc()
+	est := c.est.Estimate()
+	c.publishEstimate(est)
+	if c.prev != nil || now-c.lastChange < c.cfg.MinDwellSeconds {
+		return nil, nil
+	}
+
+	// Re-price every cut under the estimated channel: same graph, same
+	// hardware, derated link. Delay is re-priced too — a cut whose
+	// crossing payloads need too many retransmissions to meet T_XPro on
+	// the channel as it is now is not a candidate, however cheap its
+	// energy looks.
+	prob := *c.sys.Problem()
+	prob.Link = est.EffectiveModel(c.sys.Link, c.cfg.MaxInflation)
+	esys := *c.sys
+	esys.Link = prob.Link
+	delayOf := func(p partition.Placement) float64 { return esys.DelayOf(p).Total() }
+	var cand partition.Placement
+	if res, err := prob.Generate(delayOf, c.limit); err == nil {
+		cand = res.Placement
+	}
+	inSensor := partition.InSensor(c.sys.Graph)
+	if cand == nil {
+		// No cut meets T_XPro on this channel — the derated link is too
+		// slow even for the single-end engines' residual traffic. The
+		// in-sensor cut puts the least on the air and loses the least;
+		// hold position there until the channel recovers.
+		cand = inSensor
+	} else if delayOf(inSensor) <= c.limit && prob.SensorEnergy(inSensor) < prob.SensorEnergy(cand) {
+		// The sweep's λ ladder is finite; make sure the in-sensor engine
+		// is always in the running when it is delay-feasible.
+		cand = inSensor
+	}
+	if cand.Equal(c.active) {
+		return nil, nil
+	}
+	activeE := prob.SensorEnergy(c.active)
+	candE := prob.SensorEnergy(cand)
+	if candE >= activeE*(1-c.cfg.ImprovementThreshold) {
+		return nil, nil
+	}
+
+	ns, err := c.sys.WithPlacement(cand)
+	if err != nil {
+		return nil, err
+	}
+	c.decisions = append(c.decisions, Decision{
+		At: now, Kind: "swap", Loss: est.Loss, Outage: est.Outage,
+		From: c.active, To: append(partition.Placement(nil), cand...),
+		FromEnergy: activeE, ToEnergy: candE,
+	})
+	c.prev = c.active
+	prevSys, err := c.sys.WithPlacement(c.active)
+	if err != nil {
+		return nil, err
+	}
+	c.prevSys = prevSys
+	c.active = append(partition.Placement(nil), cand...)
+	c.lastChange = now
+	c.probation = c.cfg.ProbationEvents
+	// The fresh cut may violate as often as the old one already did
+	// (rounded up, plus one for luck) before it is rolled back.
+	c.probViol = 0
+	c.probLimit = int(c.violRate*float64(c.cfg.ProbationEvents)) + 1
+	c.swaps.Inc()
+	sc, _ := c.active.Counts()
+	c.gaugeCells.Set(float64(sc))
+	return &Change{Kind: "swap", Placement: c.active, System: ns}, nil
+}
+
+// ObserveEvent feeds one classified event back into the loop: the
+// outcome updates the channel estimate and the running violation rate,
+// and — while the active cut is on probation — violating the deadline
+// more often than the previous cut already did triggers a rollback to
+// that cut, returned as a Change to install.
+func (c *Controller) ObserveEvent(now float64, out xsystem.Outcome, violated bool) *Change {
+	c.est.ObserveOutcome(out)
+	c.publishEstimate(c.est.Estimate())
+	sample := 0.0
+	if violated {
+		sample = 1
+	}
+	onProbation := c.prev != nil
+	if !onProbation {
+		// The rate the next probation is judged against describes the
+		// committed cut; probation events judge themselves.
+		c.violRate += c.cfg.Alpha * (sample - c.violRate)
+		return nil
+	}
+	if violated {
+		c.probViol++
+	}
+	if c.probViol > c.probLimit {
+		est := c.est.Estimate()
+		c.decisions = append(c.decisions, Decision{
+			At: now, Kind: "rollback", Loss: est.Loss, Outage: est.Outage,
+			From: c.active, To: c.prev,
+		})
+		ch := &Change{Kind: "rollback", Placement: c.prev, System: c.prevSys}
+		c.active = c.prev
+		c.prev, c.prevSys = nil, nil
+		c.lastChange = now
+		c.probation = 0
+		c.rollbacks.Inc()
+		sc, _ := c.active.Counts()
+		c.gaugeCells.Set(float64(sc))
+		return ch
+	}
+	c.probation--
+	if c.probation <= 0 {
+		// Probation survived: commit the cut.
+		c.prev, c.prevSys = nil, nil
+	}
+	return nil
+}

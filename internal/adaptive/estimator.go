@@ -1,0 +1,210 @@
+package adaptive
+
+import (
+	"fmt"
+	"math"
+
+	"xpro/internal/faults"
+	"xpro/internal/wireless"
+	"xpro/internal/xsystem"
+)
+
+// Estimate is the estimator's current view of the channel.
+type Estimate struct {
+	// Loss is the EWMA per-attempt packet-loss probability in [0, 1].
+	Loss float64
+	// Outage is the EWMA fraction of recent observations that saw the
+	// link hard down, in [0, 1].
+	Outage float64
+	// Samples counts the observations folded in so far.
+	Samples int
+}
+
+// Estimator tracks the channel the runtime actually experiences as two
+// exponentially weighted moving averages: per-attempt packet loss and
+// hard-outage pressure. It accepts observations from every signal the
+// runtime already produces — resilient-classification outcomes,
+// lossy-channel send statistics, fault-window state and breaker
+// transitions — and ignores NaN/Inf garbage, so a misbehaving source
+// can never poison the estimate.
+type Estimator struct {
+	alpha   float64
+	loss    float64
+	outage  float64
+	samples int
+	// Pending per-packet evidence, aggregated until the next flush so
+	// one chatty event (a dozen sends) carries the same EWMA weight as
+	// one quiet event (a single send).
+	pendAttempts int64
+	pendFailed   int64
+}
+
+// NewEstimator builds an estimator with EWMA weight alpha in (0, 1].
+func NewEstimator(alpha float64) (*Estimator, error) {
+	if !(alpha > 0 && alpha <= 1) { // rejects NaN too
+		return nil, fmt.Errorf("adaptive: EWMA alpha %v outside (0,1]", alpha)
+	}
+	return &Estimator{alpha: alpha}, nil
+}
+
+// fold blends one sample into an EWMA, clamping to [0, 1] and
+// rejecting non-finite values (NaN fails both comparisons).
+func fold(ewma *Estimator, dst *float64, sample float64) {
+	if !(sample >= 0) {
+		return
+	}
+	if sample > 1 {
+		sample = 1
+	}
+	*dst += ewma.alpha * (sample - *dst)
+}
+
+// ObserveOutcome folds one resilient classification's transfer record
+// into the estimate: did the event's traffic meet a hard outage or
+// not? Loss estimation deliberately stays with the per-packet sources
+// (ObserveSendStats, ObserveState) — a payload-level retry count mixes
+// units with per-packet loss and would bias the estimate. Events that
+// put nothing on the air (single-end cut, breaker open) contribute
+// nothing — the channel was not observed.
+func (e *Estimator) ObserveOutcome(out xsystem.Outcome) {
+	e.Flush()
+	attempts := out.TransfersOK + out.Retries + out.LostTransfers
+	if attempts > 0 {
+		sample := 0.0
+		if out.HardOutage {
+			sample = 1
+		}
+		fold(e, &e.outage, sample)
+		e.samples++
+	}
+}
+
+// minFlushAttempts is how much per-packet evidence a loss sample needs
+// before it folds. A single packet's failures/attempts ratio is a
+// heavily quantized, biased-low draw (a first-try delivery reads 0.0
+// whatever the true loss); batching attempts before dividing keeps one
+// quiet event from yanking the estimate around.
+const minFlushAttempts = 8
+
+// Flush folds the per-packet evidence accumulated since the last flush
+// as one aggregate loss sample, once at least minFlushAttempts packet
+// attempts have been seen (fewer stay pending for the next flush).
+// ObserveOutcome flushes automatically, so a runtime feeding both
+// signals folds at most one loss sample per event however many sends
+// the event made.
+func (e *Estimator) Flush() {
+	if e.pendAttempts >= minFlushAttempts {
+		fold(e, &e.loss, float64(e.pendFailed)/float64(e.pendAttempts))
+		e.samples++
+		e.pendAttempts, e.pendFailed = 0, 0
+	}
+}
+
+// ObserveSendStats records one link-layer send (the wireless.SendStats
+// shape, also emitted by faults.Link's Observer hook): per-packet
+// retransmissions over the packet attempts actually made on the air,
+// plus a final failure when the send was dropped. The evidence is
+// accumulated and folded as one aggregate sample at the next Flush /
+// ObserveOutcome. A send that died to a hard outage carries no loss
+// information — nothing went on the air — and folds only outage.
+func (e *Estimator) ObserveSendStats(tr wireless.Transfer, retransmissions int, err error) {
+	if faults.IsLinkDown(err) {
+		fold(e, &e.outage, 1)
+		e.samples++
+		return
+	}
+	var attempts int64
+	if err == nil {
+		attempts = wireless.Packets(tr.DataBits) + int64(retransmissions)
+	} else if tr.WireBits > 0 {
+		// Dropped partway: count the packet attempts actually sent.
+		const pkt = wireless.MaxPayloadBits + wireless.HeaderBits
+		attempts = (tr.WireBits + pkt - 1) / pkt
+	}
+	failed := int64(retransmissions)
+	if err != nil {
+		failed++
+	}
+	if attempts <= 0 {
+		return
+	}
+	e.pendAttempts += attempts
+	e.pendFailed += failed
+}
+
+// ObserveState folds an ambient fault-window observation — what the
+// runtime can see of the environment between transfers (modem RSSI /
+// carrier-sense in a real deployment, the fault plan's state here).
+// It keeps the estimate moving even when the active cut puts little
+// or nothing on the air, so a controller parked on the in-sensor cut
+// can still notice the channel recovering.
+func (e *Estimator) ObserveState(st faults.State) {
+	fold(e, &e.loss, st.Loss)
+	sample := 0.0
+	if st.LinkDown {
+		sample = 1
+	}
+	fold(e, &e.outage, sample)
+	e.samples++
+}
+
+// ObserveBreaker folds a circuit-breaker transition: the breaker
+// opening is strong evidence the link is unusable, closing that it
+// recovered. Half-open probes carry no information by themselves.
+func (e *Estimator) ObserveBreaker(to faults.BreakerState) {
+	switch to {
+	case faults.BreakerOpen:
+		fold(e, &e.outage, 1)
+		e.samples++
+	case faults.BreakerClosed:
+		fold(e, &e.outage, 0)
+		e.samples++
+	}
+}
+
+// Estimate returns the current channel view.
+func (e *Estimator) Estimate() Estimate {
+	return Estimate{Loss: e.loss, Outage: e.outage, Samples: e.samples}
+}
+
+// Inflation returns the expected (re)transmission factor of the
+// estimated channel: 1/(1−loss) — each payload is sent that many times
+// on average — capped at maxInflation, and pinned to the cap while the
+// outage estimate says the link is down more often than up (retries
+// against a dead link burn energy without delivering).
+func (est Estimate) Inflation(maxInflation float64) float64 {
+	if maxInflation < 1 {
+		maxInflation = 1
+	}
+	if est.Outage > 0.5 {
+		return maxInflation
+	}
+	loss := est.Loss
+	if !(loss >= 0) || loss >= 1 {
+		return maxInflation
+	}
+	inf := 1 / (1 - loss)
+	// Outage pressure below the hard threshold still inflates: a link
+	// down fraction f of the time wastes ~1/(1−f) attempts.
+	if est.Outage > 0 && est.Outage < 1 {
+		inf /= 1 - est.Outage
+	}
+	if inf > maxInflation || math.IsNaN(inf) || math.IsInf(inf, 0) {
+		return maxInflation
+	}
+	return inf
+}
+
+// EffectiveModel folds the estimate back into a transceiver model: the
+// per-bit energies scale with the expected number of times each bit
+// goes on the air, and the effective goodput rate shrinks by the same
+// factor. Handing this model to the unmodified partition generator
+// re-prices every cut under the channel as it is now.
+func (est Estimate) EffectiveModel(base wireless.Model, maxInflation float64) wireless.Model {
+	inf := est.Inflation(maxInflation)
+	eff := base
+	eff.TxJPerBit *= inf
+	eff.RxJPerBit *= inf
+	eff.RateBps /= inf
+	return eff
+}

@@ -1,0 +1,382 @@
+// Package chaos is the long-horizon soak harness for the adaptive
+// repartitioning controller. It replays seeded channel-drift profiles
+// against three engine variants built from the same trained system:
+//
+//   - static: the generated cross-end cut, retries only — what the
+//     paper's engine does when the channel drifts;
+//   - ladder: the static cut behind the resilience degradation ladder
+//     (breaker and in-sensor fallback) — rides faults out but never
+//     re-optimizes;
+//   - adaptive: the ladder plus the re-cut controller of
+//     internal/adaptive — re-prices the partition against the
+//     estimated channel and hot-swaps the active cut.
+//
+// Everything is driven by the modeled clock and seeded fault plans, so
+// a soak replays bit-identically: same seed, same decisions, same
+// totals. The harness reports per-variant sensor energy and
+// deadline-violation counts; the acceptance property is that the
+// adaptive variant spends less sensor energy than the static cut and
+// violates fewer deadlines than the ladder on drifting channels.
+package chaos
+
+import (
+	"fmt"
+	"math"
+
+	"xpro/internal/adaptive"
+	"xpro/internal/biosig"
+	"xpro/internal/faults"
+	"xpro/internal/partition"
+	"xpro/internal/wireless"
+	"xpro/internal/xsystem"
+)
+
+// ProfileNames lists the built-in drift profiles.
+func ProfileNames() []string {
+	return []string{"squall", "cyclone", "monsoon", "staircase", "flapping"}
+}
+
+// Profile builds a named channel-drift plan over the given horizon
+// (modeled seconds), seeded deterministically:
+//
+//	squall     one long moderate loss storm (75% loss) over the middle
+//	           of the run — drains a static cross-end cut through
+//	           retransmissions
+//	cyclone    the same shape at 90% loss — past the crossover where
+//	           even a transmission-light cross-end cut should abandon
+//	           the link for the in-sensor anchor
+//	monsoon    a hard outage inside a wider loss storm — the link dies
+//	           and comes back
+//	staircase  loss ramping up in steps (30% → 50% → 70%), then clear —
+//	           gradual drift, no sharp edge
+//	flapping   seeded short outages and bursts in quick succession —
+//	           the hysteresis stress test
+func Profile(name string, seed int64, horizon float64) (*faults.Plan, error) {
+	if !(horizon > 0) {
+		return nil, fmt.Errorf("chaos: horizon %v must be positive", horizon)
+	}
+	h := horizon
+	switch name {
+	case "squall":
+		return &faults.Plan{Windows: []faults.Window{
+			{Kind: faults.LossBurst, Start: 0.2 * h, End: 0.8 * h, Loss: 0.75},
+		}}, nil
+	case "cyclone":
+		return &faults.Plan{Windows: []faults.Window{
+			{Kind: faults.LossBurst, Start: 0.2 * h, End: 0.8 * h, Loss: 0.9},
+		}}, nil
+	case "monsoon":
+		return &faults.Plan{Windows: []faults.Window{
+			{Kind: faults.LossBurst, Start: 0.15 * h, End: 0.85 * h, Loss: 0.5},
+			{Kind: faults.LinkOutage, Start: 0.35 * h, End: 0.6 * h},
+		}}, nil
+	case "staircase":
+		return &faults.Plan{Windows: []faults.Window{
+			{Kind: faults.LossBurst, Start: 0.15 * h, End: 0.35 * h, Loss: 0.3},
+			{Kind: faults.LossBurst, Start: 0.35 * h, End: 0.55 * h, Loss: 0.5},
+			{Kind: faults.LossBurst, Start: 0.55 * h, End: 0.75 * h, Loss: 0.7},
+		}}, nil
+	case "flapping":
+		return faults.RandomPlan(seed, faults.PlanConfig{
+			Horizon: h, Outages: 3, Bursts: 4,
+			MeanDuration: h / 30, BurstLoss: 0.7,
+		}), nil
+	default:
+		return nil, fmt.Errorf("chaos: unknown profile %q (have %v)", name, ProfileNames())
+	}
+}
+
+// Config shapes one soak run.
+type Config struct {
+	// Profile names the drift plan (see ProfileNames).
+	Profile string
+	// Seed drives the fault plan and every lossy link; the same seed
+	// replays the identical soak.
+	Seed int64
+	// Events is the soak length in classified events (default 400).
+	Events int
+	// DeadlineFactor scales the engine's delay limit T_XPro into the
+	// per-event deadline (default 2): an event slower than
+	// DeadlineFactor·T_XPro is a deadline violation.
+	DeadlineFactor float64
+	// LinkRetries is the link-layer per-packet retransmission budget
+	// (default 6, a persistent 802.15.4 / BLE MAC) — it keeps individual
+	// packets alive so payload transfers mostly succeed at inflated
+	// energy, which is exactly the drift the re-cut controller should
+	// price in.
+	LinkRetries int
+	// Adaptive configures the controller (zero value: defaults).
+	Adaptive adaptive.Config
+}
+
+func (c *Config) fill() {
+	if c.Events <= 0 {
+		c.Events = 400
+	}
+	if c.DeadlineFactor <= 0 {
+		c.DeadlineFactor = 2
+	}
+	if c.LinkRetries == 0 {
+		c.LinkRetries = 6
+	}
+	if c.LinkRetries < 0 {
+		c.LinkRetries = 0
+	}
+	if c.Adaptive == (adaptive.Config{}) {
+		c.Adaptive = adaptive.DefaultConfig()
+	}
+}
+
+// VariantStats aggregates one variant's soak.
+type VariantStats struct {
+	Name string
+	// Events is the number of events classified.
+	Events int
+	// Violations counts deadline violations: events that blew the
+	// modeled per-event deadline or produced no label at all.
+	Violations int
+	// NoResult counts events with no label even after any fallback.
+	NoResult int
+	// Degraded counts events that were not full-fidelity deliveries.
+	Degraded int
+	// Swaps / Rollbacks count the adaptive controller's decisions
+	// (zero for the other variants).
+	Swaps, Rollbacks int
+	// SensorEnergyJ is the total modeled sensor-node energy spent.
+	SensorEnergyJ float64
+	// FinalSensorCells is the sensor-side cell count of the cut that
+	// was active when the soak ended.
+	FinalSensorCells int
+}
+
+// Result is one soak over one profile: the three variants side by
+// side, plus the adaptive controller's decision log for determinism
+// checks.
+type Result struct {
+	Profile string
+	Seed    int64
+	// LimitSeconds is the engine's delay constraint T_XPro;
+	// DeadlineSeconds the per-event violation threshold.
+	LimitSeconds    float64
+	DeadlineSeconds float64
+
+	Static   VariantStats
+	Ladder   VariantStats
+	Adaptive VariantStats
+
+	// Decisions is the adaptive controller's re-cut log.
+	Decisions []adaptive.Decision
+}
+
+// AdaptiveDominates reports the acceptance property: the adaptive
+// variant spent less sensor energy than the static cut AND violated
+// fewer deadlines than the pure degradation ladder.
+func (r *Result) AdaptiveDominates() bool {
+	return r.Adaptive.SensorEnergyJ < r.Static.SensorEnergyJ &&
+		r.Adaptive.Violations < r.Ladder.Violations
+}
+
+// Soak replays one drift profile against the three variants. sys is
+// the generated cross-end system (the static cut); segs supplies the
+// event stream, cycled as needed.
+func Soak(sys *xsystem.System, segs []biosig.Segment, cfg Config) (*Result, error) {
+	if math.IsNaN(cfg.DeadlineFactor) || math.IsInf(cfg.DeadlineFactor, 0) {
+		return nil, fmt.Errorf("chaos: deadline factor %v is not finite", cfg.DeadlineFactor)
+	}
+	cfg.fill()
+	if sys == nil {
+		return nil, fmt.Errorf("chaos: nil system")
+	}
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("chaos: no segments")
+	}
+	period := float64(sys.Graph.SegLen) / sys.SampleRateHz
+	horizon := float64(cfg.Events) * period
+	plan, err := Profile(cfg.Profile, cfg.Seed, horizon)
+	if err != nil {
+		return nil, err
+	}
+
+	// T_XPro = min(T_F, T_B): the same constraint the generator used.
+	inSensor := partition.InSensor(sys.Graph)
+	limit := sys.DelayOf(inSensor).Total()
+	if d := sys.DelayOf(partition.InAggregator(sys.Graph)).Total(); d < limit {
+		limit = d
+	}
+	deadline := cfg.DeadlineFactor * limit
+
+	fallback, err := sys.WithPlacement(inSensor)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Profile: cfg.Profile, Seed: cfg.Seed,
+		LimitSeconds: limit, DeadlineSeconds: deadline,
+	}
+	res.Static, err = soakVariant(sys, nil, nil, segs, plan, cfg, deadline, period)
+	if err != nil {
+		return nil, err
+	}
+	res.Static.Name = "static"
+	res.Ladder, err = soakVariant(sys, fallback, nil, segs, plan, cfg, deadline, period)
+	if err != nil {
+		return nil, err
+	}
+	res.Ladder.Name = "ladder"
+
+	ctrl, err := adaptive.NewController(cfg.Adaptive, sys, limit, sys.Metrics)
+	if err != nil {
+		return nil, err
+	}
+	res.Adaptive, err = soakVariant(sys, fallback, ctrl, segs, plan, cfg, deadline, period)
+	if err != nil {
+		return nil, err
+	}
+	res.Adaptive.Name = "adaptive"
+	res.Adaptive.Swaps = countKind(ctrl.Decisions(), "swap")
+	res.Adaptive.Rollbacks = countKind(ctrl.Decisions(), "rollback")
+	res.Decisions = ctrl.Decisions()
+	return res, nil
+}
+
+func countKind(ds []adaptive.Decision, kind string) int {
+	n := 0
+	for _, d := range ds {
+		if d.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// policy returns the soak's shared resilience policy: the per-event
+// deadline budget, light retries, and a breaker that trips after three
+// consecutive drops and probes again after two modeled seconds.
+func policy(deadline float64) faults.Policy {
+	return faults.Policy{
+		Deadline:         deadline,
+		MaxRetries:       2,
+		Backoff:          faults.Backoff{Base: 0.2e-3, Max: 1.6e-3, Factor: 2},
+		BreakerThreshold: 3,
+		BreakerCooldown:  2,
+		MinVotes:         1,
+	}
+}
+
+// soakVariant replays the event stream through one variant. fallback
+// nil is the static variant (no ladder); ctrl nil is the pure ladder;
+// both set is the adaptive engine.
+func soakVariant(sys *xsystem.System, fallback *xsystem.System, ctrl *adaptive.Controller,
+	segs []biosig.Segment, plan *faults.Plan, cfg Config, deadline, period float64) (VariantStats, error) {
+
+	var st VariantStats
+	clock := &faults.Clock{}
+	link, err := faults.NewLink(sys.Link, plan, clock, 0, cfg.LinkRetries, cfg.Seed)
+	if err != nil {
+		return st, err
+	}
+	pol := policy(deadline)
+	if ctrl != nil {
+		// Per-packet channel evidence, straight off the MAC.
+		link.Observer = func(tr wireless.Transfer, retransmissions int, serr error) {
+			ctrl.Estimator().ObserveSendStats(tr, retransmissions, serr)
+		}
+	}
+	var breaker *faults.Breaker
+	if fallback != nil {
+		breaker, err = faults.NewBreaker(pol.BreakerThreshold, pol.BreakerCooldown, clock)
+		if err != nil {
+			return st, err
+		}
+		if ctrl != nil {
+			breaker.OnTransition = func(_, to faults.BreakerState) {
+				ctrl.Estimator().ObserveBreaker(to)
+			}
+		}
+	}
+	active := sys
+	opts := func() *xsystem.ResilientOptions {
+		return &xsystem.ResilientOptions{
+			Transport: link, Plan: plan, Clock: clock, Policy: pol, Breaker: breaker,
+		}
+	}
+
+	for i := 0; i < cfg.Events; i++ {
+		seg := segs[i%len(segs)]
+		now := clock.Now()
+		if ctrl != nil {
+			// Ambient channel observation: what the modem sees of the
+			// environment this instant, whether or not the active cut
+			// puts payloads on the air.
+			ctrl.Estimator().ObserveState(plan.At(now))
+		}
+
+		var out xsystem.Outcome
+		var spent float64
+		noResult := false
+		attempt := breaker == nil || breaker.Allow()
+		if attempt {
+			var cerr error
+			out, cerr = active.ClassifyOver(seg, opts())
+			spent = out.SpentSeconds
+			st.SensorEnergyJ += out.SensorEnergy
+			if cerr != nil {
+				if fallback == nil {
+					noResult = true
+				} else {
+					// Degradation ladder: recompute on the in-sensor
+					// fallback cut. Sensing already happened once — do
+					// not charge it twice.
+					fout, ferr := fallback.ClassifyOver(seg, opts())
+					spent += fout.SpentSeconds
+					st.SensorEnergyJ += fout.SensorEnergy - sensingEnergy(sys)
+					if ferr != nil {
+						noResult = true
+					}
+				}
+			}
+		} else {
+			// Breaker open: fail fast straight to the fallback cut.
+			fout, ferr := fallback.ClassifyOver(seg, opts())
+			out = fout
+			spent = fout.SpentSeconds
+			st.SensorEnergyJ += fout.SensorEnergy
+			if ferr != nil {
+				noResult = true
+			}
+		}
+
+		violated := noResult || out.DeadlineExceeded || spent > deadline
+		if violated {
+			st.Violations++
+		}
+		if noResult {
+			st.NoResult++
+		}
+		if noResult || !out.Complete {
+			st.Degraded++
+		}
+		if ctrl != nil {
+			if ch := ctrl.ObserveEvent(now, out, violated); ch != nil {
+				active = ch.System
+			}
+			ch, err := ctrl.Evaluate(clock.Now())
+			if err != nil {
+				return st, err
+			}
+			if ch != nil {
+				active = ch.System
+			}
+		}
+		st.Events++
+		clock.Advance(period)
+	}
+	ns, _ := active.Placement.Counts()
+	st.FinalSensorCells = ns
+	return st, nil
+}
+
+func sensingEnergy(sys *xsystem.System) float64 {
+	return sys.Problem().SensingEnergy
+}

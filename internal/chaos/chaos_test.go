@@ -1,0 +1,275 @@
+package chaos
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"xpro/internal/adaptive"
+	"xpro/internal/aggregator"
+	"xpro/internal/biosig"
+	"xpro/internal/celllib"
+	"xpro/internal/ensemble"
+	"xpro/internal/partition"
+	"xpro/internal/sensornode"
+	"xpro/internal/topology"
+	"xpro/internal/wireless"
+	"xpro/internal/xsystem"
+)
+
+type fixture struct {
+	test  *biosig.Dataset
+	ens   *ensemble.Ensemble
+	graph *topology.Graph
+}
+
+var cached *fixture
+
+func getFixture(t testing.TB) *fixture {
+	t.Helper()
+	if cached != nil {
+		return cached
+	}
+	spec, err := biosig.CaseBySymbol("E2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := biosig.Generate(spec)
+	rng := rand.New(rand.NewSource(11))
+	train, test := d.Split(0.75, rng)
+	cfg := ensemble.DefaultConfig(11)
+	cfg.Candidates = 10
+	cfg.Folds = 3
+	cfg.TopFrac = 0.3
+	ens, err := ensemble.Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := topology.Build(ens, d.SegLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached = &fixture{test: test, ens: ens, graph: g}
+	return cached
+}
+
+// crossSystem builds the generated (delay-constrained min-cut) system,
+// exactly as xpro.New does for the cross-end engine kind. Model3's
+// radio prices a genuinely cross-end cut for the E2 fixture (23 sensor
+// / 14 aggregator cells), so the controller has real room to move.
+func crossSystem(t testing.TB, f *fixture, link wireless.Model) *xsystem.System {
+	t.Helper()
+	sys, err := xsystem.New(f.graph, f.ens, celllib.P90, link, aggregator.CortexA8(),
+		partition.InSensor(f.graph), sensornode.DefaultSampleRateHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delayOf := func(p partition.Placement) float64 { return sys.DelayOf(p).Total() }
+	limit := delayOf(partition.InSensor(f.graph))
+	if d := delayOf(partition.InAggregator(f.graph)); d < limit {
+		limit = d
+	}
+	res, err := sys.Problem().Generate(delayOf, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross, err := sys.WithPlacement(res.Placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cross
+}
+
+func TestProfiles(t *testing.T) {
+	for _, name := range ProfileNames() {
+		plan, err := Profile(name, 7, 25)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(plan.Windows) == 0 {
+			t.Errorf("%s: empty plan", name)
+		}
+		if err := plan.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := Profile("hurricane", 7, 25); err == nil {
+		t.Error("unknown profile should error")
+	}
+	if _, err := Profile("squall", 7, 0); err == nil {
+		t.Error("zero horizon should error")
+	}
+	if _, err := Profile("squall", 7, math.NaN()); err == nil {
+		t.Error("NaN horizon should error")
+	}
+}
+
+func TestSoakValidation(t *testing.T) {
+	f := getFixture(t)
+	sys := crossSystem(t, f, wireless.Model3())
+	if _, err := Soak(nil, f.test.Segs, Config{Profile: "squall"}); err == nil {
+		t.Error("nil system should error")
+	}
+	if _, err := Soak(sys, nil, Config{Profile: "squall"}); err == nil {
+		t.Error("empty segments should error")
+	}
+	if _, err := Soak(sys, f.test.Segs, Config{Profile: "nope"}); err == nil {
+		t.Error("unknown profile should error")
+	}
+	if _, err := Soak(sys, f.test.Segs, Config{Profile: "squall", DeadlineFactor: math.NaN()}); err == nil {
+		t.Error("NaN deadline factor should error")
+	}
+	bad := adaptive.DefaultConfig()
+	bad.MinDwellSeconds = -1
+	if _, err := Soak(sys, f.test.Segs, Config{Profile: "squall", Adaptive: bad}); err == nil {
+		t.Error("invalid adaptive config should error")
+	}
+}
+
+// TestSquallDominance is the PR's acceptance property: under a seeded
+// loss storm the adaptive engine spends less sensor energy than the
+// static cut AND violates fewer deadlines than the pure degradation
+// ladder — it re-cuts in-sensor while retransmissions are expensive
+// instead of paying them (static) or riding the fallback (ladder).
+func TestSquallDominance(t *testing.T) {
+	f := getFixture(t)
+	sys := crossSystem(t, f, wireless.Model3())
+	res, err := Soak(sys, f.test.Segs, Config{Profile: "squall", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []VariantStats{res.Static, res.Ladder, res.Adaptive} {
+		t.Logf("%-8s viol=%3d nores=%3d energy=%.1fµJ swaps=%d rollbacks=%d",
+			v.Name, v.Violations, v.NoResult, v.SensorEnergyJ*1e6, v.Swaps, v.Rollbacks)
+	}
+	for _, d := range res.Decisions {
+		t.Logf("decision: %s", d)
+	}
+	if !res.AdaptiveDominates() {
+		t.Fatalf("adaptive does not dominate: energy %.3g vs static %.3g, violations %d vs ladder %d",
+			res.Adaptive.SensorEnergyJ, res.Static.SensorEnergyJ,
+			res.Adaptive.Violations, res.Ladder.Violations)
+	}
+	if res.Adaptive.Swaps == 0 {
+		t.Error("adaptive run performed no swaps")
+	}
+	// The storm should drive at least one retreat to the in-sensor cut.
+	inSensor := partition.InSensor(f.graph)
+	retreated := false
+	for _, d := range res.Decisions {
+		if d.Kind == "swap" && d.To.Equal(inSensor) {
+			retreated = true
+		}
+	}
+	if !retreated {
+		t.Error("no swap retreated to the in-sensor cut during the storm")
+	}
+}
+
+// TestReplayDeterminism is the seeded-replay contract: the same fault
+// plan seed must reproduce identical statistics and an identical
+// re-cut decision log.
+func TestReplayDeterminism(t *testing.T) {
+	f := getFixture(t)
+	sys := crossSystem(t, f, wireless.Model3())
+	cfg := Config{Profile: "flapping", Seed: 21, Events: 200}
+	a, err := Soak(sys, f.test.Segs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Soak(sys, f.test.Segs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("replay diverged:\n  run A: %+v\n  run B: %+v", a, b)
+	}
+	if len(a.Decisions) == 0 {
+		t.Error("flapping soak produced no re-cut decisions; determinism check is vacuous")
+	}
+}
+
+// TestSwappedCutsAreValid is the hot-swap safety property: every cut
+// the controller installs is a valid grouped s-t cut of the pipeline
+// graph, meets the engine's delay constraint on the clean channel, and
+// — priced under the channel estimate that motivated the swap — is
+// never worse than the in-sensor fallback cut.
+func TestSwappedCutsAreValid(t *testing.T) {
+	f := getFixture(t)
+	sys := crossSystem(t, f, wireless.Model3())
+	inSensor := partition.InSensor(f.graph)
+	limit := sys.DelayOf(inSensor).Total()
+	if d := sys.DelayOf(partition.InAggregator(f.graph)).Total(); d < limit {
+		limit = d
+	}
+	acfg := adaptive.DefaultConfig()
+
+	decisions := 0
+	for _, prof := range ProfileNames() {
+		res, err := Soak(sys, f.test.Segs, Config{Profile: prof, Seed: 7, Adaptive: acfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		decisions += len(res.Decisions)
+		for _, d := range res.Decisions {
+			if len(d.To) != len(f.graph.Cells) {
+				t.Fatalf("%s: decision installs a placement over %d cells, graph has %d",
+					prof, len(d.To), len(f.graph.Cells))
+			}
+			if !sys.Problem().GroupedOK(d.To) {
+				t.Errorf("%s: %s installs a cut splitting a source-reader group", prof, d)
+			}
+			if d.Kind != "swap" {
+				continue
+			}
+			if delay := sys.DelayOf(d.To).Total(); delay > limit*(1+1e-9) {
+				t.Errorf("%s: %s installs a cut with clean delay %.4gms over the limit %.4gms",
+					prof, d, delay*1e3, limit*1e3)
+			}
+			// Re-price under the estimate recorded with the decision: the
+			// swapped-to cut must not be worse than the in-sensor anchor.
+			est := adaptive.Estimate{Loss: d.Loss, Outage: d.Outage}
+			prob := *sys.Problem()
+			prob.Link = est.EffectiveModel(sys.Link, acfg.MaxInflation)
+			if got, anchor := prob.SensorEnergy(d.To), prob.SensorEnergy(inSensor); got > anchor*(1+1e-9) {
+				t.Errorf("%s: %s installs a cut pricing %.4g, worse than the in-sensor anchor %.4g",
+					prof, d, got, anchor)
+			}
+		}
+	}
+	if decisions == 0 {
+		t.Fatal("no re-cut decisions across any profile; property check is vacuous")
+	}
+}
+
+// TestSoakSmoke is the CI smoke job: every profile soaks clean in a
+// short run, all three variants classify every event, and totals stay
+// sane.
+func TestSoakSmoke(t *testing.T) {
+	f := getFixture(t)
+	sys := crossSystem(t, f, wireless.Model3())
+	for _, prof := range ProfileNames() {
+		res, err := Soak(sys, f.test.Segs, Config{Profile: prof, Seed: 7, Events: 120})
+		if err != nil {
+			t.Fatalf("%s: %v", prof, err)
+		}
+		for _, v := range []VariantStats{res.Static, res.Ladder, res.Adaptive} {
+			if v.Events != 120 {
+				t.Errorf("%s/%s: %d events, want 120", prof, v.Name, v.Events)
+			}
+			if !(v.SensorEnergyJ > 0) {
+				t.Errorf("%s/%s: non-positive sensor energy %v", prof, v.Name, v.SensorEnergyJ)
+			}
+			if v.Violations > v.Events {
+				t.Errorf("%s/%s: %d violations out of %d events", prof, v.Name, v.Violations, v.Events)
+			}
+		}
+		// The ladder exists to keep producing labels: it must never do
+		// worse than static on delivery.
+		if res.Ladder.NoResult > res.Static.NoResult {
+			t.Errorf("%s: ladder dropped more events (%d) than static (%d)",
+				prof, res.Ladder.NoResult, res.Static.NoResult)
+		}
+	}
+}

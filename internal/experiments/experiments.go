@@ -343,6 +343,7 @@ func Runners() []runner {
 		{"ext-wirebits", ExtWireBits},
 		{"ext-importance", ExtImportance},
 		{"ext-faults", ExtFaults},
+		{"ext-adaptive", ExtAdaptive},
 		{"scorecard", Scorecard},
 	}
 }

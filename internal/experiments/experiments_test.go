@@ -204,3 +204,26 @@ func TestScorecardPasses(t *testing.T) {
 		t.Errorf("scorecard has only %d claims", len(tab.Rows))
 	}
 }
+
+// The ext-adaptive soak is the PR's acceptance claim in table form: on
+// the cyclone drift profile at least one case's adaptive variant must
+// dominate — no more sensor energy than the static cut, no more
+// deadline violations than the degradation ladder.
+func TestExtAdaptiveDominates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains engines and runs three chaos soaks per case")
+	}
+	tab, err := ExtAdaptive(fastLab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dominated := false
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "dominates: true") {
+			dominated = true
+		}
+	}
+	if !dominated {
+		t.Errorf("no case dominated on the cyclone profile; notes: %v", tab.Notes)
+	}
+}

@@ -45,6 +45,10 @@ type Link struct {
 	BaseLoss float64
 	// MaxRetries caps retransmissions per packet.
 	MaxRetries int
+	// Observer, when set, sees every send's transfer record,
+	// retransmission count and outcome — the wireless.SendStats shape.
+	// The adaptive channel estimator taps the link here.
+	Observer func(tr wireless.Transfer, retransmissions int, err error)
 
 	rng *rand.Rand
 }
@@ -77,12 +81,21 @@ func NewLink(m wireless.Model, plan *Plan, clock *Clock, baseLoss float64, maxRe
 // not advance the clock — the caller owns time (it also pays backoff
 // waits and event periods into the same clock).
 func (l *Link) Send(dataBits int64) (wireless.Transfer, error) {
+	tr, retransmissions, err := l.send(dataBits)
+	if l.Observer != nil {
+		l.Observer(tr, retransmissions, err)
+	}
+	return tr, err
+}
+
+func (l *Link) send(dataBits int64) (wireless.Transfer, int, error) {
 	now := l.Clock.Now()
 	st := l.Plan.At(now)
 	var tr wireless.Transfer
 	tr.DataBits = dataBits
+	retransmissions := 0
 	if st.LinkDown {
-		return tr, &ErrLinkDown{At: now, Until: l.Plan.Until(now, LinkOutage)}
+		return tr, 0, &ErrLinkDown{At: now, Until: l.Plan.Until(now, LinkOutage)}
 	}
 	loss := l.BaseLoss
 	if st.Loss > loss {
@@ -97,6 +110,9 @@ func (l *Link) Send(dataBits int64) (wireless.Transfer, error) {
 		bits += wireless.HeaderBits
 		delivered := false
 		for attempt := 0; attempt <= l.MaxRetries; attempt++ {
+			if attempt > 0 {
+				retransmissions++
+			}
 			tr.WireBits += bits
 			tr.TxEnergy += float64(bits) * l.Model.TxJPerBit
 			tr.RxEnergy += float64(bits) * l.Model.RxJPerBit
@@ -107,8 +123,8 @@ func (l *Link) Send(dataBits int64) (wireless.Transfer, error) {
 			}
 		}
 		if !delivered {
-			return tr, &wireless.ErrDropped{Packet: int(p)}
+			return tr, retransmissions, &wireless.ErrDropped{Packet: int(p)}
 		}
 	}
-	return tr, nil
+	return tr, retransmissions, nil
 }

@@ -1,0 +1,115 @@
+package xsystem
+
+import (
+	"math"
+	"testing"
+
+	"xpro/internal/faults"
+	"xpro/internal/partition"
+)
+
+func TestWithPlacement(t *testing.T) {
+	f := getFixture(t)
+	s := newSystem(t, f, partition.InSensor(f.graph))
+
+	inAgg := partition.InAggregator(f.graph)
+	ns, err := s.WithPlacement(inAgg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ns.Placement.Equal(inAgg) {
+		t.Error("copy does not carry the new placement")
+	}
+	if !s.Placement.Equal(partition.InSensor(f.graph)) {
+		t.Error("WithPlacement mutated the receiver")
+	}
+	// The copy owns its placement: mutating the input afterwards must
+	// not reach through.
+	inAgg[0] = partition.Sensor
+	if ns.Placement[0] == partition.Sensor {
+		t.Error("copy aliases the caller's placement slice")
+	}
+
+	if _, err := s.WithPlacement(partition.Placement{partition.Sensor}); err == nil {
+		t.Error("short placement accepted")
+	}
+	readers := f.graph.SourceReaders()
+	if len(readers) > 1 {
+		split := append(partition.Placement(nil), partition.InSensor(f.graph)...)
+		split[readers[0]] = partition.Aggregator
+		if _, err := s.WithPlacement(split); err == nil {
+			t.Error("placement splitting the source-reader group accepted")
+		}
+	}
+}
+
+// On a clean channel the resilient walk's sensor-energy accounting must
+// agree with the analytic per-event model: same sensing, same compute
+// schedule, same radio traffic.
+func TestOutcomeSensorEnergyMatchesModel(t *testing.T) {
+	f := getFixture(t)
+	for name, p := range map[string]partition.Placement{
+		"sensor":     partition.InSensor(f.graph),
+		"aggregator": partition.InAggregator(f.graph),
+		"trivial":    partition.Trivial(f.graph),
+	} {
+		s := newSystem(t, f, p)
+		out, err := s.ClassifyOver(f.test.Segs[0], nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := s.EnergyPerEvent().SensorTotal()
+		if math.Abs(out.SensorEnergy-want) > 1e-12 {
+			t.Errorf("%s: outcome sensor energy %.6g, analytic model %.6g", name, out.SensorEnergy, want)
+		}
+		if out.HardOutage {
+			t.Errorf("%s: clean run flagged a hard outage", name)
+		}
+	}
+}
+
+// Retries charge the sensor for every attempt: a transport that drops
+// the first send must cost strictly more than the clean model says.
+func TestOutcomeSensorEnergyCountsRetries(t *testing.T) {
+	f := getFixture(t)
+	s := newSystem(t, f, partition.InAggregator(f.graph))
+	opts, _ := resilientOpts(nil)
+	opts.Transport = &failNTransport{m: s.Link, n: 1}
+	out, err := s.ClassifyOver(f.test.Segs[0], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := s.EnergyPerEvent().SensorTotal()
+	if !(out.SensorEnergy > clean) {
+		t.Errorf("sensor energy %.6g with one retry, want more than the clean %.6g", out.SensorEnergy, clean)
+	}
+	if out.Retries == 0 {
+		t.Error("no retry recorded")
+	}
+	if out.TransfersOK == 0 {
+		t.Error("no delivered transfer recorded")
+	}
+}
+
+// A send attempted inside an outage window flags HardOutage on the
+// outcome — the signal the channel estimator folds as outage evidence.
+func TestOutcomeHardOutageFlag(t *testing.T) {
+	f := getFixture(t)
+	s := newSystem(t, f, partition.InAggregator(f.graph))
+	plan := &faults.Plan{Windows: []faults.Window{
+		{Kind: faults.LinkOutage, Start: 0, End: 1e9},
+	}}
+	opts, clock := resilientOpts(plan)
+	link, err := faults.NewLink(s.Link, plan, clock, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Transport = link
+	out, cerr := s.ClassifyOver(f.test.Segs[0], opts)
+	if cerr == nil {
+		t.Fatal("classification across a permanent outage should fail")
+	}
+	if !out.HardOutage {
+		t.Error("outcome does not flag the hard outage")
+	}
+}

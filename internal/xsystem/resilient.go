@@ -73,6 +73,18 @@ type Outcome struct {
 	// SkippedTransfers counts payloads abandoned without an attempt
 	// after the deadline budget ran out; Retries counts re-sends.
 	LostTransfers, SkippedTransfers, Retries int
+	// TransfersOK counts crossing payloads that arrived (first try or
+	// after retries) — together with Retries and LostTransfers it
+	// reconstructs the per-attempt delivery rate the channel showed.
+	TransfersOK int
+	// HardOutage is true when at least one attempt failed because the
+	// link was down (faults.ErrLinkDown), as opposed to packet loss.
+	HardOutage bool
+	// SensorEnergy is the modeled energy (J) the sensor node actually
+	// spent on this event: sensing, the compute of every sensor cell
+	// that ran, and the radio cost of every attempt — including retries
+	// and partially-charged failures — on the sensor side of the link.
+	SensorEnergy float64
 	// SpentSeconds is the modeled time the event consumed: compute,
 	// air time of every attempt, backoff waits and stall waits.
 	SpentSeconds float64
@@ -103,6 +115,7 @@ func (e *NoResultError) Unwrap() error { return e.Cause }
 type run struct {
 	opt     *ResilientOptions
 	out     *Outcome
+	clean   func(int64) wireless.Transfer // datasheet cost for the nil transport
 	lastErr error
 	exhaust bool
 }
@@ -114,9 +127,23 @@ func (r *run) overBudget(extra float64) bool {
 }
 
 // send moves bits through the transport with retry + backoff under the
-// remaining budget; it reports whether the payload arrived.
-func (r *run) send(bits int64) bool {
+// remaining budget; it reports whether the payload arrived. fromSensor
+// says which side of the link the sensor node is on for this payload:
+// true charges the sensor the transmit energy of every attempt, false
+// the receive energy.
+func (r *run) send(bits int64, fromSensor bool) bool {
 	if r.opt.Transport == nil {
+		// The infallible link never drops, but the payload still goes on
+		// the air: charge the datasheet cost so Outcome.SensorEnergy
+		// agrees with the analytic per-event model.
+		tr := r.clean(bits)
+		r.out.SpentSeconds += tr.Delay
+		if fromSensor {
+			r.out.SensorEnergy += tr.TxEnergy
+		} else {
+			r.out.SensorEnergy += tr.RxEnergy
+		}
+		r.out.TransfersOK++
 		return true
 	}
 	if r.exhaust {
@@ -126,13 +153,22 @@ func (r *run) send(bits int64) bool {
 	for attempt := 0; ; attempt++ {
 		tr, err := r.opt.Transport.Send(bits)
 		r.out.SpentSeconds += tr.Delay
+		if fromSensor {
+			r.out.SensorEnergy += tr.TxEnergy
+		} else {
+			r.out.SensorEnergy += tr.RxEnergy
+		}
 		if err == nil {
+			r.out.TransfersOK++
 			if r.opt.Breaker != nil {
 				r.opt.Breaker.RecordSuccess()
 			}
 			return true
 		}
 		r.lastErr = err
+		if faults.IsLinkDown(err) {
+			r.out.HardOutage = true
+		}
 		if attempt >= r.opt.Policy.MaxRetries {
 			break
 		}
@@ -155,9 +191,10 @@ func (r *run) send(bits int64) bool {
 // xfer memoizes one crossing payload: it is sent at most once per
 // event, however many consumers read it.
 type xfer struct {
-	bits      int64
-	attempted bool
-	ok        bool
+	bits       int64
+	fromSensor bool
+	attempted  bool
+	ok         bool
 }
 
 func (r *run) ensure(x *xfer) bool {
@@ -166,7 +203,7 @@ func (r *run) ensure(x *xfer) bool {
 	}
 	if !x.attempted {
 		x.attempted = true
-		x.ok = r.send(x.bits)
+		x.ok = r.send(x.bits, x.fromSensor)
 	}
 	return x.ok
 }
@@ -192,11 +229,14 @@ func (s *System) ClassifyOver(seg biosig.Segment, opt *ResilientOptions) (Outcom
 	p := s.Placement
 	state := opt.Plan.At(opt.now())
 
-	r := &run{opt: opt, out: &out}
+	r := &run{opt: opt, out: &out, clean: s.Link.Cost}
 	// The compute schedule is fixed hardware / fixed software: charge it
 	// up front, then add what the faulty link actually costs.
 	d := s.DelayPerEvent()
 	out.SpentSeconds = d.FrontEnd + d.BackEnd
+	// Sensing runs regardless of how the event goes; compute and radio
+	// energy accrue below as cells execute and attempts go on the air.
+	out.SensorEnergy = s.problem.SensingEnergy
 
 	// An aggregator stall blocks every back-end cell until the window
 	// ends; the wait comes out of the deadline budget.
@@ -217,7 +257,7 @@ func (s *System) ClassifyOver(seg biosig.Segment, opt *ResilientOptions) (Outcom
 	var rawX *xfer
 	for _, id := range g.SourceReaders() {
 		if !p.OnSensor(id) {
-			rawX = &xfer{bits: g.SourceBits}
+			rawX = &xfer{bits: g.SourceBits, fromSensor: true}
 			break
 		}
 	}
@@ -233,7 +273,7 @@ func (s *System) ClassifyOver(seg biosig.Segment, opt *ResilientOptions) (Outcom
 				continue
 			}
 			if groupX[gi] == nil {
-				groupX[gi] = &xfer{bits: tg.Bits}
+				groupX[gi] = &xfer{bits: tg.Bits, fromSensor: fromS}
 			}
 			if byPair[c] == nil {
 				byPair[c] = make(map[topology.CellID][]int)
@@ -279,6 +319,9 @@ func (s *System) ClassifyOver(seg biosig.Segment, opt *ResilientOptions) (Outcom
 			}
 		}
 		if c.Role == topology.RoleFusion {
+			if p.OnSensor(id) {
+				out.SensorEnergy += s.HW.Energy(id)
+			}
 			v, used := s.fusePartial(c, ins, avail, outputs)
 			out.VotesTotal = len(ins)
 			out.VotesUsed = used
@@ -310,6 +353,9 @@ func (s *System) ClassifyOver(seg biosig.Segment, opt *ResilientOptions) (Outcom
 			complete = false
 			continue
 		}
+		if p.OnSensor(id) {
+			out.SensorEnergy += s.HW.Energy(id)
+		}
 		v, err := s.evalCell(c, ins, func(i int) value { return outputs[ins[i].From] }, ev)
 		if err != nil {
 			return out, fmt.Errorf("xsystem: cell %s: %w", c.Name, err)
@@ -337,7 +383,7 @@ func (s *System) ClassifyOver(seg biosig.Segment, opt *ResilientOptions) (Outcom
 	// sensor; failure leaves a valid sensor-local label.
 	out.Delivered = true
 	if p.OnSensor(g.Output) {
-		out.Delivered = r.send(wireless.ValueBits)
+		out.Delivered = r.send(wireless.ValueBits, true)
 	}
 	out.Complete = complete && out.Delivered
 	return out, nil

@@ -144,6 +144,24 @@ func New(g *topology.Graph, ens *ensemble.Ensemble, proc celllib.Process, link w
 // the Automatic XPro Generator).
 func (s *System) Problem() *partition.Problem { return s.problem }
 
+// WithPlacement returns a copy of the system executing the same trained
+// pipeline under a different cut. The copy shares the immutable pieces
+// (graph, ensemble, hardware characterization, pricing problem) and
+// owns its placement, so it is independent of the receiver — this is
+// the hot-swap primitive of the adaptive repartitioning controller:
+// installing the returned system is one pointer store.
+func (s *System) WithPlacement(p partition.Placement) (*System, error) {
+	if len(p) != len(s.Graph.Cells) {
+		return nil, fmt.Errorf("xsystem: placement covers %d cells, graph has %d", len(p), len(s.Graph.Cells))
+	}
+	if !s.problem.GroupedOK(p) {
+		return nil, errors.New("xsystem: placement splits a source-reader group across ends")
+	}
+	ns := *s
+	ns.Placement = append(partition.Placement(nil), p...)
+	return &ns, nil
+}
+
 // EventsPerSecond returns the segment-analysis rate.
 func (s *System) EventsPerSecond() float64 {
 	ev, _ := sensornode.EventsPerSecond(s.Graph.SegLen, s.SampleRateHz)

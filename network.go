@@ -15,8 +15,8 @@ import (
 // links are conflict-free (the paper's MIMO assumption), while the
 // aggregator CPU and battery are shared.
 type Network struct {
-	nw      *bsn.Network
 	engines map[string]*Engine
+	names   []string
 	obs     *Observer
 }
 
@@ -34,21 +34,11 @@ func NewNetwork(engines map[string]*Engine) (*Network, error) {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	nodes := make([]bsn.Node, 0, len(names))
-	for _, name := range names {
-		e := engines[name]
-		if e == nil {
-			return nil, fmt.Errorf("xpro: nil engine %q", name)
-		}
-		nodes = append(nodes, bsn.Node{Name: name, Sys: e.system})
-	}
-	nw, err := bsn.New(aggregator.CortexA8(), nodes...)
-	if err != nil {
+	obs := newObserver(telemetry.DefaultTraceCapacity)
+	n := &Network{engines: engines, names: names, obs: obs}
+	if _, err := n.net(); err != nil { // validate the node set eagerly
 		return nil, err
 	}
-	obs := newObserver(telemetry.DefaultTraceCapacity)
-	nw.Metrics = obs.reg
-	n := &Network{nw: nw, engines: engines, obs: obs}
 	obs.setStatus("nodes", func() any { return names })
 	obs.setStatus("report", func() any {
 		rep, err := n.Report()
@@ -58,6 +48,29 @@ func NewNetwork(engines map[string]*Engine) (*Network, error) {
 		return rep
 	})
 	return n, nil
+}
+
+// net assembles the shared-resource view of the network from each
+// engine's currently effective system: the adaptive controller's
+// active cut, or the in-sensor fallback while an engine's breaker
+// holds its link open. Rebuilding per query keeps Report and
+// RealTimeOK describing the network as it is now — degraded engines
+// included — not as it was built.
+func (n *Network) net() (*bsn.Network, error) {
+	nodes := make([]bsn.Node, 0, len(n.names))
+	for _, name := range n.names {
+		e := n.engines[name]
+		if e == nil {
+			return nil, fmt.Errorf("xpro: nil engine %q", name)
+		}
+		nodes = append(nodes, bsn.Node{Name: name, Sys: e.effectiveSystem()})
+	}
+	nw, err := bsn.New(aggregator.CortexA8(), nodes...)
+	if err != nil {
+		return nil, err
+	}
+	nw.Metrics = n.obs.reg
+	return nw, nil
 }
 
 // NetworkReport summarizes the shared-resource behaviour of the network.
@@ -79,17 +92,23 @@ type NetworkReport struct {
 	WorstCaseDelaySeconds map[string]float64
 }
 
-// Report computes the network summary.
+// Report computes the network summary over each engine's currently
+// effective system, so degraded-mode engines (open breaker, adaptive
+// re-cut) are accounted as they run.
 func (n *Network) Report() (NetworkReport, error) {
-	lifetimes, err := n.nw.NodeLifetimes()
+	nw, err := n.net()
 	if err != nil {
 		return NetworkReport{}, err
 	}
-	name, hours, err := n.nw.BottleneckNode()
+	lifetimes, err := nw.NodeLifetimes()
 	if err != nil {
 		return NetworkReport{}, err
 	}
-	aggLife, err := n.nw.AggregatorLifetimeHours()
+	name, hours, err := nw.BottleneckNode()
+	if err != nil {
+		return NetworkReport{}, err
+	}
+	aggLife, err := nw.AggregatorLifetimeHours()
 	if err != nil {
 		return NetworkReport{}, err
 	}
@@ -98,13 +117,20 @@ func (n *Network) Report() (NetworkReport, error) {
 		BottleneckNode:          name,
 		BottleneckHours:         hours,
 		AggregatorLifetimeHours: aggLife,
-		AggregatorUtilization:   n.nw.AggregatorUtilization(),
-		WorstCaseDelaySeconds:   n.nw.WorstCaseDelay(),
+		AggregatorUtilization:   nw.AggregatorUtilization(),
+		WorstCaseDelaySeconds:   nw.WorstCaseDelay(),
 	}, nil
 }
 
 // RealTimeOK reports whether every node meets the delay limit even under
-// simultaneous firing and the aggregator sustains the combined rate.
+// simultaneous firing and the aggregator sustains the combined rate —
+// evaluated against each engine's currently effective system (a node
+// degraded onto its in-sensor fallback is judged on the fallback's
+// delay, not the cut it was built with).
 func (n *Network) RealTimeOK(limitSeconds float64) bool {
-	return n.nw.RealTimeOK(limitSeconds)
+	nw, err := n.net()
+	if err != nil {
+		return false
+	}
+	return nw.RealTimeOK(limitSeconds)
 }

@@ -57,3 +57,75 @@ func TestNewNetworkValidation(t *testing.T) {
 		t.Error("nil engine should error")
 	}
 }
+
+// A degraded engine must be accounted as it actually runs: once its
+// breaker holds a dead link open, the node serves events from the
+// in-sensor fallback cut, and network reports follow — not the cut the
+// engine was built with.
+func TestNetworkDegradedEngine(t *testing.T) {
+	pol := DefaultResilience()
+	pol.BreakerThreshold = 1
+	degraded, err := New(Config{Case: "C1", Kind: InAggregator,
+		Resilience: pol, FaultPlan: outagePlan(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy, err := New(Config{Case: "E1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := NewNetwork(map[string]*Engine{"chest": degraded, "wrist": healthy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := nw.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := before.NodeLifetimeHours["chest"], degraded.Report().SensorLifetimeHours; got != want {
+		t.Fatalf("pre-degradation lifetime %v != built cut's %v", got, want)
+	}
+
+	// One event across the permanent outage drops, which trips the
+	// 1-threshold breaker: the node now serves from the in-sensor
+	// fallback.
+	if _, err := degraded.ClassifyResult(degraded.TestSet()[0].Samples); err != nil {
+		t.Fatal(err)
+	}
+	after, err := nw.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := New(Config{Case: "C1", Kind: InSensor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := after.NodeLifetimeHours["chest"], ref.Report().SensorLifetimeHours; got != want {
+		t.Errorf("degraded lifetime %v != in-sensor fallback's %v", got, want)
+	}
+	if after.NodeLifetimeHours["chest"] == before.NodeLifetimeHours["chest"] {
+		t.Error("report did not move when the engine degraded")
+	}
+	if got, want := after.NodeLifetimeHours["wrist"], before.NodeLifetimeHours["wrist"]; got != want {
+		t.Errorf("healthy node's lifetime moved: %v -> %v", want, got)
+	}
+
+	// RealTimeOK judges the degraded node on the fallback's delay: a
+	// limit between the fallback's worst case and the built cut's delay
+	// holds now, though the built (in-aggregator) cut would blow it.
+	solo, err := NewNetwork(map[string]*Engine{"chest": degraded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srep, err := solo.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	din, dagg := srep.WorstCaseDelaySeconds["chest"], degraded.Report().DelayPerEventSeconds
+	if din < dagg {
+		limit := (din + dagg) / 2
+		if !solo.RealTimeOK(limit) {
+			t.Errorf("network not real-time at %v with the faster fallback active", limit)
+		}
+	}
+}

@@ -271,7 +271,7 @@ func (e *Engine) classifyBatch(segments [][]float64) ([]int, error) {
 		return labels, nil
 	}
 	in := make(chan biosig.Segment)
-	results := e.system.Stream(in)
+	results := e.sys().Stream(in)
 	// stop unblocks the feeder when the batch aborts early; the stream's
 	// own shutdown already drains its cell goroutines.
 	stop := make(chan struct{})
@@ -306,7 +306,7 @@ func (e *Engine) classifyBatch(segments [][]float64) ([]int, error) {
 // retransmission count lands on the engine observer's
 // xpro_eventsim_retransmissions_total counter.
 func (e *Engine) SimulatedLossyDelay(loss float64, maxRetries int, seed int64) (float64, error) {
-	ch, err := wireless.NewChannel(e.system.Link, loss, maxRetries, seed)
+	ch, err := wireless.NewChannel(e.sys().Link, loss, maxRetries, seed)
 	if err != nil {
 		return 0, err
 	}

@@ -40,7 +40,7 @@ func (e *Engine) Save(w io.Writer) error {
 		Config:    e.cfg,
 		Ens:       e.ens,
 		Gen:       e.gen,
-		Placement: e.system.Placement,
+		Placement: e.sys().Placement,
 		Accuracy:  e.acc,
 	})
 }

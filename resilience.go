@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"xpro/internal/adaptive"
 	"xpro/internal/biosig"
 	"xpro/internal/ensemble"
 	"xpro/internal/eventsim"
@@ -13,6 +14,7 @@ import (
 	"xpro/internal/partition"
 	"xpro/internal/telemetry"
 	"xpro/internal/topology"
+	"xpro/internal/wireless"
 	"xpro/internal/xsystem"
 )
 
@@ -225,13 +227,18 @@ type resilient struct {
 	fallback *xsystem.System
 	period   float64
 	failFast bool
+	// ctrl is the adaptive repartitioning controller (nil without
+	// Config.Adaptive); lastOut is the most recent cross-end attempt's
+	// transfer record, the channel evidence ObserveEvent folds.
+	ctrl    *adaptive.Controller
+	lastOut xsystem.Outcome
 }
 
 // buildResilient assembles the fault-tolerance layer during engine
 // construction. Returns nil when the config requests none.
 func buildResilient(cfg Config, sys *xsystem.System, g *topology.Graph,
 	ens *ensemble.Ensemble, obs *Observer) (*resilient, error) {
-	if cfg.Resilience == nil && cfg.FaultPlan == nil {
+	if cfg.Resilience == nil && cfg.FaultPlan == nil && cfg.Adaptive == nil {
 		return nil, nil
 	}
 	rc := cfg.Resilience
@@ -259,6 +266,25 @@ func buildResilient(cfg Config, sys *xsystem.System, g *topology.Graph,
 	if err != nil {
 		return nil, err
 	}
+	// The adaptive re-cut controller: same reference system, same delay
+	// constraint T_XPro = min(T_F, T_B) the static generator used. Its
+	// estimator taps every channel signal the layer already produces —
+	// the link's per-send statistics here, breaker transitions below,
+	// fault-window state and outcomes per event in classify.
+	var ctrl *adaptive.Controller
+	if cfg.Adaptive != nil {
+		limit := sys.DelayOf(partition.InSensor(g)).Total()
+		if d := sys.DelayOf(partition.InAggregator(g)).Total(); d < limit {
+			limit = d
+		}
+		ctrl, err = adaptive.NewController(cfg.Adaptive.internal(), sys, limit, obs.reg)
+		if err != nil {
+			return nil, err
+		}
+		link.Observer = func(tr wireless.Transfer, retransmissions int, serr error) {
+			ctrl.Estimator().ObserveSendStats(tr, retransmissions, serr)
+		}
+	}
 	stateGauge := obs.reg.Gauge("xpro_breaker_state",
 		"Circuit breaker state: 0 closed, 1 half-open, 2 open.")
 	transitions := obs.reg.Counter("xpro_breaker_transitions_total",
@@ -267,6 +293,9 @@ func buildResilient(cfg Config, sys *xsystem.System, g *topology.Graph,
 	breaker.OnTransition = func(from, to faults.BreakerState) {
 		stateGauge.Set(float64(to))
 		transitions.Inc()
+		if ctrl != nil {
+			ctrl.Estimator().ObserveBreaker(to)
+		}
 	}
 	// The all-sensor extreme of the same s-t graph: the fallback cut
 	// events route through when the cross-end path cannot complete.
@@ -282,7 +311,7 @@ func buildResilient(cfg Config, sys *xsystem.System, g *topology.Graph,
 	}
 	return &resilient{
 		policy: pol, plan: plan, clock: clock, breaker: breaker, link: link,
-		fallback: fb, period: period, failFast: rc.FailFast,
+		fallback: fb, period: period, failFast: rc.FailFast, ctrl: ctrl,
 	}, nil
 }
 
@@ -307,6 +336,19 @@ func (r *resilient) classify(e *Engine, seg biosig.Segment) (Result, error) {
 		m.Counter("xpro_classify_errors_total",
 			"Classify calls that returned an error.").Inc()
 		return res, err
+	}
+	if r.ctrl != nil {
+		// Close the adaptive loop: fold the event's channel evidence,
+		// let probation roll a misbehaving fresh cut back, then ask the
+		// controller whether the estimated channel prices a better cut.
+		now := r.clock.Now()
+		violated := res.DeadlineExceeded || res.SpentSeconds > r.policy.Deadline
+		if ch := r.ctrl.ObserveEvent(now, r.lastOut, violated); ch != nil {
+			r.install(e, ch)
+		}
+		if ch, cerr := r.ctrl.Evaluate(now); cerr == nil && ch != nil {
+			r.install(e, ch)
+		}
 	}
 	res.Breaker = r.breaker.State().String()
 	m.Counter("xpro_classify_total",
@@ -345,6 +387,14 @@ func (r *resilient) classify(e *Engine, seg biosig.Segment) (Result, error) {
 
 func (r *resilient) classifyLocked(e *Engine, seg biosig.Segment) (Result, error) {
 	state := r.plan.At(r.clock.Now())
+	if r.ctrl != nil {
+		// Ambient channel observation: what the modem can see of the
+		// environment this instant, whether or not the active cut puts
+		// payloads on the air — a controller parked on the in-sensor cut
+		// still notices the channel recovering.
+		r.ctrl.Estimator().ObserveState(state)
+		r.lastOut = xsystem.Outcome{}
+	}
 	opt := &xsystem.ResilientOptions{
 		Transport: r.link,
 		Plan:      r.plan,
@@ -354,7 +404,8 @@ func (r *resilient) classifyLocked(e *Engine, seg biosig.Segment) (Result, error
 	}
 
 	if r.breaker.Allow() {
-		out, err := e.system.ClassifyOver(seg, opt)
+		out, err := e.sys().ClassifyOver(seg, opt)
+		r.lastOut = out
 		if err == nil {
 			res := Result{
 				Label: out.Label, VotesUsed: out.VotesUsed, VotesTotal: out.VotesTotal,
@@ -385,6 +436,44 @@ func (r *resilient) classifyLocked(e *Engine, seg biosig.Segment) (Result, error
 			&faults.ErrLinkDown{At: r.clock.Now(), Until: r.plan.Until(r.clock.Now(), faults.LinkOutage)})
 	}
 	return r.fallbackClassify(e, seg, state, xsystem.Outcome{})
+}
+
+// install makes a controller Change live: the new system is stored
+// atomically (the swap takes effect for the next event), the headline
+// gauges refresh to describe the installed cut, and the decision lands
+// on the span trace as a "recut-swap" / "recut-rollback" event span at
+// the modeled decision time.
+func (r *resilient) install(e *Engine, ch *adaptive.Change) {
+	e.active.Store(ch.System)
+	e.publishReportGauges()
+	if tr := e.obs.tracer; tr != nil {
+		tr.Add(telemetry.Span{
+			Event: tr.NextEvent(), Name: "recut-" + ch.Kind, End: "event",
+			Start: time.Now(), DelaySeconds: r.clock.Now(),
+		})
+	}
+}
+
+// usingFallback reports whether events are currently being routed
+// around the cross-end cut: an open breaker fails fast straight to the
+// in-sensor fallback.
+func (r *resilient) usingFallback() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.breaker.State() == faults.BreakerOpen
+}
+
+// effectiveSystem is the system this engine is serving events from
+// right now: the adaptive controller's active cut, or — while the
+// circuit breaker holds the link open — the in-sensor fallback cut the
+// degradation ladder routes through. Network reports aggregate over
+// effective systems, so a degraded node is accounted as it actually
+// runs, not as it was built.
+func (e *Engine) effectiveSystem() *xsystem.System {
+	if e.res != nil && e.res.usingFallback() {
+		return e.res.fallback
+	}
+	return e.sys()
 }
 
 // fallbackClassify serves the event from a degraded path after the
@@ -440,7 +529,7 @@ func (r *resilient) sendRaw(e *Engine) bool {
 func (e *Engine) ClassifyResult(samples []float64) (Result, error) {
 	seg := biosig.Segment{Samples: samples}
 	if e.res == nil {
-		label, err := e.system.Classify(seg)
+		label, err := e.sys().Classify(seg)
 		if err != nil {
 			return Result{}, err
 		}
@@ -479,7 +568,7 @@ func (e *Engine) Stream(in <-chan []float64) <-chan StreamResult {
 		return out
 	}
 	sysIn := make(chan biosig.Segment)
-	results := e.system.Stream(sysIn)
+	results := e.sys().Stream(sysIn)
 	go func() {
 		defer close(sysIn)
 		for s := range in {
@@ -516,7 +605,7 @@ func (e *Engine) SimulatedFaultyDelays(plan *FaultPlan, n int) ([]float64, error
 		in.FaultSeed = plan.Seed
 	}
 	period := 0.0
-	if ev := e.system.EventsPerSecond(); ev > 0 {
+	if ev := e.sys().EventsPerSecond(); ev > 0 {
 		period = 1 / ev
 	}
 	out := make([]float64, n)

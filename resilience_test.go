@@ -342,3 +342,87 @@ func TestDegradeModeStrings(t *testing.T) {
 		t.Error("unknown mode should still render")
 	}
 }
+
+// lossStormPlan covers the middle of a ~12.5s run (200 E2 events at
+// 62.5 ms) with a loss burst heavy enough to price the E2 cross-end
+// cut above the in-sensor anchor (the crossover sits near loss 0.8).
+func lossStormPlan(seed int64) *FaultPlan {
+	return &FaultPlan{
+		Windows: []FaultWindow{{Kind: "loss-burst", StartSeconds: 2.5, EndSeconds: 10, Loss: 0.9}},
+		Seed:    seed,
+	}
+}
+
+// The engine-level acceptance of adaptive repartitioning: under a
+// seeded loss storm the controller retreats the active cut toward the
+// in-sensor anchor, and every public surface (RecutLog, AdaptiveStatus,
+// Placement, Report, the active-cut gauge) follows the hot swap.
+func TestEngineAdaptiveRecut(t *testing.T) {
+	eng, err := New(Config{Case: "E2", Wireless: WirelessModel3,
+		FaultPlan: lossStormPlan(7), Adaptive: DefaultAdaptive()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	static := eng.Report()
+	test := eng.TestSet()
+	for i := 0; i < 200; i++ {
+		if _, err := eng.ClassifyResult(test[i%len(test)].Samples); err != nil {
+			t.Fatalf("event %d: %v (adaptive engine must degrade, not error)", i, err)
+		}
+	}
+	st := eng.AdaptiveStatus()
+	t.Logf("status: %+v", st)
+	log := eng.RecutLog()
+	for _, d := range log {
+		t.Logf("decision: %s@%.2fs loss=%.2f outage=%.2f cells %d->%d",
+			d.Kind, d.AtSeconds, d.EstimatedLoss, d.EstimatedOutage,
+			d.SensorCellsBefore, d.SensorCellsAfter)
+	}
+	if !st.Enabled {
+		t.Fatal("AdaptiveStatus not enabled on an adaptive engine")
+	}
+	if st.Swaps == 0 {
+		t.Fatal("no hot swap under the loss storm")
+	}
+	// The storm must drive at least one retreat to the in-sensor anchor
+	// (every cell on the sensor), and the recovery must bring the engine
+	// back off it.
+	retreated := false
+	for _, d := range log {
+		if d.Kind == "swap" && d.SensorCellsAfter == static.Cells {
+			retreated = true
+		}
+	}
+	if !retreated {
+		t.Error("no swap retreated to the in-sensor cut during the storm")
+	}
+	if st.SensorCells == static.Cells {
+		t.Error("engine still parked on the in-sensor cut after the channel recovered")
+	}
+	// Report and the headline gauges describe the currently active cut.
+	if got := eng.Report().SensorCells; got != st.SensorCells {
+		t.Errorf("Report sensor cells %d != active cut %d", got, st.SensorCells)
+	}
+	if got := eng.Observer().MetricValue("xpro_active_cut_sensor_cells"); int(got) != st.SensorCells {
+		t.Errorf("active-cut gauge %v != active cut %d", got, st.SensorCells)
+	}
+	if eng.Observer().MetricValue("xpro_recut_swaps_total") != float64(st.Swaps) {
+		t.Error("swap counter disagrees with the decision log")
+	}
+
+	// Seeded replay: a second engine over the same plan reproduces the
+	// identical decision log.
+	eng2, err := New(Config{Case: "E2", Wireless: WirelessModel3,
+		FaultPlan: lossStormPlan(7), Adaptive: DefaultAdaptive()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := eng2.ClassifyResult(test[i%len(test)].Samples); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(log, eng2.RecutLog()) {
+		t.Errorf("replay diverged:\n  run A: %+v\n  run B: %+v", log, eng2.RecutLog())
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"xpro/internal/aggregator"
 	"xpro/internal/biosig"
@@ -223,6 +224,13 @@ type Config struct {
 	// the engine's modeled timeline (implies DefaultResilience when
 	// Resilience is nil).
 	FaultPlan *FaultPlan
+	// Adaptive, when set, arms closed-loop adaptive repartitioning: an
+	// online channel estimator fed by the resilience layer's transfer
+	// evidence, and a re-cut controller that re-runs the Automatic XPro
+	// Generator against the estimated channel and hot-swaps the active
+	// cut between events (implies DefaultResilience when Resilience is
+	// nil; see DefaultAdaptive).
+	Adaptive *Adaptive
 }
 
 // trained caches classifiers per (case, seed, protocol): training is by
@@ -271,8 +279,13 @@ func trainedEnsemble(caseSym string, seed int64, protocol Protocol) (*ensemble.E
 // Engine is a fully built XPro instance: a trained classifier
 // partitioned across a simulated sensor node and aggregator.
 type Engine struct {
-	cfg    Config
-	system *xsystem.System
+	cfg Config
+	// static is the cut New built for cfg.Kind; active is the cut events
+	// currently run through. Without an adaptive controller they are the
+	// same system forever; with one, the controller hot-swaps active
+	// between events and static stays the pristine reference.
+	static *xsystem.System
+	active atomic.Pointer[xsystem.System]
 	ens    *ensemble.Ensemble
 	graph  *topology.Graph
 	test   *biosig.Dataset
@@ -281,6 +294,11 @@ type Engine struct {
 	obs    *Observer
 	res    *resilient // nil without a Resilience policy
 }
+
+// sys returns the engine's currently active system. Reads are atomic:
+// the adaptive controller may swap the pointer between events while
+// report/inspection methods run concurrently.
+func (e *Engine) sys() *xsystem.System { return e.active.Load() }
 
 // attachObserver points a system's telemetry hooks (and its pricing
 // problem's) at the engine observer, so Classify, Stream and the
@@ -300,10 +318,25 @@ func newEngine(cfg Config, sys *xsystem.System, ens *ensemble.Ensemble,
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{cfg: cfg, system: sys, ens: ens, graph: g, test: test,
+	e := &Engine{cfg: cfg, static: sys, ens: ens, graph: g, test: test,
 		gen: gen, acc: acc, obs: obs, res: res}
+	e.active.Store(sys)
+	e.publishReportGauges()
+	obs.setStatus("config", func() any { return e.cfg })
+	obs.setStatus("placement", func() any { return e.Placement() })
+	obs.setStatus("report", func() any { return e.Report() })
+	if res != nil && res.ctrl != nil {
+		obs.setStatus("adaptive", func() any { return e.AdaptiveStatus() })
+	}
+	return e, nil
+}
+
+// publishReportGauges refreshes the engine's headline gauges from the
+// active cut. It runs once at construction and again after every
+// adaptive hot swap, so scraped dashboards follow the installed cut.
+func (e *Engine) publishReportGauges() {
 	rep := e.Report()
-	m := obs.reg
+	m := e.obs.reg
 	m.Gauge("xpro_engine_cells", "Functional cells in the engine topology.").
 		Set(float64(rep.Cells))
 	m.Gauge(telemetry.WithLabels("xpro_engine_cells_placed", map[string]string{"end": "sensor"}),
@@ -316,10 +349,6 @@ func newEngine(cfg Config, sys *xsystem.System, ens *ensemble.Ensemble,
 		"Modeled end-to-end delay per classification event.").Set(rep.DelayPerEventSeconds)
 	m.Gauge("xpro_engine_sensor_lifetime_hours",
 		"Modeled sensor battery lifetime.").Set(rep.SensorLifetimeHours)
-	obs.setStatus("config", func() any { return e.cfg })
-	obs.setStatus("placement", func() any { return e.Placement() })
-	obs.setStatus("report", func() any { return e.Report() })
-	return e, nil
 }
 
 // New trains the generic classification for cfg.Case, builds its
@@ -433,7 +462,7 @@ func (e *Engine) Classify(samples []float64) (int, error) {
 		res, err := e.res.classify(e, biosig.Segment{Samples: samples})
 		return res.Label, err
 	}
-	return e.system.Classify(biosig.Segment{Samples: samples})
+	return e.sys().Classify(biosig.Segment{Samples: samples})
 }
 
 // TestSet returns the engine's held-out test segments (25% of the case
@@ -446,7 +475,7 @@ func (e *Engine) SoftwareAccuracy() float64 { return e.acc }
 
 // Accuracy classifies the whole held-out test set through the
 // partitioned pipeline.
-func (e *Engine) Accuracy() (float64, error) { return e.system.Accuracy(e.test) }
+func (e *Engine) Accuracy() (float64, error) { return e.sys().Accuracy(e.test) }
 
 // CellPlacement describes where one functional cell landed.
 type CellPlacement struct {
@@ -460,7 +489,7 @@ func (e *Engine) Placement() []CellPlacement {
 	out := make([]CellPlacement, len(e.graph.Cells))
 	for i, c := range e.graph.Cells {
 		end := "aggregator"
-		if e.system.Placement.OnSensor(c.ID) {
+		if e.sys().Placement.OnSensor(c.ID) {
 			end = "sensor"
 		}
 		out[i] = CellPlacement{Name: c.Name, Role: c.Role.String(), End: end}
@@ -505,11 +534,11 @@ type Report struct {
 
 // Report computes the engine's summary.
 func (e *Engine) Report() Report {
-	en := e.system.EnergyPerEvent()
-	d := e.system.DelayPerEvent()
-	life, _ := e.system.SensorLifetimeHours()
-	aggLife, _ := e.system.AggregatorLifetimeHours()
-	ns, na := e.system.Placement.Counts()
+	en := e.sys().EnergyPerEvent()
+	d := e.sys().DelayPerEvent()
+	life, _ := e.sys().SensorLifetimeHours()
+	aggLife, _ := e.sys().AggregatorLifetimeHours()
+	ns, na := e.sys().Placement.Counts()
 	return Report{
 		Case:                  e.cfg.Case,
 		Kind:                  e.cfg.Kind.String(),
@@ -521,7 +550,7 @@ func (e *Engine) Report() Report {
 		SensorComputeEnergy:   en.SensorCompute,
 		SensorWirelessEnergy:  en.SensorWireless(),
 		SensorSensingEnergy:   en.Sensing,
-		SensorAvgPowerWatts:   e.system.SensorAvgPower(),
+		SensorAvgPowerWatts:   e.sys().SensorAvgPower(),
 		SensorLifetimeHours:   life,
 		AggregatorEnergyEvent: en.AggregatorTotal(),
 		AggregatorLifetimeH:   aggLife,
@@ -529,8 +558,8 @@ func (e *Engine) Report() Report {
 		FrontEndDelay:         d.FrontEnd,
 		WirelessDelay:         d.Wireless,
 		BackEndDelay:          d.BackEnd,
-		EventsPerSecond:       e.system.EventsPerSecond(),
-		MaxEventRate:          e.system.MaxSustainableEventRate(),
+		EventsPerSecond:       e.sys().EventsPerSecond(),
+		MaxEventRate:          e.sys().MaxSustainableEventRate(),
 		SoftwareAccuracy:      e.acc,
 	}
 }
@@ -569,13 +598,13 @@ func (e *Engine) simulate() (*eventsim.Trace, error) {
 func (e *Engine) simInput() eventsim.Input {
 	return eventsim.Input{
 		Graph:       e.graph,
-		Placement:   e.system.Placement,
-		SensorDelay: e.system.HW.Delay,
+		Placement:   e.sys().Placement,
+		SensorDelay: e.sys().HW.Delay,
 		AggDelay: func(id topology.CellID) float64 {
-			return e.system.CPU.CellCost(e.graph.Cells[id].Spec).Delay
+			return e.sys().CPU.CellCost(e.graph.Cells[id].Spec).Delay
 		},
-		Link:                 e.system.Link,
-		SensorEnergyPerEvent: e.system.EnergyPerEvent().SensorTotal(),
+		Link:                 e.sys().Link,
+		SensorEnergyPerEvent: e.sys().EnergyPerEvent().SensorTotal(),
 		Metrics:              e.obs.reg,
 	}
 }
@@ -587,7 +616,7 @@ func (e *Engine) simInput() eventsim.Input {
 // boundary. Engines whose placement keeps no cell on the sensor (the
 // in-aggregator engine) return an error.
 func (e *Engine) Verilog() (string, error) {
-	return hdl.GenerateVerilog(e.graph, e.system.Placement, e.system.HW)
+	return hdl.GenerateVerilog(e.graph, e.sys().Placement, e.sys().HW)
 }
 
 // DomainImportance measures, by permutation on the held-out test set,
@@ -616,18 +645,18 @@ func (e *Engine) DomainImportance() (map[string]float64, error) {
 // power during one event, from the cycle-stepped cell-array simulation:
 // the regulator-sizing figure the average-energy model hides.
 func (e *Engine) PeakPowerWatts() (float64, error) {
-	res, err := cellsim.Simulate(e.graph, e.system.Placement, e.system.HW)
+	res, err := cellsim.Simulate(e.graph, e.sys().Placement, e.sys().HW)
 	if err != nil {
 		return 0, err
 	}
-	return cellsim.PeakPower(res, e.system.HW), nil
+	return cellsim.PeakPower(res, e.sys().HW), nil
 }
 
 // DOT renders the engine's placed functional-cell graph in Graphviz
 // format: sensor and aggregator clusters with crossing payloads
 // highlighted.
 func (e *Engine) DOT() string {
-	return e.graph.DOT(e.system.Placement.OnSensor)
+	return e.graph.DOT(e.sys().Placement.OnSensor)
 }
 
 // Compare builds all four engine kinds for one configuration and returns
