@@ -27,6 +27,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	exp := fs.String("exp", "all", "experiment id (all, table1, fig4, fig8..fig13, headline, ext-lossy, ext-frontier, ext-faults, ext-adaptive, ...)")
 	faultsOnly := fs.Bool("faults", false, "shorthand for -exp ext-faults: the graceful-degradation table under injected fault scenarios")
 	adaptiveOnly := fs.Bool("adaptive", false, "shorthand for -exp ext-adaptive: the chaos-soak table comparing static, ladder and adaptive re-cut variants under channel drift")
+	parallel := fs.Int("parallel", 0, "worker-pool width for the ext-parallel experiment; with no -exp it is shorthand for -exp ext-parallel (0 = GOMAXPROCS, sequential comparison always included)")
 	cases := fs.String("cases", "", "comma-separated case symbols (default: all six)")
 	protocol := fs.String("protocol", "fast", "training protocol: fast or paper")
 	rate := fs.Float64("rate", 2048, "biosignal sampling rate in Hz")
@@ -81,6 +82,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *adaptiveOnly {
 		*exp = "ext-adaptive"
+	}
+	if *parallel != 0 {
+		if *parallel < 0 {
+			fmt.Fprintf(stderr, "xprobench: -parallel must be >= 0, got %d\n", *parallel)
+			return 2
+		}
+		lab.ParallelWorkers = *parallel
+		if *exp == "all" {
+			*exp = "ext-parallel"
+		}
 	}
 	if *exp == "all" {
 		err = experiments.AllFormat(lab, stdout, of)

@@ -107,3 +107,28 @@ func TestRunAdaptiveShorthand(t *testing.T) {
 		}
 	}
 }
+
+// -parallel is shorthand for the ext-parallel experiment: sequential
+// and pooled rows per case with a speedup column.
+func TestRunParallelShorthand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains an engine and times two classification sweeps")
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-parallel", "4", "-cases", "C1"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "=== ext-parallel:") {
+		t.Errorf("missing ext-parallel table:\n%s", s)
+	}
+	for _, mode := range []string{"sequential", "pooled"} {
+		if !strings.Contains(s, mode) {
+			t.Errorf("table missing %q row:\n%s", mode, s)
+		}
+	}
+	errOut.Reset()
+	if code := run([]string{"-parallel", "-3"}, &out, &errOut); code == 0 {
+		t.Error("-parallel -3 accepted, want usage failure")
+	}
+}

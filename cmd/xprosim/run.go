@@ -1,12 +1,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"xpro"
 )
@@ -25,6 +27,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	faultsFlag := fs.String("faults", "", "inject a fault scenario and classify through the resilience ladder: "+strings.Join(xpro.FaultScenarios(), ", "))
 	faultSeed := fs.Int64("fault-seed", 7, "seed of the injected fault plan (same seed replays the identical run)")
 	adaptiveFlag := fs.Bool("adaptive", false, "arm closed-loop adaptive repartitioning: estimate the channel online and hot-swap the cut when the estimate says a different one is cheaper")
+	parallel := fs.Int("parallel", 1, "stream through the ordered worker pool with this many workers (1 = sequential; labels and ordering are identical either way)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -98,16 +101,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *n > len(test) {
 		*n = len(test)
 	}
+	if *parallel < 1 {
+		fmt.Fprintf(stderr, "xprosim: -parallel must be >= 1, got %d\n", *parallel)
+		return 2
+	}
 	correct := 0
 	degraded := 0
 	modes := make(map[string]int)
 	var energy, seconds float64
-	for i := 0; i < *n; i++ {
-		res, err := eng.ClassifyResult(test[i].Samples)
-		if err != nil {
-			fmt.Fprintf(stderr, "xprosim: segment %d: %v\n", i, err)
-			return 1
-		}
+	account := func(i int, res xpro.Result) {
 		if res.Label == test[i].Label {
 			correct++
 		}
@@ -120,6 +122,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if (i+1)%50 == 0 {
 			fmt.Fprintf(stdout, "  %4d events: accuracy %.3f, sensor energy %.1f µJ, busy time %.1f ms\n",
 				i+1, float64(correct)/float64(i+1), energy*1e6, seconds*1e3)
+		}
+	}
+	if *parallel > 1 {
+		// Ordered parallel stream: results arrive in submission order, so
+		// the running accuracy printout reads the same as the serial path.
+		in := make(chan []float64)
+		go func() {
+			defer close(in)
+			for i := 0; i < *n; i++ {
+				in <- test[i].Samples
+			}
+		}()
+		start := time.Now()
+		for r := range eng.StreamParallel(context.Background(), in, *parallel) {
+			if r.Err != nil {
+				fmt.Fprintf(stderr, "xprosim: segment %d: %v\n", r.Index, r.Err)
+				return 1
+			}
+			account(r.Index, r.Result)
+		}
+		if elapsed := time.Since(start).Seconds(); elapsed > 0 && *n > 0 {
+			fmt.Fprintf(stdout, "parallel: %d workers served %d events in %.2fs (%.0f events/s wall-clock)\n",
+				*parallel, *n, elapsed, float64(*n)/elapsed)
+		}
+	} else {
+		for i := 0; i < *n; i++ {
+			res, err := eng.ClassifyResult(test[i].Samples)
+			if err != nil {
+				fmt.Fprintf(stderr, "xprosim: segment %d: %v\n", i, err)
+				return 1
+			}
+			account(i, res)
 		}
 	}
 	if *n > 0 {

@@ -114,3 +114,35 @@ func TestRunAdaptive(t *testing.T) {
 		}
 	}
 }
+
+// -parallel streams the same segments through the ordered worker pool:
+// the progress lines and final accuracy must match the sequential run
+// byte-for-byte (ordered delivery), plus a throughput line appears.
+func TestRunParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains an engine")
+	}
+	var seq, par, errOut bytes.Buffer
+	if code := run([]string{"-case", "C1", "-kind", "sensor", "-n", "60"}, &seq, &errOut); code != 0 {
+		t.Fatalf("sequential: exit %d, stderr %q", code, errOut.String())
+	}
+	errOut.Reset()
+	if code := run([]string{"-case", "C1", "-kind", "sensor", "-n", "60", "-parallel", "4"}, &par, &errOut); code != 0 {
+		t.Fatalf("parallel: exit %d, stderr %q", code, errOut.String())
+	}
+	s := par.String()
+	if !strings.Contains(s, "parallel: 4 workers served 60 events") {
+		t.Errorf("missing throughput line:\n%s", s)
+	}
+	for _, line := range strings.Split(seq.String(), "\n") {
+		if strings.Contains(line, "events: accuracy") || strings.Contains(line, "done:") {
+			if !strings.Contains(s, line) {
+				t.Errorf("parallel output missing sequential line %q:\n%s", line, s)
+			}
+		}
+	}
+	errOut.Reset()
+	if code := run([]string{"-case", "C1", "-parallel", "0"}, &par, &errOut); code == 0 {
+		t.Error("-parallel 0 accepted, want usage failure")
+	}
+}

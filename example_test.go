@@ -2,6 +2,7 @@ package xpro_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -156,4 +157,61 @@ func ExampleEngine_AdaptiveStatus() {
 	// stormed: retreated to in-sensor: true
 	// cleared: back on a cross-end cut: true
 	// probation still pending: false
+}
+
+// ExampleNetwork_Serve runs a two-subject body sensor network behind
+// the sharded worker pool: each subject's events are served FIFO on a
+// dedicated worker (preserving every engine's modeled timeline) while
+// different subjects classify concurrently.
+func ExampleNetwork_Serve() {
+	chest, err := xpro.New(xpro.Config{Case: "C1"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wrist, err := xpro.New(xpro.Config{Case: "M1"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := xpro.NewNetwork(map[string]*xpro.Engine{"chest": chest, "wrist": wrist})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fleet, err := net.Serve(xpro.ServeOptions{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fleet.Close()
+
+	reqs := []xpro.FleetRequest{
+		{Subject: "chest", Samples: chest.TestSet()[0].Samples},
+		{Subject: "wrist", Samples: wrist.TestSet()[0].Samples},
+		{Subject: "chest", Samples: chest.TestSet()[1].Samples},
+	}
+	results := fleet.ClassifyBatch(context.Background(), reqs)
+
+	match := true
+	for i, r := range results {
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
+		var eng *xpro.Engine
+		if r.Subject == "chest" {
+			eng = chest
+		} else {
+			eng = wrist
+		}
+		direct, err := eng.Classify(reqs[i].Samples)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if direct != r.Result.Label {
+			match = false
+		}
+	}
+	fmt.Printf("served %d events for %d subjects on %d workers\n",
+		len(results), len(fleet.Subjects()), fleet.Workers())
+	fmt.Printf("fleet labels match direct engine calls: %v\n", match)
+	// Output:
+	// served 3 events for 2 subjects on 4 workers
+	// fleet labels match direct engine calls: true
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"text/tabwriter"
 
 	"xpro"
@@ -27,7 +28,13 @@ func main() {
 	engines := map[string]*xpro.Engine{}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "sensor\tchosen process\tradio\tprune\tlife h\tdelay ms\taccuracy")
-	for name, req := range specs {
+	names := make([]string, 0, len(specs))
+	for name := range specs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		req := specs[name]
 		best, all, err := xpro.Recommend(req)
 		if err != nil {
 			log.Fatalf("%s: %v (evaluated %d designs)", name, err, len(all))
@@ -56,8 +63,8 @@ func main() {
 		rep.BottleneckNode, rep.BottleneckHours, rep.AggregatorLifetimeHours,
 		rep.AggregatorUtilization*100)
 	fmt.Printf("worst-case simultaneous-event delays:")
-	for name, d := range rep.WorstCaseDelaySeconds {
-		fmt.Printf(" %s=%.2fms", name, d*1e3)
+	for _, name := range names {
+		fmt.Printf(" %s=%.2fms", name, rep.WorstCaseDelaySeconds[name]*1e3)
 	}
 	fmt.Println()
 	if nw.RealTimeOK(4e-3) {

@@ -1,0 +1,68 @@
+package chaos
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"xpro/internal/wireless"
+)
+
+// TestParallelReplayBitIdentical: seeded soaks replayed on concurrent
+// workers are bit-identical to their serial goldens. Each soak owns
+// its system instance (soaks model a serial per-engine timeline; the
+// fleet gives each subject its own worker), while the trained
+// ensemble and topology graph are shared read-only — exactly the
+// sharing shape of Network.Serve. Run under -race -cpu 1,4,8: any
+// hidden write to the shared model is a detector hit, any
+// cross-contamination of RNG or clock state is a DeepEqual miss.
+func TestParallelReplayBitIdentical(t *testing.T) {
+	f := getFixture(t)
+	type run struct {
+		profile string
+		seed    int64
+	}
+	runs := []run{
+		{"squall", 7}, {"squall", 23},
+		{"monsoon", 7}, {"flapping", 5},
+	}
+	cfgOf := func(r run) Config {
+		return Config{Profile: r.profile, Seed: r.seed, Events: 120}
+	}
+
+	golden := make([]*Result, len(runs))
+	for i, r := range runs {
+		res, err := Soak(crossSystem(t, f, wireless.Model3()), f.test.Segs, cfgOf(r))
+		if err != nil {
+			t.Fatalf("serial %s/%d: %v", r.profile, r.seed, err)
+		}
+		golden[i] = res
+	}
+
+	const rounds = 2
+	for round := 0; round < rounds; round++ {
+		// Systems are built serially (t.Fatal is main-goroutine only);
+		// only the soaks themselves run concurrently.
+		got := make([]*Result, len(runs))
+		errs := make([]error, len(runs))
+		var wg sync.WaitGroup
+		for i, r := range runs {
+			sys := crossSystem(t, f, wireless.Model3())
+			wg.Add(1)
+			go func(i int, r run) {
+				defer wg.Done()
+				got[i], errs[i] = Soak(sys, f.test.Segs, cfgOf(r))
+			}(i, r)
+		}
+		wg.Wait()
+		for i, r := range runs {
+			if errs[i] != nil {
+				t.Fatalf("round %d %s/%d: %v", round, r.profile, r.seed, errs[i])
+			}
+			if !reflect.DeepEqual(got[i], golden[i]) {
+				t.Fatalf("round %d: concurrent soak %s/%d diverged from serial golden\n got %+v\nwant %+v",
+					round, r.profile, r.seed, got[i], golden[i])
+			}
+		}
+	}
+}

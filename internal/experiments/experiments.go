@@ -344,6 +344,7 @@ func Runners() []runner {
 		{"ext-importance", ExtImportance},
 		{"ext-faults", ExtFaults},
 		{"ext-adaptive", ExtAdaptive},
+		{"ext-parallel", ExtParallel},
 		{"scorecard", Scorecard},
 	}
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -225,5 +226,40 @@ func TestExtAdaptiveDominates(t *testing.T) {
 	}
 	if !dominated {
 		t.Errorf("no case dominated on the cyclone profile; notes: %v", tab.Notes)
+	}
+}
+
+// ext-parallel is the fleet-serving tentpole in table form: the pooled
+// rows must exist for every case, carry a parseable speedup, and the
+// experiment itself errors if any pooled label diverges from the
+// sequential golden — so a passing run is also an equivalence check.
+func TestExtParallelShape(t *testing.T) {
+	l := fastLab()
+	l.ParallelWorkers = 4
+	tab, err := ExtParallel(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(tab.Rows), 2*len(l.Symbols()); got != want {
+		t.Fatalf("ext-parallel has %d rows, want %d (sequential+pooled per case)", got, want)
+	}
+	for i, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("row %d has %d cells, header has %d", i, len(row), len(tab.Header))
+		}
+		wantMode := "sequential"
+		if i%2 == 1 {
+			wantMode = "pooled"
+		}
+		if row[1] != wantMode {
+			t.Errorf("row %d mode = %q, want %q", i, row[1], wantMode)
+		}
+		speedup, err := strconv.ParseFloat(row[5], 64)
+		if err != nil || speedup <= 0 {
+			t.Errorf("row %d speedup %q is not a positive number (%v)", i, row[5], err)
+		}
+	}
+	if len(tab.Notes) == 0 {
+		t.Error("ext-parallel table has no notes")
 	}
 }

@@ -57,6 +57,9 @@ type Lab struct {
 	// Cases restricts the lab to a subset of Table 1 symbols (nil =
 	// all six).
 	Cases []string
+	// ParallelWorkers sets the worker-pool width of the ext-parallel
+	// experiment (0 = GOMAXPROCS).
+	ParallelWorkers int
 
 	mu        sync.Mutex
 	instances map[string]*Instance

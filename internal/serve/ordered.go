@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file holds the data-parallel building blocks of the parallel
+// classify paths: an index-claiming parallel loop for batches (results
+// land in a caller-owned slice, so order is free) and an
+// ordered-delivery pipeline for streams (results are emitted in input
+// order no matter which worker finishes first).
+
+// ParallelEach runs fn(0..n-1) across at most workers goroutines and
+// returns the error of the lowest index that failed (nil when all
+// succeed). After the first observed failure no new indices are
+// claimed; indices already claimed still complete. workers <= 1 (or
+// n <= 1) degenerates to a plain ordered loop with sequential
+// first-error semantics.
+func ParallelEach(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next atomic.Int64
+		stop atomic.Bool
+		wg   sync.WaitGroup
+
+		mu     sync.Mutex
+		errIdx = -1
+		first  error
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if errIdx < 0 || i < errIdx {
+			errIdx, first = i, err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					record(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// Ordered consumes job thunks and emits each job's result on the
+// returned channel in input order, computing up to workers jobs
+// concurrently with at most window results buffered ahead of the
+// consumer. When the consumer is slower than the workers the window
+// fills and the pipeline exerts backpressure on the jobs channel. The
+// output channel closes after the last job's result is delivered.
+func Ordered[T any](jobs <-chan func() T, workers, window int) <-chan T {
+	if workers < 1 {
+		workers = 1
+	}
+	if window < workers {
+		window = workers
+	}
+	type slot chan T
+	order := make(chan slot, window)
+	work := make(chan struct {
+		fn  func() T
+		out slot
+	})
+
+	// Dispatcher: pair every job with a one-shot result slot and queue
+	// the slot in arrival order. The bounded order queue is the
+	// in-flight window.
+	go func() {
+		for fn := range jobs {
+			s := make(slot, 1)
+			order <- s
+			work <- struct {
+				fn  func() T
+				out slot
+			}{fn, s}
+		}
+		close(order)
+		close(work)
+	}()
+
+	for w := 0; w < workers; w++ {
+		go func() {
+			for j := range work {
+				j.out <- j.fn()
+			}
+		}()
+	}
+
+	out := make(chan T)
+	go func() {
+		defer close(out)
+		for s := range order {
+			out <- <-s
+		}
+	}()
+	return out
+}

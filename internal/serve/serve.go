@@ -1,0 +1,132 @@
+// Package serve is the concurrent fleet-serving runtime: a sharded
+// worker pool that serves many engines (one per BSN subject) and many
+// segments per engine at once.
+//
+// The paper evaluates one wearable against one aggregator; a deployed
+// XPro backend serves a fleet. Two properties make the classify path
+// embarrassingly parallel and this pool correct:
+//
+//   - Across subjects, engines share nothing mutable — each engine owns
+//     its cut, breaker, modeled clock and RNG streams — so subjects can
+//     be served on independent workers.
+//
+//   - Within one subject, the resilient classify path is a serial
+//     modeled timeline (clock, breaker, link RNG), so events of one
+//     subject must execute in submission order for a seeded run to
+//     replay bit-identically.
+//
+// The pool encodes exactly that: every shard key maps to one fixed
+// worker, whose bounded queue is drained in FIFO order. Events of one
+// subject never reorder, regardless of the worker count; events of
+// different subjects interleave freely. A full queue rejects with
+// ErrOverloaded instead of blocking — backpressure the caller can act
+// on — and Close drains every queued job before returning.
+package serve
+
+import (
+	"errors"
+	"hash/fnv"
+	"runtime"
+	"sync"
+)
+
+// ErrOverloaded rejects a submission whose shard queue is full: the
+// bounded-queue backpressure signal. Retry later or shed load.
+var ErrOverloaded = errors.New("serve: worker queue full")
+
+// ErrClosed rejects submissions after Close began.
+var ErrClosed = errors.New("serve: pool closed")
+
+// DefaultQueueDepth is the per-worker pending-job capacity when
+// Options.QueueDepth is zero.
+const DefaultQueueDepth = 64
+
+// Options configures a Pool. Zero values take defaults.
+type Options struct {
+	// Workers is the number of worker goroutines (default GOMAXPROCS).
+	Workers int
+	// QueueDepth is each worker's bounded queue capacity (default
+	// DefaultQueueDepth). Submissions beyond it return ErrOverloaded.
+	QueueDepth int
+}
+
+// Pool is a sharded worker pool with per-shard FIFO ordering: jobs
+// submitted under the same shard key run on the same worker in
+// submission order. All methods are safe for concurrent use.
+type Pool struct {
+	queues []chan func()
+	wg     sync.WaitGroup
+
+	// mu guards closed against Submit racing Close: Submit holds the
+	// read side while sending, so Close cannot close a queue mid-send.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// NewPool starts the workers.
+func NewPool(opt Options) *Pool {
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opt.QueueDepth <= 0 {
+		opt.QueueDepth = DefaultQueueDepth
+	}
+	p := &Pool{queues: make([]chan func(), opt.Workers)}
+	for i := range p.queues {
+		q := make(chan func(), opt.QueueDepth)
+		p.queues[i] = q
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for job := range q {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return len(p.queues) }
+
+// Shard maps a subject name to a stable shard key (FNV-1a).
+func Shard(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return h.Sum64()
+}
+
+// Submit enqueues job on the worker owning shard. It never blocks:
+// a full queue returns ErrOverloaded, a closed pool ErrClosed.
+func (p *Pool) Submit(shard uint64, job func()) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrClosed
+	}
+	select {
+	case p.queues[shard%uint64(len(p.queues))] <- job:
+		return nil
+	default:
+		return ErrOverloaded
+	}
+}
+
+// QueueLen returns the number of jobs pending on shard's worker.
+func (p *Pool) QueueLen(shard uint64) int {
+	return len(p.queues[shard%uint64(len(p.queues))])
+}
+
+// Close stops accepting new jobs, drains every queued job, and returns
+// after the last worker exits. Closing twice is safe.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		for _, q := range p.queues {
+			close(q)
+		}
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

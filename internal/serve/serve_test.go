@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPerShardFIFO is the ordering guarantee: jobs of one shard run in
+// submission order even with many workers and interleaved shards.
+func TestPerShardFIFO(t *testing.T) {
+	p := NewPool(Options{Workers: 4, QueueDepth: 256})
+	defer p.Close()
+
+	const shards = 8
+	const perShard = 100
+	var mu sync.Mutex
+	got := make([][]int, shards)
+	for s := 0; s < shards; s++ {
+		for i := 0; i < perShard; i++ {
+			s, i := s, i
+			if err := p.Submit(uint64(s), func() {
+				mu.Lock()
+				got[s] = append(got[s], i)
+				mu.Unlock()
+			}); err != nil {
+				t.Fatalf("submit shard %d job %d: %v", s, i, err)
+			}
+		}
+	}
+	p.Close()
+	for s := 0; s < shards; s++ {
+		if len(got[s]) != perShard {
+			t.Fatalf("shard %d ran %d jobs, want %d", s, len(got[s]), perShard)
+		}
+		for i, v := range got[s] {
+			if v != i {
+				t.Fatalf("shard %d reordered: position %d got job %d", s, i, v)
+			}
+		}
+	}
+}
+
+// TestOverloadRejects is the backpressure property: a full queue
+// returns ErrOverloaded immediately instead of blocking.
+func TestOverloadRejects(t *testing.T) {
+	p := NewPool(Options{Workers: 1, QueueDepth: 2})
+	defer p.Close()
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if err := p.Submit(0, func() { close(started); <-release }); err != nil {
+		t.Fatal(err)
+	}
+	<-started // worker is now busy; the queue is empty
+	for i := 0; i < 2; i++ {
+		if err := p.Submit(0, func() {}); err != nil {
+			t.Fatalf("queued submit %d: %v", i, err)
+		}
+	}
+	if err := p.Submit(0, func() {}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-capacity submit: got %v, want ErrOverloaded", err)
+	}
+	close(release)
+}
+
+// TestCloseDrains: jobs accepted before Close all run; Close blocks
+// until they finish; submissions after Close return ErrClosed.
+func TestCloseDrains(t *testing.T) {
+	p := NewPool(Options{Workers: 2, QueueDepth: 128})
+	var ran atomic.Int64
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := p.Submit(uint64(i%5), func() { ran.Add(1) }); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	p.Close()
+	if got := ran.Load(); got != n {
+		t.Fatalf("after Close %d jobs ran, want %d", got, n)
+	}
+	if err := p.Submit(0, func() {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after Close: got %v, want ErrClosed", err)
+	}
+	p.Close() // idempotent
+}
+
+// TestSubmitCloseRace drives concurrent submitters against Close under
+// the race detector: every accepted job must run, no send on a closed
+// channel.
+func TestSubmitCloseRace(t *testing.T) {
+	p := NewPool(Options{Workers: 3, QueueDepth: 16})
+	var accepted, ran atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				err := p.Submit(uint64(g), func() { ran.Add(1) })
+				if errors.Is(err, ErrClosed) {
+					return
+				}
+				if err == nil {
+					accepted.Add(1)
+				}
+			}
+		}(g)
+	}
+	p.Close()
+	wg.Wait()
+	if accepted.Load() != ran.Load() {
+		t.Fatalf("accepted %d jobs but ran %d", accepted.Load(), ran.Load())
+	}
+}
+
+func TestShardStable(t *testing.T) {
+	if Shard("chest") != Shard("chest") {
+		t.Fatal("Shard is not stable")
+	}
+	if Shard("chest") == Shard("wrist") && Shard("chest") == Shard("ankle") {
+		t.Fatal("Shard collides on trivially distinct names")
+	}
+}
+
+func TestParallelEach(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 9} {
+		out := make([]int, 100)
+		err := ParallelEach(len(out), workers, func(i int) error {
+			out[i] = i * i
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d]=%d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestParallelEachFirstError(t *testing.T) {
+	boom := func(i int) error { return fmt.Errorf("index %d", i) }
+	// Sequential semantics when workers=1: exact first error.
+	err := ParallelEach(10, 1, func(i int) error {
+		if i >= 3 {
+			return boom(i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "index 3" {
+		t.Fatalf("sequential first error: got %v", err)
+	}
+	// Parallel: the reported error is the lowest failing index that was
+	// actually observed, and it is never nil when failures occurred.
+	err = ParallelEach(100, 8, func(i int) error {
+		if i%7 == 5 {
+			return boom(i)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("parallel run with failures returned nil")
+	}
+}
+
+func TestOrderedDelivery(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		jobs := make(chan func() int)
+		const n = 200
+		go func() {
+			defer close(jobs)
+			for i := 0; i < n; i++ {
+				i := i
+				jobs <- func() int { return i }
+			}
+		}()
+		got := make([]int, 0, n)
+		for v := range Ordered(jobs, workers, 2*workers) {
+			got = append(got, v)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: got %d results, want %d", workers, len(got), n)
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("workers=%d: position %d delivered job %d (reordered)", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestPoolDefaults(t *testing.T) {
+	p := NewPool(Options{})
+	defer p.Close()
+	if p.Workers() < 1 {
+		t.Fatalf("default worker count %d", p.Workers())
+	}
+	if err := p.Submit(42, func() {}); err != nil {
+		t.Fatal(err)
+	}
+}

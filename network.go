@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"xpro/internal/aggregator"
 	"xpro/internal/bsn"
@@ -13,11 +14,22 @@ import (
 // Network is a body sensor network: multiple wearable engines sharing
 // one data aggregator (§5.7). Each node runs its own partitioned engine;
 // links are conflict-free (the paper's MIMO assumption), while the
-// aggregator CPU and battery are shared.
+// aggregator CPU and battery are shared. All methods are safe for
+// concurrent use.
 type Network struct {
 	engines map[string]*Engine
 	names   []string
 	obs     *Observer
+
+	// mu guards the memoized shared-resource view. Rebuilding it per
+	// query was fine for one caller; a fleet asking RealTimeOK at scrape
+	// rate would reconstruct every engine's system on every call, so the
+	// view is cached and keyed by each engine's serving epoch
+	// (Engine.generation): adaptive re-cuts, breaker transitions and
+	// fault-window edges all bump the epoch and invalidate the cache.
+	mu         sync.Mutex
+	cached     *bsn.Network
+	cachedGens []uint64
 }
 
 // NewNetwork assembles a network from named engines. The engines should
@@ -50,26 +62,48 @@ func NewNetwork(engines map[string]*Engine) (*Network, error) {
 	return n, nil
 }
 
-// net assembles the shared-resource view of the network from each
+// net returns the shared-resource view of the network over each
 // engine's currently effective system: the adaptive controller's
 // active cut, or the in-sensor fallback while an engine's breaker
-// holds its link open. Rebuilding per query keeps Report and
-// RealTimeOK describing the network as it is now — degraded engines
-// included — not as it was built.
+// holds its link open. The view is memoized behind the engines'
+// serving epochs, so fleet-wide queries (Report, RealTimeOK, the
+// /enginez status section) stop rebuilding every engine's system per
+// call: a cache hit is len(engines) atomic loads. Any epoch change —
+// re-cut, breaker transition, fault-window edge — rebuilds, keeping
+// the view describing the network as it is now, degraded engines
+// included.
 func (n *Network) net() (*bsn.Network, error) {
-	nodes := make([]bsn.Node, 0, len(n.names))
-	for _, name := range n.names {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	gens := make([]uint64, len(n.names))
+	fresh := n.cached != nil
+	for i, name := range n.names {
 		e := n.engines[name]
 		if e == nil {
 			return nil, fmt.Errorf("xpro: nil engine %q", name)
 		}
-		nodes = append(nodes, bsn.Node{Name: name, Sys: e.effectiveSystem()})
+		gens[i] = e.generation()
+		if fresh && gens[i] != n.cachedGens[i] {
+			fresh = false
+		}
+	}
+	if fresh {
+		n.obs.reg.Counter("xpro_network_view_hits_total",
+			"Network report queries served from the memoized view.").Inc()
+		return n.cached, nil
+	}
+	nodes := make([]bsn.Node, 0, len(n.names))
+	for _, name := range n.names {
+		nodes = append(nodes, bsn.Node{Name: name, Sys: n.engines[name].effectiveSystem()})
 	}
 	nw, err := bsn.New(aggregator.CortexA8(), nodes...)
 	if err != nil {
 		return nil, err
 	}
 	nw.Metrics = n.obs.reg
+	n.obs.reg.Counter("xpro_network_view_rebuilds_total",
+		"Network report queries that rebuilt the per-engine view.").Inc()
+	n.cached, n.cachedGens = nw, gens
 	return nw, nil
 }
 

@@ -1,6 +1,7 @@
 package xpro
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -232,6 +233,10 @@ type resilient struct {
 	// transfer record, the channel evidence ObserveEvent folds.
 	ctrl    *adaptive.Controller
 	lastOut xsystem.Outcome
+	// lastState is the fault-plan state seen by the previous event;
+	// crossing a window edge bumps the engine's serving epoch so
+	// memoized network views rebuild.
+	lastState faults.State
 }
 
 // buildResilient assembles the fault-tolerance layer during engine
@@ -324,8 +329,25 @@ func buildResilient(cfg Config, sys *xsystem.System, g *topology.Graph,
 //     (sensor brownout);
 //  5. FailFast policies surface the error instead of steps 3–4.
 func (r *resilient) classify(e *Engine, seg biosig.Segment) (Result, error) {
+	return r.classifyCtx(context.Background(), e, seg)
+}
+
+// classifyCtx is classify honoring a context: a canceled or expired
+// ctx abandons the event with a typed ErrCanceled error BEFORE it
+// touches the modeled timeline — the clock does not advance, the
+// breaker records nothing, the link RNG stays untouched — so canceled
+// events are invisible to seeded replay and never trip the breaker.
+func (r *resilient) classifyCtx(ctx context.Context, e *Engine, seg biosig.Segment) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, e.canceledError(err)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	// The wait for the serial timeline may have outlived the caller:
+	// re-check after acquiring the lock.
+	if err := ctx.Err(); err != nil {
+		return Result{}, e.canceledError(err)
+	}
 
 	start := time.Now()
 	res, err := r.classifyLocked(e, seg)
@@ -387,6 +409,13 @@ func (r *resilient) classify(e *Engine, seg biosig.Segment) (Result, error) {
 
 func (r *resilient) classifyLocked(e *Engine, seg biosig.Segment) (Result, error) {
 	state := r.plan.At(r.clock.Now())
+	if state != r.lastState {
+		// A fault window opened or closed since the previous event; the
+		// degraded-path pricing a network report would compute may have
+		// changed with it.
+		r.lastState = state
+		e.epoch.Add(1)
+	}
 	if r.ctrl != nil {
 		// Ambient channel observation: what the modem can see of the
 		// environment this instant, whether or not the active cut puts
@@ -445,6 +474,7 @@ func (r *resilient) classifyLocked(e *Engine, seg biosig.Segment) (Result, error
 // the modeled decision time.
 func (r *resilient) install(e *Engine, ch *adaptive.Change) {
 	e.active.Store(ch.System)
+	e.epoch.Add(1)
 	e.publishReportGauges()
 	if tr := e.obs.tracer; tr != nil {
 		tr.Add(telemetry.Span{

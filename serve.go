@@ -1,0 +1,367 @@
+package xpro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"xpro/internal/biosig"
+	"xpro/internal/serve"
+	"xpro/internal/telemetry"
+)
+
+// This file is the public face of the concurrent fleet-serving runtime
+// (internal/serve). The paper evaluates one wearable against one
+// aggregator; a production backend serves millions of subjects, and
+// XPro's cut-based engines are embarrassingly parallel across subjects
+// and across segments. Network.Serve shards a body sensor network's
+// engines over a bounded worker pool with per-subject FIFO ordering;
+// Engine.ClassifyBatchParallel and Engine.StreamParallel fan one
+// engine's segments across workers with results provably identical to
+// the sequential path.
+//
+// Ordering and determinism contract: one subject's events always
+// execute in submission order on one worker, because the resilient
+// classify path is a serial modeled timeline (clock, breaker, link
+// RNG) — so a seeded run replays bit-identically regardless of the
+// worker count. Engines without a Resilience policy are pure functions
+// of the segment and the installed cut, so their segments parallelize
+// freely and the hot-swapped cut is always read through one atomic
+// load per event: no event ever observes a half-swapped cut.
+
+// ErrOverloaded rejects a fleet submission whose worker queue is full
+// — the bounded-queue backpressure signal. The caller should shed or
+// retry; nothing was enqueued.
+var ErrOverloaded = serve.ErrOverloaded
+
+// ErrFleetClosed rejects submissions made after Fleet.Close began.
+var ErrFleetClosed = serve.ErrClosed
+
+// ErrCanceled marks a classification abandoned because its context was
+// canceled or its deadline expired before the event entered the
+// pipeline. The wrapped chain also matches the context error
+// (context.Canceled or context.DeadlineExceeded). A canceled event
+// never touches the modeled timeline: the clock does not advance and
+// the circuit breaker records nothing.
+var ErrCanceled = errors.New("xpro: classification canceled")
+
+// canceledError wraps a context error as ErrCanceled and counts it.
+// Cancellations are not classification errors: they do not increment
+// xpro_classify_errors_total and never trip the breaker.
+func (e *Engine) canceledError(cause error) error {
+	e.obs.reg.Counter("xpro_classify_canceled_total",
+		"Classifications abandoned by context cancellation before execution.").Inc()
+	return fmt.Errorf("%w: %w", ErrCanceled, cause)
+}
+
+// ClassifyResultContext is ClassifyResult honoring a context: a
+// canceled or expired ctx returns an error matching both ErrCanceled
+// and the context error, without running the event or touching the
+// resilience state. An event already executing is never interrupted
+// mid-pipeline (the modeled hardware has no preemption); cancellation
+// is checked immediately before the event starts.
+func (e *Engine) ClassifyResultContext(ctx context.Context, samples []float64) (Result, error) {
+	if e.res != nil {
+		return e.res.classifyCtx(ctx, e, biosig.Segment{Samples: samples})
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, e.canceledError(err)
+	}
+	label, err := e.sys().Classify(biosig.Segment{Samples: samples})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Label: label, Mode: ModeFull}, nil
+}
+
+// ClassifyBatchParallel classifies segments across up to workers
+// goroutines (workers <= 0 means GOMAXPROCS) and returns labels in
+// input order. Results are bit-identical to ClassifyBatch: each event
+// reads the installed cut through one atomic load and computes a pure
+// function of (segment, cut), so fan-out cannot change any label. On
+// an engine with a Resilience policy the modeled timeline is serial by
+// design, and the call degenerates to ordered sequential execution —
+// still honoring ctx between events — so seeded fault runs replay
+// identically no matter the requested parallelism.
+func (e *Engine) ClassifyBatchParallel(ctx context.Context, segments [][]float64, workers int) ([]int, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	labels, err := e.classifyBatchParallel(ctx, segments, workers)
+	m := e.obs.reg
+	if err != nil {
+		m.Counter("xpro_classify_batch_errors_total",
+			"ClassifyBatch calls that returned an error.").Inc()
+		return nil, err
+	}
+	m.Counter("xpro_classify_batch_parallel_total",
+		"Completed ClassifyBatchParallel calls.").Inc()
+	m.Counter("xpro_classify_batch_segments_total",
+		"Segments classified by ClassifyBatch calls.").Add(float64(len(segments)))
+	m.Histogram("xpro_classify_batch_seconds",
+		"Wall time of one ClassifyBatch call.", telemetry.DurationBuckets).
+		Observe(time.Since(start).Seconds())
+	return labels, nil
+}
+
+func (e *Engine) classifyBatchParallel(ctx context.Context, segments [][]float64, workers int) ([]int, error) {
+	labels := make([]int, len(segments))
+	if e.res != nil {
+		for i, s := range segments {
+			res, err := e.res.classifyCtx(ctx, e, biosig.Segment{Samples: s})
+			if err != nil {
+				return nil, fmt.Errorf("xpro: segment %d: %w", i, err)
+			}
+			labels[i] = res.Label
+		}
+		return labels, nil
+	}
+	err := serve.ParallelEach(len(segments), workers, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return e.canceledError(err)
+		}
+		label, err := e.sys().Classify(biosig.Segment{Samples: segments[i]})
+		if err != nil {
+			return fmt.Errorf("xpro: segment %d: %w", i, err)
+		}
+		labels[i] = label
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return labels, nil
+}
+
+// StreamParallel classifies segments arriving on in across up to
+// workers goroutines with ordered delivery: results appear on the
+// returned channel in input order regardless of which worker finishes
+// first, with a bounded in-flight window exerting backpressure on the
+// producer. The channel closes after the last result. On ctx
+// cancellation the stream stops consuming in and closes after
+// in-flight events drain; events claimed but not yet run are reported
+// with an ErrCanceled error. On an engine with a Resilience policy
+// events run sequentially through the ladder (the modeled timeline is
+// serial), preserving the Stream ordering and degradation semantics.
+// The caller must drain the returned channel.
+func (e *Engine) StreamParallel(ctx context.Context, in <-chan []float64, workers int) <-chan StreamResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if e.res != nil || workers == 1 {
+		out := make(chan StreamResult)
+		go func() {
+			defer close(out)
+			i := 0
+			for {
+				select {
+				case s, ok := <-in:
+					if !ok {
+						return
+					}
+					res, err := e.ClassifyResultContext(ctx, s)
+					out <- StreamResult{Index: i, Result: res, Err: err}
+					i++
+					if err != nil && errors.Is(err, ErrCanceled) {
+						return
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+		return out
+	}
+
+	jobs := make(chan func() StreamResult)
+	go func() {
+		defer close(jobs)
+		i := 0
+		for {
+			select {
+			case s, ok := <-in:
+				if !ok {
+					return
+				}
+				idx, seg := i, s
+				i++
+				jobs <- func() StreamResult {
+					if err := ctx.Err(); err != nil {
+						return StreamResult{Index: idx, Err: e.canceledError(err)}
+					}
+					label, err := e.sys().Classify(biosig.Segment{Samples: seg})
+					if err != nil {
+						return StreamResult{Index: idx, Err: err}
+					}
+					return StreamResult{Index: idx, Result: Result{Label: label, Mode: ModeFull}}
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return serve.Ordered(jobs, workers, 4*workers)
+}
+
+// ServeOptions configures a Fleet. Zero values take defaults.
+type ServeOptions struct {
+	// Workers is the worker-goroutine count (default GOMAXPROCS).
+	// Subjects are sharded across workers; one subject always runs on
+	// one worker, so per-subject FIFO ordering holds for any count.
+	Workers int
+	// QueueDepth bounds each worker's pending-event queue (default
+	// serve.DefaultQueueDepth). Submissions beyond it are rejected with
+	// ErrOverloaded instead of blocking.
+	QueueDepth int
+}
+
+// Fleet serves a network's engines concurrently: a sharded worker pool
+// with per-subject FIFO ordering, bounded queues with typed
+// backpressure, and context-based cancellation threaded through the
+// resilient classify path. All methods are safe for concurrent use.
+type Fleet struct {
+	pool    *serve.Pool
+	engines map[string]*Engine
+	shards  map[string]uint64
+	names   []string
+	obs     *Observer
+
+	closeOnce sync.Once
+}
+
+// Serve starts a fleet over the network's engines. Subjects are
+// assigned to workers round-robin in sorted-name order, so the
+// engine→worker mapping is deterministic for a given (subject set,
+// worker count). Close the fleet to drain and stop it; the network
+// itself remains usable afterwards.
+func (n *Network) Serve(opt ServeOptions) (*Fleet, error) {
+	if opt.Workers < 0 || opt.QueueDepth < 0 {
+		return nil, fmt.Errorf("xpro: negative ServeOptions (workers %d, queue depth %d)", opt.Workers, opt.QueueDepth)
+	}
+	pool := serve.NewPool(serve.Options{Workers: opt.Workers, QueueDepth: opt.QueueDepth})
+	shards := make(map[string]uint64, len(n.names))
+	for i, name := range n.names {
+		shards[name] = uint64(i)
+	}
+	f := &Fleet{
+		pool:    pool,
+		engines: n.engines,
+		shards:  shards,
+		names:   n.names,
+		obs:     n.obs,
+	}
+	n.obs.reg.Gauge("xpro_fleet_workers",
+		"Worker goroutines of the serving fleet.").Set(float64(pool.Workers()))
+	return f, nil
+}
+
+// Subjects lists the fleet's subject names, sorted.
+func (f *Fleet) Subjects() []string { return f.names }
+
+// Workers returns the fleet's worker count.
+func (f *Fleet) Workers() int { return f.pool.Workers() }
+
+// FleetResult is one served classification.
+type FleetResult struct {
+	// Subject names the engine that served the event.
+	Subject string
+	Result  Result
+	Err     error
+}
+
+// Submit enqueues one segment for a subject and returns a channel that
+// delivers the single result when the subject's worker reaches it.
+// Submission never blocks: a full worker queue returns ErrOverloaded
+// (nothing enqueued), a closed fleet ErrFleetClosed. Events of one
+// subject are served in submission order.
+func (f *Fleet) Submit(ctx context.Context, subject string, samples []float64) (<-chan FleetResult, error) {
+	e, ok := f.engines[subject]
+	if !ok {
+		return nil, fmt.Errorf("xpro: fleet has no subject %q", subject)
+	}
+	ch := make(chan FleetResult, 1)
+	job := func() {
+		res, err := e.ClassifyResultContext(ctx, samples)
+		if err != nil {
+			f.obs.reg.Counter("xpro_fleet_errors_total",
+				"Fleet events that completed with an error (including cancellations).").Inc()
+		} else {
+			f.obs.reg.Counter("xpro_fleet_served_total",
+				"Fleet events served to completion.").Inc()
+		}
+		ch <- FleetResult{Subject: subject, Result: res, Err: err}
+	}
+	if err := f.pool.Submit(f.shards[subject], job); err != nil {
+		f.obs.reg.Counter("xpro_fleet_rejected_total",
+			"Fleet submissions rejected by backpressure or shutdown.").Inc()
+		return nil, err
+	}
+	f.obs.reg.Counter("xpro_fleet_submitted_total",
+		"Fleet events accepted for serving.").Inc()
+	return ch, nil
+}
+
+// Classify submits one segment and waits for its result. If ctx ends
+// while the event is still queued, Classify returns an ErrCanceled
+// error immediately; the queued event then resolves as canceled when
+// its worker reaches it, without touching the engine's modeled state.
+func (f *Fleet) Classify(ctx context.Context, subject string, samples []float64) (Result, error) {
+	ch, err := f.Submit(ctx, subject, samples)
+	if err != nil {
+		return Result{}, err
+	}
+	select {
+	case r := <-ch:
+		return r.Result, r.Err
+	case <-ctx.Done():
+		return Result{}, fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())
+	}
+}
+
+// FleetRequest is one entry of a batched submission.
+type FleetRequest struct {
+	Subject string
+	Samples []float64
+}
+
+// ClassifyBatch submits every request and waits for all accepted ones,
+// returning one FleetResult per request in input order. Rejections
+// (unknown subject, ErrOverloaded backpressure, closed fleet) are
+// reported per-result, not by failing the batch: under overload the
+// accepted prefix of each subject's events still serves in order.
+func (f *Fleet) ClassifyBatch(ctx context.Context, reqs []FleetRequest) []FleetResult {
+	out := make([]FleetResult, len(reqs))
+	chans := make([]<-chan FleetResult, len(reqs))
+	for i, rq := range reqs {
+		ch, err := f.Submit(ctx, rq.Subject, rq.Samples)
+		if err != nil {
+			out[i] = FleetResult{Subject: rq.Subject, Err: err}
+			continue
+		}
+		chans[i] = ch
+	}
+	for i, ch := range chans {
+		if ch == nil {
+			continue
+		}
+		select {
+		case r := <-ch:
+			out[i] = r
+		case <-ctx.Done():
+			out[i] = FleetResult{Subject: reqs[i].Subject,
+				Err: fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())}
+		}
+	}
+	return out
+}
+
+// Close stops accepting new submissions and blocks until every queued
+// event has been served — in-flight work drains, it is never dropped.
+// Closing twice is safe.
+func (f *Fleet) Close() {
+	f.closeOnce.Do(f.pool.Close)
+}

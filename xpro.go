@@ -45,6 +45,7 @@ import (
 	"xpro/internal/ensemble"
 	"xpro/internal/eventsim"
 	"xpro/internal/experiments"
+	"xpro/internal/faults"
 	"xpro/internal/hdl"
 	"xpro/internal/partition"
 	"xpro/internal/sensornode"
@@ -293,7 +294,18 @@ type Engine struct {
 	acc    float64
 	obs    *Observer
 	res    *resilient // nil without a Resilience policy
+	// epoch counts the observable state changes of the engine's serving
+	// configuration: adaptive hot swaps/rollbacks, circuit-breaker
+	// transitions, and fault-window edges — everything that can change
+	// which system effectiveSystem returns or how it is priced. Network
+	// memoizes its rebuilt per-engine view against this counter.
+	epoch atomic.Uint64
 }
+
+// generation returns the engine's serving-configuration epoch. Two
+// equal generations bracket a window in which Report/RealTimeOK inputs
+// cannot have changed.
+func (e *Engine) generation() uint64 { return e.epoch.Load() }
 
 // sys returns the engine's currently active system. Reads are atomic:
 // the adaptive controller may swap the pointer between events while
@@ -321,6 +333,19 @@ func newEngine(cfg Config, sys *xsystem.System, ens *ensemble.Ensemble,
 	e := &Engine{cfg: cfg, static: sys, ens: ens, graph: g, test: test,
 		gen: gen, acc: acc, obs: obs, res: res}
 	e.active.Store(sys)
+	if res != nil && res.breaker != nil {
+		// Breaker transitions change which system effectiveSystem
+		// returns; bump the serving epoch so memoized network views
+		// rebuild. Chained after the metrics/estimator hook installed by
+		// buildResilient.
+		prev := res.breaker.OnTransition
+		res.breaker.OnTransition = func(from, to faults.BreakerState) {
+			if prev != nil {
+				prev(from, to)
+			}
+			e.epoch.Add(1)
+		}
+	}
 	e.publishReportGauges()
 	obs.setStatus("config", func() any { return e.cfg })
 	obs.setStatus("placement", func() any { return e.Placement() })
