@@ -108,6 +108,27 @@ func TestRunAdaptiveShorthand(t *testing.T) {
 	}
 }
 
+// -corruption is shorthand for the ext-corruption experiment: bare and
+// framed rows per case under the seeded bit-flip storm.
+func TestRunCorruptionShorthand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains an engine and replays two corruption soaks")
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-corruption", "-cases", "C1"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "=== ext-corruption:") {
+		t.Errorf("missing ext-corruption table:\n%s", s)
+	}
+	for _, wire := range []string{"bare", "framed"} {
+		if !strings.Contains(s, wire) {
+			t.Errorf("table missing %q row:\n%s", wire, s)
+		}
+	}
+}
+
 // -parallel is shorthand for the ext-parallel experiment: sequential
 // and pooled rows per case with a speedup column.
 func TestRunParallelShorthand(t *testing.T) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -27,12 +28,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	faultsFlag := fs.String("faults", "", "inject a fault scenario and classify through the resilience ladder: "+strings.Join(xpro.FaultScenarios(), ", "))
 	faultSeed := fs.Int64("fault-seed", 7, "seed of the injected fault plan (same seed replays the identical run)")
 	adaptiveFlag := fs.Bool("adaptive", false, "arm closed-loop adaptive repartitioning: estimate the channel online and hot-swap the cut when the estimate says a different one is cheaper")
+	corruption := fs.Bool("corruption", false, "arm the data-plane integrity layer: framed transport (CRC + sequence numbers, imputation) and the signal-quality admission gate; defaults -faults to \"corrupt\" when no scenario is chosen")
 	parallel := fs.Int("parallel", 1, "stream through the ordered worker pool with this many workers (1 = sequential; labels and ordering are identical either way)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	cfg := xpro.Config{Case: *caseSym}
+	if *corruption {
+		if *faultsFlag == "" {
+			*faultsFlag = "corrupt"
+		}
+		cfg.Integrity = xpro.DefaultIntegrity()
+	}
 	if *faultsFlag != "" {
 		// The plan's horizon covers the whole streamed run: n events at
 		// the engine's event period (segment length / sample rate).
@@ -107,8 +115,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	correct := 0
 	degraded := 0
+	suspect := 0
 	modes := make(map[string]int)
 	var energy, seconds float64
+	// The gate turns corrupt-beyond-repair or implausible segments into
+	// typed rejections; under -corruption those are part of the story the
+	// run tells, not a reason to abort it.
+	quarantine := func(err error) bool {
+		if !errors.Is(err, xpro.ErrSuspectData) {
+			return false
+		}
+		suspect++
+		degraded++
+		modes[xpro.ModeSuspectData.String()]++
+		return true
+	}
 	account := func(i int, res xpro.Result) {
 		if res.Label == test[i].Label {
 			correct++
@@ -137,6 +158,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		start := time.Now()
 		for r := range eng.StreamParallel(context.Background(), in, *parallel) {
 			if r.Err != nil {
+				if quarantine(r.Err) {
+					continue
+				}
 				fmt.Fprintf(stderr, "xprosim: segment %d: %v\n", r.Index, r.Err)
 				return 1
 			}
@@ -150,6 +174,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for i := 0; i < *n; i++ {
 			res, err := eng.ClassifyResult(test[i].Samples)
 			if err != nil {
+				if quarantine(err) {
+					continue
+				}
 				fmt.Fprintf(stderr, "xprosim: segment %d: %v\n", i, err)
 				return 1
 			}
@@ -161,7 +188,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *faultsFlag != "" {
 		fmt.Fprintf(stdout, "faults (%s, seed %d): %d/%d events degraded", *faultsFlag, *faultSeed, degraded, *n)
-		for _, m := range []string{"partial", "sensor-local", "fallback-sensor", "fallback-software"} {
+		for _, m := range []string{"partial", "suspect-data", "sensor-local", "fallback-sensor", "fallback-software"} {
 			if modes[m] > 0 {
 				fmt.Fprintf(stdout, ", %s %d", m, modes[m])
 			}
@@ -185,6 +212,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "event schedule under faults: %d/%d events exceed the clean per-event delay\n",
 				violations, sim)
 		}
+	}
+	if *corruption {
+		fmt.Fprintf(stdout, "integrity: %d suspect events; corrupt frames %.0f, imputed values %.0f, quality rejections %.0f\n",
+			suspect,
+			obs.MetricValue("xpro_frames_corrupt_total"),
+			obs.MetricValue("xpro_samples_imputed_total"),
+			obs.MetricValue("xpro_quality_rejected_total"))
 	}
 	if *adaptiveFlag {
 		st := eng.AdaptiveStatus()

@@ -115,6 +115,32 @@ func TestRunAdaptive(t *testing.T) {
 	}
 }
 
+// -corruption arms the framed transport and the signal-quality gate,
+// defaults the fault scenario to the seeded bit-flip storm, and reports
+// the integrity counters instead of aborting on suspect events.
+func TestRunCorruption(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains an engine")
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-case", "C1", "-corruption", "-n", "60"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"faults (corrupt, seed 7)",
+		"integrity:",
+		"corrupt frames",
+		"imputed values",
+		"quality rejections",
+		"done: 60 events",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
 // -parallel streams the same segments through the ordered worker pool:
 // the progress lines and final accuracy must match the sequential run
 // byte-for-byte (ordered delivery), plus a throughput line appears.

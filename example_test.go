@@ -3,6 +3,7 @@ package xpro_test
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"os"
@@ -214,4 +215,27 @@ func ExampleNetwork_Serve() {
 	// Output:
 	// served 3 events for 2 subjects on 4 workers
 	// fleet labels match direct engine calls: true
+}
+
+// ExampleEngine_ClassifyResult_suspectData arms the data-plane
+// integrity layer and feeds the engine a flatlined lead — a detached
+// electrode. The signal-quality admission gate refuses to dress the
+// garbage up as a diagnosis: the event comes back quarantined on the
+// suspect-data rung with a typed error naming the evidence.
+func ExampleEngine_ClassifyResult_suspectData() {
+	eng, err := xpro.New(xpro.Config{Case: "C1", Integrity: xpro.DefaultIntegrity()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	flat := make([]float64, len(eng.TestSet()[0].Samples))
+	for i := range flat {
+		flat[i] = 0.5
+	}
+	res, err := eng.ClassifyResult(flat)
+	var suspect *xpro.SuspectDataError
+	fmt.Printf("suspect=%v reasons=%v\n", errors.Is(err, xpro.ErrSuspectData), errors.As(err, &suspect) && suspect.Reasons[0] == "flatline")
+	fmt.Printf("mode=%s degraded=%v\n", res.Mode, res.Degraded)
+	// Output:
+	// suspect=true reasons=true
+	// mode=suspect-data degraded=true
 }

@@ -1,0 +1,181 @@
+package xpro
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"xpro/internal/faults"
+	"xpro/internal/frame"
+)
+
+// This file is the data-plane integrity layer: framed wire transport
+// (per-frame sequencing + CRC so corruption is detected and retried
+// instead of silently classified) and a signal-quality admission gate
+// that refuses to label garbage — flatlined leads, rail-saturated
+// inputs, non-finite samples and events that needed too much
+// imputation come back as typed ErrSuspectData instead of a
+// confident-looking label.
+
+// Integrity configures the data-plane integrity layer. Setting it on
+// Config arms the resilience machinery (like FaultPlan and Adaptive,
+// it implies DefaultResilience when Resilience is nil). Construct with
+// DefaultIntegrity and override fields; zero-valued fractions take the
+// documented defaults.
+type Integrity struct {
+	// Framing wraps every crossing payload's packets in a sequence
+	// number + CRC-16/CCITT envelope (frame.IntegrityBits = 32 extra
+	// on-air bits per packet, charged in the energy model). Corrupt
+	// frames are detected and retried; residual frame loss is imputed.
+	Framing bool
+	// Impute names the loss-repair policy: "hold-last" (default),
+	// "linear" or "zero".
+	Impute string
+	// MaxLossFraction is the largest fraction of one payload's frames
+	// that may be lost before the transfer fails outright (default 0.5).
+	MaxLossFraction float64
+	// Gate arms the signal-quality admission gate on classification
+	// entry points.
+	Gate bool
+	// MaxImputedFraction quarantines an event when more than this
+	// fraction of its crossed values had to be imputed (default 0.25).
+	MaxImputedFraction float64
+	// FlatlineFraction rejects a segment whose longest run of identical
+	// consecutive samples covers at least this fraction of the segment
+	// (default 0.5) — a detached or failed electrode.
+	FlatlineFraction float64
+	// SaturationFraction rejects a segment with at least this fraction
+	// of samples pinned to a rail (default 0.5). Samples are normalized
+	// to [0,1], so the rails are 0 and 1.
+	SaturationFraction float64
+}
+
+// DefaultIntegrity arms framing and the admission gate with the
+// default thresholds: hold-last imputation, up to half a payload's
+// frames lost, quarantine above 25% imputed values, reject flatline or
+// rail saturation covering half the segment.
+func DefaultIntegrity() *Integrity {
+	return &Integrity{Framing: true, Gate: true}
+}
+
+func (i *Integrity) validate() error {
+	if i == nil {
+		return nil
+	}
+	if _, err := frame.ParsePolicy(i.Impute); err != nil {
+		return fmt.Errorf("xpro: %w", err)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"MaxLossFraction", i.MaxLossFraction},
+		{"MaxImputedFraction", i.MaxImputedFraction},
+		{"FlatlineFraction", i.FlatlineFraction},
+		{"SaturationFraction", i.SaturationFraction},
+	} {
+		if f.v < 0 || f.v > 1 || math.IsNaN(f.v) {
+			return fmt.Errorf("xpro: Integrity.%s %v outside [0,1]", f.name, f.v)
+		}
+	}
+	return nil
+}
+
+// framing compiles the wire-format half to the transport's terms; nil
+// when framing is off (the bare legacy wire).
+func (i *Integrity) framing() *faults.Framing {
+	if i == nil || !i.Framing {
+		return nil
+	}
+	pol, _ := frame.ParsePolicy(i.Impute) // validated at construction
+	return &faults.Framing{Impute: pol, MaxLossFraction: i.MaxLossFraction}
+}
+
+func (i *Integrity) gateOn() bool { return i != nil && i.Gate }
+
+func (i *Integrity) maxImputedFraction() float64 {
+	if i == nil || i.MaxImputedFraction <= 0 {
+		return 0.25
+	}
+	return i.MaxImputedFraction
+}
+
+func (i *Integrity) flatlineFraction() float64 {
+	if i == nil || i.FlatlineFraction <= 0 {
+		return 0.5
+	}
+	return i.FlatlineFraction
+}
+
+func (i *Integrity) saturationFraction() float64 {
+	if i == nil || i.SaturationFraction <= 0 {
+		return 0.5
+	}
+	return i.SaturationFraction
+}
+
+// inspect runs the admission checks on one segment and returns the
+// reasons it is suspect (empty for an admissible segment).
+func (i *Integrity) inspect(samples []float64) []string {
+	var reasons []string
+	n := len(samples)
+	if n == 0 {
+		return nil // length errors are the pipeline's business
+	}
+	finite := true
+	for _, s := range samples {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			finite = false
+			break
+		}
+	}
+	if !finite {
+		reasons = append(reasons, "non-finite")
+	}
+	if finite {
+		run, best := 1, 1
+		for k := 1; k < n; k++ {
+			if samples[k] == samples[k-1] {
+				run++
+				if run > best {
+					best = run
+				}
+			} else {
+				run = 1
+			}
+		}
+		if float64(best) >= i.flatlineFraction()*float64(n) {
+			reasons = append(reasons, "flatline")
+		}
+		railed := 0
+		for _, s := range samples {
+			if s <= 0 || s >= 1 {
+				railed++
+			}
+		}
+		if float64(railed) >= i.saturationFraction()*float64(n) {
+			reasons = append(reasons, "rail-saturation")
+		}
+	}
+	return reasons
+}
+
+// ErrSuspectData is the sentinel every admission-gate rejection
+// matches: errors.Is(err, ErrSuspectData) is true for any
+// *SuspectDataError. The concrete error carries the reasons.
+var ErrSuspectData = errors.New("xpro: suspect data")
+
+// SuspectDataError reports an event the signal-quality gate refused to
+// label confidently. Reasons is one or more of "non-finite",
+// "flatline", "rail-saturation", "excess-imputation".
+type SuspectDataError struct {
+	Reasons []string
+}
+
+func (e *SuspectDataError) Error() string {
+	return "xpro: suspect data (" + strings.Join(e.Reasons, ", ") + ")"
+}
+
+// Is makes errors.Is(err, ErrSuspectData) match.
+func (e *SuspectDataError) Is(target error) bool { return target == ErrSuspectData }

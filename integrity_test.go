@@ -1,0 +1,389 @@
+package xpro
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// horizonFor sizes a fault-plan horizon to cover n events of one case's
+// modeled event stream (segment length / sample rate per event).
+func horizonFor(t *testing.T, caseSym string, n int) float64 {
+	t.Helper()
+	for _, ci := range Cases() {
+		if ci.Symbol == caseSym {
+			return float64(n) * float64(ci.SegmentLength) / 2048.0
+		}
+	}
+	t.Fatalf("unknown case %q", caseSym)
+	return 0
+}
+
+// corruptStorm is the acceptance scenario: the seeded 10⁻³ bit-flip
+// burst over the middle third of an n-event run.
+func corruptStorm(t *testing.T, n int) *FaultPlan {
+	t.Helper()
+	plan, err := FaultScenario("corrupt", 7, horizonFor(t, "C1", n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// integrityEvent is one battery event: the full Result plus the error
+// text, so reflect.DeepEqual over a run is a bit-identity check.
+type integrityEvent struct {
+	Res Result
+	Err string
+}
+
+// runStorm replays n events of the corrupt storm through a fresh C1
+// engine of the given kind under the given integrity config. Graceful
+// degradation is asserted inline: the only error the storm may surface
+// is the typed ErrSuspectData quarantine — never an abort.
+func runStorm(t *testing.T, kind EngineKind, integ *Integrity, n int) []integrityEvent {
+	t.Helper()
+	eng, err := New(Config{Case: "C1", Kind: kind, FaultPlan: corruptStorm(t, n), Integrity: integ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := eng.TestSet()
+	out := make([]integrityEvent, 0, n)
+	for i := 0; i < n; i++ {
+		res, err := eng.ClassifyResult(test[i%len(test)].Samples)
+		ev := integrityEvent{Res: res}
+		if err != nil {
+			if !errors.Is(err, ErrSuspectData) {
+				t.Fatalf("event %d: %v (corruption must degrade or quarantine, not abort)", i, err)
+			}
+			ev.Err = err.Error()
+		}
+		if res.Label != 0 && res.Label != 1 {
+			t.Fatalf("event %d: label %d outside {0,1}", i, res.Label)
+		}
+		if math.IsNaN(res.SpentSeconds) || res.SpentSeconds < 0 {
+			t.Fatalf("event %d: invalid spent time %v", i, res.SpentSeconds)
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// The acceptance battery, framed half, on both crossing shapes: the
+// cross-end cut (whose only wire payload is the final score word) and
+// the in-aggregator engine (which streams the raw segment as a
+// multi-frame burst). Under the seeded bit-flip storm each replays
+// bit-identically per seed, degrades gracefully, and never lets a
+// corrupt frame reach a cell undetected — the CRC sentinel is
+// CorruptDelivered == 0 on every single event while the storm
+// demonstrably bites (CorruptFrames > 0 overall).
+func TestIntegrityFramedStormBattery(t *testing.T) {
+	const n = 30
+	kinds := []struct {
+		name string
+		kind EngineKind
+		// The raw-stream engine crosses six frames per event, so CRC
+		// rejections there leave partial bursts: residual loss must be
+		// repaired by imputation and heavy repair must quarantine.
+		wantImputed bool
+	}{
+		{"cross-end", CrossEnd, false},
+		{"in-aggregator", InAggregator, true},
+	}
+	for _, k := range kinds {
+		t.Run(k.name, func(t *testing.T) {
+			a := runStorm(t, k.kind, DefaultIntegrity(), n)
+			b := runStorm(t, k.kind, DefaultIntegrity(), n)
+			if !reflect.DeepEqual(a, b) {
+				for i := range a {
+					if !reflect.DeepEqual(a[i], b[i]) {
+						t.Fatalf("event %d diverged between identical seeded runs:\n  %+v\n  %+v", i, a[i], b[i])
+					}
+				}
+				t.Fatal("runs diverged")
+			}
+			corrupt, imputed, suspect := 0, 0, 0
+			for i, ev := range a {
+				if ev.Res.CorruptDelivered != 0 {
+					t.Errorf("event %d: %d corrupt values delivered through the framed transport (CRC sentinel breached)",
+						i, ev.Res.CorruptDelivered)
+				}
+				corrupt += ev.Res.CorruptFrames
+				imputed += ev.Res.ImputedValues
+				if ev.Err != "" {
+					suspect++
+					if ev.Res.Mode != ModeSuspectData {
+						t.Errorf("event %d: quarantined with mode %v, want suspect-data", i, ev.Res.Mode)
+					}
+				}
+			}
+			if corrupt == 0 {
+				t.Fatal("the storm rejected no frames at the CRC; the sentinel check is vacuous")
+			}
+			if k.wantImputed {
+				if imputed == 0 {
+					t.Error("no values were imputed after CRC rejections exhausted the frame retry budget")
+				}
+				if suspect == 0 {
+					t.Error("no event crossed the imputation quarantine threshold under the storm")
+				}
+			}
+			t.Logf("battery: %d CRC rejections, %d imputed values, %d quarantined events over %d", corrupt, imputed, suspect, n)
+		})
+	}
+}
+
+// The bare-wire half: the same storm without framing delivers corrupted
+// code words straight into the pipeline — CorruptDelivered > 0 and
+// nothing is ever detected (CorruptFrames == 0), which is exactly the
+// exposure the framed battery above closes.
+func TestIntegrityBareWireDeliversCorruption(t *testing.T) {
+	const n = 30
+	evs := runStorm(t, InAggregator, &Integrity{}, n)
+	delivered, detected := 0, 0
+	for _, ev := range evs {
+		delivered += ev.Res.CorruptDelivered
+		detected += ev.Res.CorruptFrames
+	}
+	if delivered == 0 {
+		t.Fatal("the storm delivered no corruption on the bare wire; the exposure check is vacuous")
+	}
+	if detected != 0 {
+		t.Errorf("bare wire detected %d corrupt frames; it has no checksum to detect with", detected)
+	}
+}
+
+// With the gate disabled and no framing, a hot enough storm silently
+// flips labels: same segments, same engine configuration, different
+// answers, no error anywhere — the failure mode the integrity layer
+// exists to prevent.
+func TestIntegrityGateOffSilentLabelFlips(t *testing.T) {
+	const n = 150
+	clean, err := New(Config{Case: "C1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := clean.TestSet()
+	want := make([]int, n)
+	for i := range want {
+		if want[i], err = clean.Classify(test[i%len(test)].Samples); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Hot enough that nearly every score word crossing the bare wire
+	// carries a flipped bit; a flip landing in the sign or integer bits
+	// inverts the diagnosis with no surviving evidence.
+	storm := &FaultPlan{
+		Windows: []FaultWindow{{Kind: "bit-flip", StartSeconds: 0, EndSeconds: 36000, Rate: 0.05}},
+		Seed:    7,
+	}
+	dirty, err := New(Config{Case: "C1", FaultPlan: storm, Integrity: &Integrity{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flips, delivered := 0, 0
+	for i := 0; i < n; i++ {
+		res, err := dirty.ClassifyResult(test[i%len(test)].Samples)
+		if err != nil {
+			t.Fatalf("event %d: %v (no gate, no framing: corruption must pass silently)", i, err)
+		}
+		delivered += res.CorruptDelivered
+		if res.Label != want[i] {
+			flips++
+		}
+	}
+	if delivered == 0 {
+		t.Fatal("the storm delivered no corruption on the bare ungated wire; the threat model is vacuous")
+	}
+	if flips == 0 {
+		t.Fatal("the bit-flip storm flipped no labels on the bare ungated wire; the threat model is vacuous")
+	}
+	t.Logf("gate off: %d corrupt words consumed, %d/%d labels silently flipped", delivered, flips, n)
+}
+
+// The admission gate rejects implausible segments before they touch the
+// modeled timeline: flatlines, rail saturation and non-finite samples
+// come back as typed ErrSuspectData on the suspect-data rung, with the
+// rejection counted and the event span marked Suspect.
+func TestIntegrityGateRejectsBadSignals(t *testing.T) {
+	eng, err := New(Config{Case: "C1", Integrity: DefaultIntegrity()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segLen := len(eng.TestSet()[0].Samples)
+	flat := make([]float64, segLen)
+	for i := range flat {
+		flat[i] = 0.5
+	}
+	railed := make([]float64, segLen)
+	for i := range railed {
+		railed[i] = 1
+	}
+	poisoned := append([]float64(nil), eng.TestSet()[0].Samples...)
+	poisoned[segLen/2] = math.NaN()
+
+	cases := []struct {
+		name    string
+		samples []float64
+		reason  string
+	}{
+		{"flatline", flat, "flatline"},
+		{"rail-saturation", railed, "rail-saturation"},
+		{"non-finite", poisoned, "non-finite"},
+	}
+	for _, tc := range cases {
+		res, err := eng.ClassifyResult(tc.samples)
+		if !errors.Is(err, ErrSuspectData) {
+			t.Fatalf("%s: err = %v, want ErrSuspectData", tc.name, err)
+		}
+		var sde *SuspectDataError
+		if !errors.As(err, &sde) {
+			t.Fatalf("%s: err = %v, want *SuspectDataError", tc.name, err)
+		}
+		if !strings.Contains(strings.Join(sde.Reasons, ","), tc.reason) {
+			t.Errorf("%s: reasons %v missing %q", tc.name, sde.Reasons, tc.reason)
+		}
+		if res.Mode != ModeSuspectData || !res.Degraded {
+			t.Errorf("%s: result %+v, want degraded suspect-data", tc.name, res)
+		}
+	}
+
+	obs := eng.Observer()
+	if got := obs.MetricValue("xpro_quality_rejected_total"); got != float64(len(cases)) {
+		t.Errorf("quality_rejected_total = %v, want %d", got, len(cases))
+	}
+	suspectSpans := 0
+	for _, s := range obs.Spans() {
+		if s.End == "event" && s.Suspect {
+			suspectSpans++
+		}
+	}
+	if suspectSpans != len(cases) {
+		t.Errorf("suspect event spans = %d, want %d", suspectSpans, len(cases))
+	}
+
+	// An admissible segment still classifies normally through the gate.
+	if res, err := eng.ClassifyResult(eng.TestSet()[0].Samples); err != nil || res.Mode != ModeFull {
+		t.Errorf("admissible segment: res %+v, err %v", res, err)
+	}
+}
+
+// Gate rejections happen before the modeled timeline: a stream with
+// rejected segments interleaved replays the admissible events exactly
+// as a stream without them — the clock, breaker and link RNG never see
+// the garbage.
+func TestIntegrityGateRejectionsInvisibleToReplay(t *testing.T) {
+	const n = 12
+	run := func(interleave bool) []integrityEvent {
+		eng, err := New(Config{Case: "C1", FaultPlan: corruptStorm(t, n), Integrity: DefaultIntegrity()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		test := eng.TestSet()
+		flat := make([]float64, len(test[0].Samples))
+		out := make([]integrityEvent, 0, n)
+		for i := 0; i < n; i++ {
+			if interleave {
+				if _, err := eng.ClassifyResult(flat); !errors.Is(err, ErrSuspectData) {
+					t.Fatalf("flat segment: err = %v, want ErrSuspectData", err)
+				}
+			}
+			res, err := eng.ClassifyResult(test[i].Samples)
+			ev := integrityEvent{Res: res}
+			if err != nil {
+				ev.Err = err.Error()
+			}
+			out = append(out, ev)
+		}
+		return out
+	}
+	plain, interleaved := run(false), run(true)
+	if !reflect.DeepEqual(plain, interleaved) {
+		t.Fatal("interleaved gate rejections changed the admissible events' replay")
+	}
+}
+
+// The exit half of the gate: a lossy channel that forces more than
+// MaxImputedFraction of an event's crossed values through imputation
+// quarantines the event — the label rides along for inspection, the
+// caller gets ErrSuspectData with the excess-imputation reason. The
+// raw-streaming engine is the multi-frame crossing where partial loss
+// (and so imputation) actually happens.
+func TestIntegrityExcessImputationQuarantine(t *testing.T) {
+	const n = 10
+	lossy := &FaultPlan{
+		Windows: []FaultWindow{{Kind: "loss-burst", StartSeconds: 0, EndSeconds: 36000, Loss: 0.45}},
+		Seed:    7,
+	}
+	eng, err := New(Config{Case: "C1", Kind: InAggregator, FaultPlan: lossy, Integrity: DefaultIntegrity()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := eng.TestSet()
+	quarantined := 0
+	for i := 0; i < n; i++ {
+		res, err := eng.ClassifyResult(test[i].Samples)
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, ErrSuspectData) {
+			t.Fatalf("event %d: %v, want quarantine or success", i, err)
+		}
+		var sde *SuspectDataError
+		if !errors.As(err, &sde) || !strings.Contains(strings.Join(sde.Reasons, ","), "excess-imputation") {
+			t.Fatalf("event %d: %v, want excess-imputation reason", i, err)
+		}
+		if res.Mode != ModeSuspectData || res.ImputedValues == 0 {
+			t.Errorf("event %d: quarantined result %+v lacks suspect mode or imputed values", i, res)
+		}
+		if res.Label != 0 && res.Label != 1 {
+			t.Errorf("event %d: quarantined label %d outside {0,1} (the label must ride along)", i, res.Label)
+		}
+		quarantined++
+	}
+	if quarantined == 0 {
+		t.Fatal("45% loss quarantined no events; the exit gate is vacuous")
+	}
+}
+
+// The fleet counts quarantined events on their own counter: a suspect
+// segment is served (not an error, not a success) and the subject's
+// worker keeps its modeled timeline intact.
+func TestFleetQuarantineCounter(t *testing.T) {
+	eng, err := New(Config{Case: "C1", Integrity: DefaultIntegrity()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := NewNetwork(map[string]*Engine{"chest": eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := net.Serve(ServeOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	flat := make([]float64, len(eng.TestSet()[0].Samples))
+	if _, err := fleet.Classify(context.Background(), "chest", flat); !errors.Is(err, ErrSuspectData) {
+		t.Fatalf("fleet flatline: err = %v, want ErrSuspectData", err)
+	}
+	if _, err := fleet.Classify(context.Background(), "chest", eng.TestSet()[0].Samples); err != nil {
+		t.Fatalf("fleet admissible segment: %v", err)
+	}
+
+	obs := net.Observer()
+	if got := obs.MetricValue("xpro_fleet_suspect_total"); got != 1 {
+		t.Errorf("fleet_suspect_total = %v, want 1", got)
+	}
+	if got := obs.MetricValue("xpro_fleet_errors_total"); got != 0 {
+		t.Errorf("fleet_errors_total = %v, want 0 (quarantine is not an error)", got)
+	}
+	if got := obs.MetricValue("xpro_fleet_served_total"); got != 1 {
+		t.Errorf("fleet_served_total = %v, want 1", got)
+	}
+}

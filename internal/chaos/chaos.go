@@ -33,7 +33,7 @@ import (
 
 // ProfileNames lists the built-in drift profiles.
 func ProfileNames() []string {
-	return []string{"squall", "cyclone", "monsoon", "staircase", "flapping"}
+	return []string{"squall", "cyclone", "monsoon", "staircase", "flapping", "hailstorm", "garble"}
 }
 
 // Profile builds a named channel-drift plan over the given horizon
@@ -51,6 +51,12 @@ func ProfileNames() []string {
 //	           gradual drift, no sharp edge
 //	flapping   seeded short outages and bursts in quick succession —
 //	           the hysteresis stress test
+//	hailstorm  a bit-flip storm (BER 10⁻³) over the middle of the run —
+//	           frames arrive, but arrive damaged; with framing enabled
+//	           (Config.Framing) the CRC turns corruption into retries
+//	           and imputation, without it the damage is consumed
+//	garble     seeded mixed corruption — flip, duplicate and reorder
+//	           windows over a lossy background
 func Profile(name string, seed int64, horizon float64) (*faults.Plan, error) {
 	if !(horizon > 0) {
 		return nil, fmt.Errorf("chaos: horizon %v must be positive", horizon)
@@ -81,6 +87,15 @@ func Profile(name string, seed int64, horizon float64) (*faults.Plan, error) {
 			Horizon: h, Outages: 3, Bursts: 4,
 			MeanDuration: h / 30, BurstLoss: 0.7,
 		}), nil
+	case "hailstorm":
+		return &faults.Plan{Windows: []faults.Window{
+			{Kind: faults.BitFlip, Start: 0.2 * h, End: 0.8 * h, Rate: 1e-3},
+		}}, nil
+	case "garble":
+		return faults.RandomPlan(seed, faults.PlanConfig{
+			Horizon: h, Bursts: 2, Flips: 2, Dups: 2, Reorders: 2,
+			MeanDuration: h / 20, BurstLoss: 0.5, FlipRate: 1.5e-3,
+		}), nil
 	default:
 		return nil, fmt.Errorf("chaos: unknown profile %q (have %v)", name, ProfileNames())
 	}
@@ -107,6 +122,11 @@ type Config struct {
 	LinkRetries int
 	// Adaptive configures the controller (zero value: defaults).
 	Adaptive adaptive.Config
+	// Framing, when set, wraps every payload transfer in the
+	// internal/frame integrity envelope (CRC + sequence numbers), so
+	// corruption profiles are detected and repaired instead of silently
+	// consumed. Nil replays the legacy bare wire format.
+	Framing *faults.Framing
 }
 
 func (c *Config) fill() {
@@ -142,6 +162,11 @@ type VariantStats struct {
 	// Swaps / Rollbacks count the adaptive controller's decisions
 	// (zero for the other variants).
 	Swaps, Rollbacks int
+	// CorruptFrames counts frames the integrity layer rejected (CRC)
+	// plus corrupted values delivered undetected on the bare wire.
+	CorruptFrames int
+	// ImputedValues counts receive-side values repaired by imputation.
+	ImputedValues int
 	// SensorEnergyJ is the total modeled sensor-node energy spent.
 	SensorEnergyJ float64
 	// FinalSensorCells is the sensor-side cell count of the cut that
@@ -299,6 +324,7 @@ func soakVariant(sys *xsystem.System, fallback *xsystem.System, ctrl *adaptive.C
 	opts := func() *xsystem.ResilientOptions {
 		return &xsystem.ResilientOptions{
 			Transport: link, Plan: plan, Clock: clock, Policy: pol, Breaker: breaker,
+			Integrity: cfg.Framing,
 		}
 	}
 
@@ -315,12 +341,17 @@ func soakVariant(sys *xsystem.System, fallback *xsystem.System, ctrl *adaptive.C
 		var out xsystem.Outcome
 		var spent float64
 		noResult := false
+		tally := func(o xsystem.Outcome) {
+			st.CorruptFrames += o.CorruptFrames + o.CorruptDelivered
+			st.ImputedValues += o.ImputedValues
+		}
 		attempt := breaker == nil || breaker.Allow()
 		if attempt {
 			var cerr error
 			out, cerr = active.ClassifyOver(seg, opts())
 			spent = out.SpentSeconds
 			st.SensorEnergyJ += out.SensorEnergy
+			tally(out)
 			if cerr != nil {
 				if fallback == nil {
 					noResult = true
@@ -331,6 +362,7 @@ func soakVariant(sys *xsystem.System, fallback *xsystem.System, ctrl *adaptive.C
 					fout, ferr := fallback.ClassifyOver(seg, opts())
 					spent += fout.SpentSeconds
 					st.SensorEnergyJ += fout.SensorEnergy - sensingEnergy(sys)
+					tally(fout)
 					if ferr != nil {
 						noResult = true
 					}
@@ -342,6 +374,7 @@ func soakVariant(sys *xsystem.System, fallback *xsystem.System, ctrl *adaptive.C
 			out = fout
 			spent = fout.SpentSeconds
 			st.SensorEnergyJ += fout.SensorEnergy
+			tally(fout)
 			if ferr != nil {
 				noResult = true
 			}

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 
+	"xpro/internal/faults"
+	"xpro/internal/frame"
 	"xpro/internal/wireless"
 )
 
@@ -63,6 +65,69 @@ func TestParallelReplayBitIdentical(t *testing.T) {
 				t.Fatalf("round %d: concurrent soak %s/%d diverged from serial golden\n got %+v\nwant %+v",
 					round, r.profile, r.seed, got[i], golden[i])
 			}
+		}
+	}
+}
+
+// TestParallelCorruptionReplay: the corruption profiles — bit-flip
+// storms and mixed flip/duplicate/reorder garble, framed and bare —
+// replay bit-identically on concurrent workers against their serial
+// goldens. The integrity layer adds its own RNG draws (per-frame CRC
+// rejections, duplicate and reorder injections) and receive-side
+// repair state; under -race any sharing of that state across soaks is
+// a detector hit, any drift in its seeded schedule a DeepEqual miss.
+func TestParallelCorruptionReplay(t *testing.T) {
+	f := getFixture(t)
+	framed := &faults.Framing{Impute: frame.HoldLast}
+	type run struct {
+		profile string
+		seed    int64
+		framing *faults.Framing
+	}
+	runs := []run{
+		{"hailstorm", 7, framed},
+		{"hailstorm", 7, nil}, // same storm on the bare wire
+		{"garble", 13, framed},
+	}
+	cfgOf := func(r run) Config {
+		return Config{Profile: r.profile, Seed: r.seed, Events: 100, Framing: r.framing}
+	}
+
+	golden := make([]*Result, len(runs))
+	for i, r := range runs {
+		res, err := Soak(crossSystem(t, f, wireless.Model3()), f.test.Segs, cfgOf(r))
+		if err != nil {
+			t.Fatalf("serial %s/%d: %v", r.profile, r.seed, err)
+		}
+		golden[i] = res
+	}
+	// The storm must actually bite, or the replay property is vacuous.
+	if golden[0].Static.CorruptFrames == 0 {
+		t.Fatal("framed hailstorm soak detected no corrupt frames")
+	}
+	if golden[1].Static.CorruptFrames == 0 {
+		t.Fatal("bare hailstorm soak delivered no corrupt values")
+	}
+
+	got := make([]*Result, len(runs))
+	errs := make([]error, len(runs))
+	var wg sync.WaitGroup
+	for i, r := range runs {
+		sys := crossSystem(t, f, wireless.Model3())
+		wg.Add(1)
+		go func(i int, r run) {
+			defer wg.Done()
+			got[i], errs[i] = Soak(sys, f.test.Segs, cfgOf(r))
+		}(i, r)
+	}
+	wg.Wait()
+	for i, r := range runs {
+		if errs[i] != nil {
+			t.Fatalf("%s/%d: %v", r.profile, r.seed, errs[i])
+		}
+		if !reflect.DeepEqual(got[i], golden[i]) {
+			t.Fatalf("concurrent corruption soak %s/%d diverged from serial golden\n got %+v\nwant %+v",
+				r.profile, r.seed, got[i], golden[i])
 		}
 	}
 }

@@ -345,6 +345,7 @@ func Runners() []runner {
 		{"ext-faults", ExtFaults},
 		{"ext-adaptive", ExtAdaptive},
 		{"ext-parallel", ExtParallel},
+		{"ext-corruption", ExtCorruption},
 		{"scorecard", Scorecard},
 	}
 }

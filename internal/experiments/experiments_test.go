@@ -229,6 +229,53 @@ func TestExtAdaptiveDominates(t *testing.T) {
 	}
 }
 
+// ext-corruption is the data-plane integrity tentpole in table form:
+// under the seeded bit-flip storm the bare wire must consume corrupted
+// values undetected while the framed transport must reject frames at
+// the CRC — and the framed rows must never report delivered corruption
+// (that is asserted by the table's per-case notes and checked here via
+// the Corrupt columns).
+func TestExtCorruptionShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains engines and replays two corruption soaks per case")
+	}
+	tab, err := ExtCorruption(fastLab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(tab.Rows), 2*len(fastLab().Symbols()); got != want {
+		t.Fatalf("ext-corruption has %d rows, want %d (bare+framed per case)", got, want)
+	}
+	sawBareCorruption, sawFramedDetection := false, false
+	for i, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("row %d has %d cells, header has %d", i, len(row), len(tab.Header))
+		}
+		corrupt, err := strconv.Atoi(row[3])
+		if err != nil {
+			t.Fatalf("row %d corrupt column %q is not an integer", i, row[3])
+		}
+		switch row[1] {
+		case "bare":
+			if corrupt > 0 {
+				sawBareCorruption = true
+			}
+		case "framed":
+			if corrupt > 0 {
+				sawFramedDetection = true
+			}
+		default:
+			t.Fatalf("row %d wire = %q", i, row[1])
+		}
+	}
+	if !sawBareCorruption {
+		t.Error("no bare-wire row consumed corrupted values; the storm did not bite")
+	}
+	if !sawFramedDetection {
+		t.Error("no framed row rejected corrupt frames at the CRC")
+	}
+}
+
 // ext-parallel is the fleet-serving tentpole in table form: the pooled
 // rows must exist for every case, carry a parseable speedup, and the
 // experiment itself errors if any pooled label diverges from the

@@ -58,6 +58,21 @@ const (
 	// thermal throttle, competing app): aggregator cells cannot start
 	// during the window.
 	AggStall
+	// BitFlip raises the link's residual bit-error rate to Window.Rate
+	// (probability per payload bit) for the duration of the window:
+	// packets are delivered, but carrying flipped bits. A framed
+	// transport detects them by CRC and retries; an unframed transport
+	// delivers the corruption into the pipeline.
+	BitFlip
+	// Duplicate delivers each frame a second time with probability
+	// Window.Rate. A framed receiver drops the copy by sequence number
+	// (still paying its air time); an unframed receiver smears the copy
+	// into the next frame's slot.
+	Duplicate
+	// Reorder swaps each adjacent frame pair with probability
+	// Window.Rate. A framed receiver reassembles by sequence number; an
+	// unframed receiver decodes the swapped blocks in place.
+	Reorder
 )
 
 func (k Kind) String() string {
@@ -70,18 +85,33 @@ func (k Kind) String() string {
 		return "brownout"
 	case AggStall:
 		return "agg-stall"
+	case BitFlip:
+		return "bit-flip"
+	case Duplicate:
+		return "duplicate"
+	case Reorder:
+		return "reorder"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
 }
 
 // Window is one fault interval, half-open [Start, End) in modeled
-// seconds. Loss is only meaningful for LossBurst windows.
+// seconds. Loss is only meaningful for LossBurst windows; Rate is only
+// meaningful for BitFlip (bit-error probability per payload bit),
+// Duplicate and Reorder (per-frame probability) windows.
+//
+// Overlapping windows of the same kind MERGE: the fault state at any
+// instant takes the maximum Loss/Rate over the windows covering it (and
+// the logical OR of the boolean kinds), exactly as At computes it. A
+// plan is free to layer a long low-grade window under short severe
+// spikes; Validate accepts the overlap.
 type Window struct {
 	Kind  Kind
 	Start float64
 	End   float64
 	Loss  float64
+	Rate  float64
 }
 
 // Plan is a deterministic schedule of fault windows. The zero value is
@@ -91,7 +121,8 @@ type Plan struct {
 }
 
 // Validate rejects malformed windows: NaN/Inf bounds, inverted
-// intervals and loss probabilities outside [0, 1].
+// intervals and probabilities outside [0, 1]. Overlapping same-kind
+// windows are valid — they merge, see Window.
 func (p *Plan) Validate() error {
 	if p == nil {
 		return nil
@@ -102,6 +133,12 @@ func (p *Plan) Validate() error {
 		}
 		if w.Kind == LossBurst && !(w.Loss >= 0 && w.Loss <= 1) { // NaN fails both comparisons
 			return fmt.Errorf("faults: window %d has loss %v outside [0,1]", i, w.Loss)
+		}
+		switch w.Kind {
+		case BitFlip, Duplicate, Reorder:
+			if !(w.Rate >= 0 && w.Rate <= 1) { // NaN fails both comparisons
+				return fmt.Errorf("faults: window %d has rate %v outside [0,1]", i, w.Rate)
+			}
 		}
 	}
 	return nil
@@ -118,6 +155,21 @@ type State struct {
 	Brownout bool
 	// AggStall is true inside an AggStall window.
 	AggStall bool
+	// BitErrorRate is the residual bit-error probability per payload
+	// bit contributed by BitFlip windows (maximum of overlaps).
+	BitErrorRate float64
+	// DupRate is the per-frame duplication probability contributed by
+	// Duplicate windows (maximum of overlaps).
+	DupRate float64
+	// ReorderRate is the adjacent-pair swap probability contributed by
+	// Reorder windows (maximum of overlaps).
+	ReorderRate float64
+}
+
+// Corrupting reports whether any payload-corruption fault (bit flips,
+// duplication, reordering) is active.
+func (s State) Corrupting() bool {
+	return s.BitErrorRate > 0 || s.DupRate > 0 || s.ReorderRate > 0
 }
 
 // At returns the fault state at modeled time t. A nil plan is
@@ -142,6 +194,18 @@ func (p *Plan) At(t float64) State {
 			s.Brownout = true
 		case AggStall:
 			s.AggStall = true
+		case BitFlip:
+			if w.Rate > s.BitErrorRate {
+				s.BitErrorRate = w.Rate
+			}
+		case Duplicate:
+			if w.Rate > s.DupRate {
+				s.DupRate = w.Rate
+			}
+		case Reorder:
+			if w.Rate > s.ReorderRate {
+				s.ReorderRate = w.Rate
+			}
 		}
 	}
 	return s
@@ -190,6 +254,11 @@ type PlanConfig struct {
 	// BurstLoss is the packet-loss probability inside LossBurst
 	// windows (default 0.5).
 	BurstLoss float64
+	// Flips, Dups, Reorders count the corruption windows to scatter;
+	// FlipRate, DupRate, ReorderRate set their Window.Rate (defaults
+	// 1e-3, 0.2, 0.2).
+	Flips, Dups, Reorders          int
+	FlipRate, DupRate, ReorderRate float64
 }
 
 // RandomPlan scatters fault windows over the horizon, deterministically
@@ -204,9 +273,18 @@ func RandomPlan(seed int64, cfg PlanConfig) *Plan {
 	if cfg.BurstLoss <= 0 {
 		cfg.BurstLoss = 0.5
 	}
+	if cfg.FlipRate <= 0 {
+		cfg.FlipRate = 1e-3
+	}
+	if cfg.DupRate <= 0 {
+		cfg.DupRate = 0.2
+	}
+	if cfg.ReorderRate <= 0 {
+		cfg.ReorderRate = 0.2
+	}
 	rng := rand.New(rand.NewSource(seed))
 	p := &Plan{}
-	add := func(kind Kind, n int, loss float64) {
+	add := func(kind Kind, n int, loss, rate float64) {
 		for i := 0; i < n; i++ {
 			dur := rng.ExpFloat64() * cfg.MeanDuration
 			if dur > cfg.Horizon/2 {
@@ -216,20 +294,25 @@ func RandomPlan(seed int64, cfg PlanConfig) *Plan {
 				dur = cfg.MeanDuration / 10
 			}
 			start := rng.Float64() * (cfg.Horizon - dur)
-			p.Windows = append(p.Windows, Window{Kind: kind, Start: start, End: start + dur, Loss: loss})
+			p.Windows = append(p.Windows, Window{Kind: kind, Start: start, End: start + dur, Loss: loss, Rate: rate})
 		}
 	}
-	add(LinkOutage, cfg.Outages, 0)
-	add(LossBurst, cfg.Bursts, cfg.BurstLoss)
-	add(Brownout, cfg.Brownouts, 0)
-	add(AggStall, cfg.Stalls, 0)
+	add(LinkOutage, cfg.Outages, 0, 0)
+	add(LossBurst, cfg.Bursts, cfg.BurstLoss, 0)
+	add(Brownout, cfg.Brownouts, 0, 0)
+	add(AggStall, cfg.Stalls, 0, 0)
+	// Corruption windows draw after the classical kinds, so plans that
+	// request none replay the exact pre-existing seeded schedules.
+	add(BitFlip, cfg.Flips, 0, cfg.FlipRate)
+	add(Duplicate, cfg.Dups, 0, cfg.DupRate)
+	add(Reorder, cfg.Reorders, 0, cfg.ReorderRate)
 	sort.SliceStable(p.Windows, func(i, j int) bool { return p.Windows[i].Start < p.Windows[j].Start })
 	return p
 }
 
 // ScenarioNames lists the named scenarios Scenario accepts.
 func ScenarioNames() []string {
-	return []string{"outage", "bursty", "brownout", "stall", "flaky"}
+	return []string{"outage", "bursty", "brownout", "stall", "flaky", "corrupt", "garbled"}
 }
 
 // Scenario builds a named fault plan over the given horizon, seeded
@@ -239,7 +322,9 @@ func ScenarioNames() []string {
 //	bursty    recurring loss bursts (70% loss) over the run
 //	brownout  one sensor brownout covering the middle third
 //	stall     one aggregator stall covering the middle third
-//	flaky     a seeded random mix of all four kinds
+//	flaky     a seeded random mix of the four classical kinds
+//	corrupt   one 10⁻³ bit-flip burst covering the middle third
+//	garbled   a seeded mix of bit flips, duplication and reordering
 func Scenario(name string, seed int64, horizon float64) (*Plan, error) {
 	if horizon <= 0 || !isFinite(horizon) {
 		return nil, fmt.Errorf("faults: scenario horizon %v must be positive and finite", horizon)
@@ -260,6 +345,11 @@ func Scenario(name string, seed int64, horizon float64) (*Plan, error) {
 		return RandomPlan(seed, PlanConfig{Horizon: horizon, Bursts: n, MeanDuration: horizon / 12, BurstLoss: 0.7}), nil
 	case "flaky":
 		return RandomPlan(seed, PlanConfig{Horizon: horizon, Outages: 1, Bursts: 2, Brownouts: 1, Stalls: 1, MeanDuration: horizon / 15, BurstLoss: 0.6}), nil
+	case "corrupt":
+		return &Plan{Windows: []Window{{Kind: BitFlip, Start: third, End: 2 * third, Rate: 1e-3}}}, nil
+	case "garbled":
+		return RandomPlan(seed, PlanConfig{Horizon: horizon, MeanDuration: horizon / 10,
+			Flips: 2, FlipRate: 2e-3, Dups: 1, DupRate: 0.15, Reorders: 1, ReorderRate: 0.15}), nil
 	default:
 		return nil, fmt.Errorf("faults: unknown scenario %q (have %v)", name, ScenarioNames())
 	}

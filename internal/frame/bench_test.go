@@ -1,0 +1,74 @@
+package frame
+
+import "testing"
+
+// The hot path of the integrity layer: one 32-byte frame (the
+// transceiver's MaxPayloadBits) encoded, decoded and — on loss —
+// imputed, once per crossing packet per event.
+
+func benchPayload() []byte {
+	p := make([]byte, 32)
+	for i := range p {
+		p[i] = byte(i * 37)
+	}
+	return p
+}
+
+func BenchmarkEncode(b *testing.B) {
+	p := benchPayload()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(uint8(i), p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	buf, err := Encode(9, benchPayload())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCRC16(b *testing.B) {
+	p := benchPayload()
+	b.SetBytes(int64(len(p)))
+	for i := 0; i < b.N; i++ {
+		CRC16(p)
+	}
+}
+
+func benchImpute(b *testing.B, p ImputePolicy) {
+	vals := make([]float64, 256)
+	miss := make([]bool, 256)
+	for i := range vals {
+		vals[i] = float64(i) / 256
+		miss[i] = i%16 == 3 || i%16 == 4
+	}
+	scratch := make([]float64, len(vals))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		copy(scratch, vals)
+		Impute(scratch, miss, p)
+	}
+}
+
+func BenchmarkImputeHoldLast(b *testing.B) { benchImpute(b, HoldLast) }
+func BenchmarkImputeLinear(b *testing.B)   { benchImpute(b, Linear) }
+
+func BenchmarkReassembler(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var r Reassembler
+		for s := 0; s < 64; s++ {
+			r.Observe(uint8(s))
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package frame
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestCRC16KnownVector(t *testing.T) {
+	// The CRC-16/CCITT-FALSE check value of "123456789" is 0x29B1.
+	if got := CRC16([]byte("123456789")); got != 0x29B1 {
+		t.Fatalf("CRC16 check value = %#04x, want 0x29b1", got)
+	}
+	if got := CRC16(nil); got != 0xFFFF {
+		t.Fatalf("CRC16(nil) = %#04x, want the 0xffff init value", got)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, {0}, {0xFF}, []byte("hello, wire"), bytes.Repeat([]byte{0xA5}, MaxPayloadBytes)}
+	for _, p := range payloads {
+		for _, seq := range []uint8{0, 1, 127, 255} {
+			buf, err := Encode(seq, p)
+			if err != nil {
+				t.Fatalf("Encode(%d, %d bytes): %v", seq, len(p), err)
+			}
+			if len(buf) != HeaderBytes+len(p)+TrailerBytes {
+				t.Fatalf("frame length %d, want %d", len(buf), HeaderBytes+len(p)+TrailerBytes)
+			}
+			fr, err := Decode(buf)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if fr.Seq != seq || !bytes.Equal(fr.Payload, p) {
+				t.Fatalf("round trip: got seq %d payload %x, want %d %x", fr.Seq, fr.Payload, seq, p)
+			}
+		}
+	}
+	if _, err := Encode(0, make([]byte, MaxPayloadBytes+1)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized payload: err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestDecodeDetectsEverySingleBitFlip(t *testing.T) {
+	buf, err := Encode(42, []byte{0x00, 0x7F, 0xFF, 0x12, 0x34})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(buf)*8; i++ {
+		flipped := append([]byte(nil), buf...)
+		flipped[i/8] ^= 1 << uint(i%8)
+		if _, err := Decode(flipped); err == nil {
+			t.Fatalf("single-bit flip at bit %d went undetected", i)
+		}
+	}
+}
+
+func TestDecodeTypedErrors(t *testing.T) {
+	buf, _ := Encode(1, []byte{1, 2, 3})
+	cases := []struct {
+		name string
+		buf  []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short", []byte{1, 2, 3}, ErrTruncated},
+		{"length high", func() []byte { b := append([]byte(nil), buf...); b[1] = 200; return b }(), ErrLength},
+		{"truncated tail", buf[:len(buf)-1], ErrLength},
+		{"payload flip", func() []byte { b := append([]byte(nil), buf...); b[2] ^= 0x80; return b }(), ErrCRC},
+		{"crc flip", func() []byte { b := append([]byte(nil), buf...); b[len(b)-1] ^= 1; return b }(), ErrCRC},
+	}
+	for _, tc := range cases {
+		if _, err := Decode(tc.buf); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestReassemblerInOrder(t *testing.T) {
+	var r Reassembler
+	for seq := uint8(0); seq < 10; seq++ {
+		if d := r.Observe(seq); d != InOrder {
+			t.Fatalf("seq %d: disposition %v, want in-order", seq, d)
+		}
+	}
+	if n := len(r.Missing()); n != 0 {
+		t.Fatalf("clean stream reported %d missing frames", n)
+	}
+}
+
+func TestReassemblerGapDuplicateReorder(t *testing.T) {
+	var r Reassembler
+	// Arrivals: 0, 2 (gap: 1 missing), 1 (late), 1 (dup), 3, 3 (dup), 6 (gap: 4,5).
+	seq := []struct {
+		s    uint8
+		want Disposition
+	}{
+		{0, InOrder}, {2, Gap}, {1, Late}, {1, Duplicate},
+		{3, InOrder}, {3, Duplicate}, {6, Gap},
+	}
+	for i, tc := range seq {
+		if d := r.Observe(tc.s); d != tc.want {
+			t.Fatalf("arrival %d (seq %d): disposition %v, want %v", i, tc.s, d, tc.want)
+		}
+	}
+	miss := r.Missing()
+	if len(miss) != 2 || miss[0] != 4 || miss[1] != 5 {
+		t.Fatalf("missing = %v, want [4 5]", miss)
+	}
+	inOrder, dups, late := r.Stats()
+	if inOrder != 4 || dups != 2 || late != 1 {
+		t.Fatalf("stats = (%d, %d, %d), want (4, 2, 1)", inOrder, dups, late)
+	}
+}
+
+func TestReassemblerWraparound(t *testing.T) {
+	var r Reassembler
+	for s := 250; s < 260; s++ {
+		if d := r.Observe(uint8(s)); d != InOrder {
+			t.Fatalf("seq %d: disposition %v, want in-order across the wrap", uint8(s), d)
+		}
+	}
+}
+
+func TestImputePolicies(t *testing.T) {
+	miss := []bool{false, true, true, false, true}
+	cases := []struct {
+		policy ImputePolicy
+		want   []float64
+	}{
+		{HoldLast, []float64{1, 1, 1, 4, 4}},
+		{Linear, []float64{1, 2, 3, 4, 4}},
+		{Zero, []float64{1, 0, 0, 4, 0}},
+	}
+	for _, tc := range cases {
+		vals := []float64{1, 99, 99, 4, 99}
+		if n := Impute(vals, miss, tc.policy); n != 3 {
+			t.Fatalf("%v: imputed %d, want 3", tc.policy, n)
+		}
+		for i := range vals {
+			if math.Abs(vals[i]-tc.want[i]) > 1e-12 {
+				t.Fatalf("%v: values = %v, want %v", tc.policy, vals, tc.want)
+			}
+		}
+	}
+}
+
+func TestImputeEdgeGaps(t *testing.T) {
+	// Leading gap holds the first delivered value backward; a fully
+	// missing payload imputes to zeros.
+	vals := []float64{99, 99, 3}
+	Impute(vals, []bool{true, true, false}, HoldLast)
+	if vals[0] != 3 || vals[1] != 3 {
+		t.Fatalf("leading gap hold-last = %v, want [3 3 3]", vals)
+	}
+	vals = []float64{99, 99}
+	if n := Impute(vals, []bool{true, true}, Linear); n != 2 || vals[0] != 0 || vals[1] != 0 {
+		t.Fatalf("all-missing linear = %v (n=%d), want zeros", vals, n)
+	}
+	if n := Impute(nil, nil, HoldLast); n != 0 {
+		t.Fatalf("empty impute returned %d", n)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for name, want := range map[string]ImputePolicy{"": HoldLast, "hold-last": HoldLast, "linear": Linear, "zero": Zero} {
+		got, err := ParsePolicy(name)
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Fatal("ParsePolicy accepted an unknown name")
+	}
+}
+
+func TestRxReportDirty(t *testing.T) {
+	var nilReport *RxReport
+	if nilReport.Dirty() {
+		t.Fatal("nil report is dirty")
+	}
+	if (&RxReport{CorruptDetected: 5, Frames: 8}).Dirty() {
+		t.Fatal("detected-and-retried corruption must not mark the payload dirty")
+	}
+	if !(&RxReport{Missing: []int{3}}).Dirty() {
+		t.Fatal("missing values must mark the payload dirty")
+	}
+	if !(&RxReport{CorruptValues: map[int]uint64{0: 1}}).Dirty() {
+		t.Fatal("undetected corruption must mark the payload dirty")
+	}
+}

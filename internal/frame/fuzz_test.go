@@ -1,0 +1,56 @@
+package frame
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeFrame drives the codec's two safety contracts:
+//
+//  1. decode(encode(x)) round-trips for every payload;
+//  2. every single-bit flip over the encoded frame (header, payload and
+//     trailer alike) is detected — Decode returns a typed error, never
+//     panics, and never yields a silently wrong-length payload slice.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add(uint8(0), []byte(nil))
+	f.Add(uint8(7), []byte{0x00})
+	f.Add(uint8(255), []byte("framed wire payload"))
+	f.Add(uint8(128), bytes.Repeat([]byte{0xFF}, 32))
+	f.Fuzz(func(t *testing.T, seq uint8, payload []byte) {
+		// Arbitrary bytes fed straight to Decode must never panic, and a
+		// successful decode must honor its own length field.
+		if fr, err := Decode(payload); err == nil {
+			if len(payload) >= 2 && len(fr.Payload) != int(payload[1]) {
+				t.Fatalf("Decode returned a %d-byte payload for length field %d", len(fr.Payload), payload[1])
+			}
+		}
+
+		if len(payload) > MaxPayloadBytes {
+			payload = payload[:MaxPayloadBytes]
+		}
+		buf, err := Encode(seq, payload)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		fr, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("Decode(Encode(...)): %v", err)
+		}
+		if fr.Seq != seq || !bytes.Equal(fr.Payload, payload) {
+			t.Fatalf("round trip mismatch: seq %d/%d, payload %x/%x", fr.Seq, seq, fr.Payload, payload)
+		}
+
+		for bit := 0; bit < len(buf)*8; bit++ {
+			flipped := append([]byte(nil), buf...)
+			flipped[bit/8] ^= 1 << uint(bit%8)
+			got, err := Decode(flipped)
+			if err == nil {
+				t.Fatalf("single-bit flip at bit %d decoded cleanly (seq %d, %d-byte payload)", bit, got.Seq, len(got.Payload))
+			}
+			if !errors.Is(err, ErrCRC) && !errors.Is(err, ErrLength) && !errors.Is(err, ErrTruncated) {
+				t.Fatalf("flip at bit %d returned an untyped error: %v", bit, err)
+			}
+		}
+	})
+}

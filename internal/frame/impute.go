@@ -1,0 +1,168 @@
+package frame
+
+import "fmt"
+
+// ImputePolicy selects how values lost with their frames (beyond the
+// retry budget) are repaired before the pipeline consumes the payload.
+type ImputePolicy int
+
+const (
+	// HoldLast repeats the most recent delivered value (leading gaps
+	// take the first delivered value). The default: biosignal segments
+	// are locally smooth, so sample-and-hold is cheap and safe.
+	HoldLast ImputePolicy = iota
+	// Linear interpolates linearly between the delivered neighbors of a
+	// gap; edge gaps hold the nearest delivered value.
+	Linear
+	// Zero fills lost values with 0.
+	Zero
+)
+
+func (p ImputePolicy) String() string {
+	switch p {
+	case HoldLast:
+		return "hold-last"
+	case Linear:
+		return "linear"
+	case Zero:
+		return "zero"
+	default:
+		return fmt.Sprintf("ImputePolicy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps a policy name ("hold-last", "linear", "zero") to its
+// ImputePolicy. The empty string is HoldLast.
+func ParsePolicy(s string) (ImputePolicy, error) {
+	switch s {
+	case "", "hold-last":
+		return HoldLast, nil
+	case "linear":
+		return Linear, nil
+	case "zero":
+		return Zero, nil
+	default:
+		return HoldLast, fmt.Errorf("frame: unknown imputation policy %q (have hold-last, linear, zero)", s)
+	}
+}
+
+// Impute fills values[i] in place wherever missing[i] is true, using
+// policy p, and returns the number of values imputed. A fully missing
+// payload imputes to zeros under every policy (there is nothing to hold
+// or interpolate).
+func Impute(values []float64, missing []bool, p ImputePolicy) int {
+	n := len(values)
+	if len(missing) < n {
+		n = len(missing)
+	}
+	count := 0
+	for i := 0; i < n; i++ {
+		if missing[i] {
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	switch p {
+	case Zero:
+		for i := 0; i < n; i++ {
+			if missing[i] {
+				values[i] = 0
+			}
+		}
+	case Linear:
+		prev := -1 // index of the last delivered value
+		for i := 0; i <= n; i++ {
+			if i < n && missing[i] {
+				continue
+			}
+			// values[prev+1 : i] is one contiguous gap.
+			for j := prev + 1; j < i && j < n; j++ {
+				switch {
+				case prev >= 0 && i < n:
+					t := float64(j-prev) / float64(i-prev)
+					values[j] = values[prev] + t*(values[i]-values[prev])
+				case prev >= 0:
+					values[j] = values[prev] // trailing gap: hold
+				case i < n:
+					values[j] = values[i] // leading gap: hold backward
+				default:
+					values[j] = 0 // nothing delivered at all
+				}
+			}
+			prev = i
+		}
+	default: // HoldLast
+		last := 0.0
+		haveLast := false
+		// Leading gap: hold the first delivered value backward.
+		for i := 0; i < n; i++ {
+			if !missing[i] {
+				last, haveLast = values[i], true
+				break
+			}
+		}
+		for i := 0; i < n; i++ {
+			if missing[i] {
+				if !haveLast {
+					values[i] = 0
+					continue
+				}
+				values[i] = last
+			} else {
+				last = values[i]
+			}
+		}
+	}
+	return count
+}
+
+// RxReport describes how one payload arrived on the receive side of the
+// link: the frame tally and, for corrupt-but-delivered transports, the
+// exact damage so the functional simulation can decode what the
+// receiver actually saw. A nil report means a pristine arrival.
+type RxReport struct {
+	// Frames is the number of frames (transceiver packets) the payload
+	// was split into.
+	Frames int
+	// CorruptDetected counts frames the CRC rejected; each consumed a
+	// transmit/receive attempt and its energy, exactly like a loss.
+	CorruptDetected int
+	// CorruptDelivered counts frames delivered carrying bit errors the
+	// transport could not detect (unframed transports only: with the
+	// CRC armed this is always zero).
+	CorruptDelivered int
+	// Duplicates counts duplicated frames the reassembler dropped
+	// (framed) or that smeared into a neighboring slot (unframed).
+	Duplicates int
+	// Reordered counts frames that arrived out of order and were
+	// recovered by sequence number (framed) or swapped value blocks in
+	// place (unframed).
+	Reordered int
+	// LostFrames counts frames still missing after the retry budget;
+	// their values are imputed downstream.
+	LostFrames int
+	// Imputed is filled by the consumer after imputation ran.
+	Imputed int
+	// CorruptValues maps a value index within the payload to the XOR
+	// mask applied to its wire code word (unframed bit flips).
+	CorruptValues map[int]uint64
+	// Moved maps a destination value index to the source index whose
+	// wire code the receiver decoded into it (unframed duplication and
+	// reordering smears).
+	Moved map[int]int
+	// Missing lists the value indices that were lost with their frames
+	// and must be imputed.
+	Missing []int
+}
+
+// Dirty reports whether the payload arrived different from what was
+// sent: undetected corruption, smeared slots, or missing values. A
+// payload with only *detected* (and retried) corruption is not dirty.
+func (r *RxReport) Dirty() bool {
+	if r == nil {
+		return false
+	}
+	return r.CorruptDelivered > 0 || len(r.CorruptValues) > 0 || len(r.Moved) > 0 || len(r.Missing) > 0
+}

@@ -33,6 +33,9 @@ type Span struct {
 	// Degraded marks an event span whose classification was served
 	// through a degraded path (partial fusion or a fallback cut).
 	Degraded bool `json:"degraded,omitempty"`
+	// Suspect marks an event span the signal-quality gate rejected or
+	// quarantined.
+	Suspect bool `json:"suspect,omitempty"`
 	// Err carries a failure message, empty on success.
 	Err string `json:"err,omitempty"`
 }

@@ -91,6 +91,13 @@ func WireBits(dataBits int64) int64 {
 	return dataBits + Packets(dataBits)*HeaderBits
 }
 
+// FramedWireBits is WireBits plus extraPerPacketBits of envelope on
+// every packet — the cost of an integrity layer (sequence numbers and
+// checksums) expressed in the same per-packet header currency.
+func FramedWireBits(dataBits, extraPerPacketBits int64) int64 {
+	return WireBits(dataBits) + Packets(dataBits)*extraPerPacketBits
+}
+
 // Transfer is the cost of moving one payload across the link.
 type Transfer struct {
 	DataBits int64

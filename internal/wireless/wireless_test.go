@@ -51,6 +51,10 @@ func TestPackets(t *testing.T) {
 		if got := WireBits(c.data); got != c.wire {
 			t.Errorf("WireBits(%d) = %d, want %d", c.data, got, c.wire)
 		}
+		// A 32-bit integrity envelope rides on every packet.
+		if got, want := FramedWireBits(c.data, 32), c.wire+32*c.packets; got != want {
+			t.Errorf("FramedWireBits(%d, 32) = %d, want %d", c.data, got, want)
+		}
 	}
 }
 

@@ -34,6 +34,52 @@ func quantizeWire(v float64, bits int64) float64 {
 	return math.Round(clamp(v, -limit, limit-1/scale)*scale) / scale
 }
 
+// wireEncode maps v to its wire code word at the given width — the
+// integer the transceiver actually puts on the air. It is the integer
+// half of quantizeWire: wireDecode(wireEncode(v, b), b) ==
+// quantizeWire(v, b) for every in-range width.
+func wireEncode(v float64, bits int64) uint64 {
+	if bits < 1 || bits > 24 {
+		return 0
+	}
+	if bits <= 8 {
+		levels := float64(int64(1)<<uint(bits)) - 1
+		return uint64(math.Round(clamp(v, 0, 1) * levels))
+	}
+	frac := uint(bits / 2)
+	scale := float64(int64(1) << frac)
+	limit := float64(int64(1) << uint(bits-1-int64(frac)))
+	q := int64(math.Round(clamp(v, -limit, limit-1/scale) * scale))
+	return uint64(q) & (1<<uint(bits) - 1) // two's complement within bits
+}
+
+// wireDecode maps a code word back to the value the receiver consumes.
+func wireDecode(code uint64, bits int64) float64 {
+	if bits < 1 || bits > 24 {
+		return 0
+	}
+	if bits <= 8 {
+		levels := float64(int64(1)<<uint(bits)) - 1
+		return float64(code) / levels
+	}
+	frac := uint(bits / 2)
+	if code&(1<<uint(bits-1)) != 0 {
+		code |= ^uint64(0) << uint(bits) // sign-extend
+	}
+	return float64(int64(code)) / float64(int64(1)<<frac)
+}
+
+// corruptWire models undetected bit errors on the air: v's code word is
+// XORed with mask and decoded as the receiver would. Every corrupted
+// word is itself a valid code word, so downstream re-quantization is a
+// no-op and the damage survives intact to the consuming cell.
+func corruptWire(v float64, bits int64, mask uint64) float64 {
+	if bits < 1 || bits > 24 {
+		return v
+	}
+	return wireDecode(wireEncode(v, bits)^(mask&(1<<uint(bits)-1)), bits)
+}
+
 func clamp(v, lo, hi float64) float64 {
 	if v < lo {
 		return lo

@@ -1,0 +1,82 @@
+package xsystem
+
+import (
+	"math"
+	"testing"
+
+	"xpro/internal/frame"
+)
+
+// TestWireCodecRoundTrip: the integer codec must agree exactly with
+// quantizeWire — wireDecode(wireEncode(v)) is the value the receiver
+// consumes on a clean wire.
+func TestWireCodecRoundTrip(t *testing.T) {
+	values := []float64{-300, -8.5, -1, -0.5, 0, 1e-4, 0.25, 0.5, 0.999, 1, 7.75, 127.9, 300}
+	for _, bits := range []int64{4, 8, 16, 24} {
+		for _, v := range values {
+			got := wireDecode(wireEncode(v, bits), bits)
+			want := quantizeWire(v, bits)
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("bits %d, v %v: codec %v, quantizeWire %v", bits, v, got, want)
+			}
+		}
+	}
+}
+
+// TestQuantizeWireIdempotent: corrupted code words are themselves valid
+// code words, so the gather path's re-quantization is a no-op and
+// injected damage survives to the consuming cell.
+func TestQuantizeWireIdempotent(t *testing.T) {
+	for _, bits := range []int64{8, 16} {
+		for code := uint64(0); code < 1<<uint(bits); code += 13 {
+			v := wireDecode(code, bits)
+			if q := quantizeWire(v, bits); math.Abs(q-v) > 1e-12 {
+				t.Fatalf("bits %d code %d: quantizeWire(%v) = %v, not idempotent", bits, code, v, q)
+			}
+		}
+	}
+}
+
+func TestCorruptWire(t *testing.T) {
+	// A high-bit flip on a Q8.8 word moves the value by 128 (the sign
+	// region): decisively wrong, still a valid code word.
+	v := 0.5
+	c := corruptWire(v, 16, 1<<15)
+	if c == quantizeWire(v, 16) {
+		t.Fatal("mask 1<<15 left the value unchanged")
+	}
+	if got := quantizeWire(c, 16); got != c {
+		t.Fatalf("corrupted value %v re-quantized to %v", c, got)
+	}
+	// Zero mask is the identity on the quantized value.
+	if corruptWire(v, 16, 0) != quantizeWire(v, 16) {
+		t.Fatal("zero mask must decode to the clean quantization")
+	}
+	// Out-of-range widths pass through untouched.
+	if corruptWire(v, 64, 5) != v {
+		t.Fatal("width 64 must be the identity")
+	}
+}
+
+func TestApplyDamage(t *testing.T) {
+	view := []float64{0.1, 0.2, 0.3, 0.4}
+	rx := &frame.RxReport{
+		Moved:         map[int]int{0: 1, 1: 0}, // swap slots 0 and 1
+		CorruptValues: map[int]uint64{2: 1 << 15},
+		Missing:       []int{3},
+	}
+	n := applyDamage(view, 16, rx, frame.HoldLast)
+	if n != 1 {
+		t.Fatalf("imputed %d, want 1", n)
+	}
+	q := func(v float64) float64 { return quantizeWire(v, 16) }
+	if view[0] != q(0.2) || view[1] != q(0.1) {
+		t.Fatalf("swap failed: %v", view[:2])
+	}
+	if view[2] == q(0.3) {
+		t.Fatal("corruption mask left slot 2 clean")
+	}
+	if view[3] != view[2] {
+		t.Fatalf("hold-last should repeat slot 2 into slot 3: %v", view)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"xpro/internal/biosig"
 	"xpro/internal/faults"
 	"xpro/internal/fixed"
+	"xpro/internal/frame"
 	"xpro/internal/topology"
 	"xpro/internal/wireless"
 )
@@ -27,6 +28,17 @@ type Transport interface {
 	Send(dataBits int64) (wireless.Transfer, error)
 }
 
+// ValueTransport is a Transport that understands payload structure: it
+// moves dataBits carrying `values` equal-width code words and reports
+// how the payload actually arrived — which values were corrupted,
+// smeared or lost — so the functional simulation can decode exactly
+// what the receiver saw. *faults.Link implements it; plain Transports
+// fall back to the opaque Send path.
+type ValueTransport interface {
+	Transport
+	SendValues(dataBits int64, values int, fr *faults.Framing) (wireless.Transfer, *frame.RxReport, error)
+}
+
 // ResilientOptions configures one ClassifyOver run.
 type ResilientOptions struct {
 	// Transport carries crossing payloads; nil never fails.
@@ -42,6 +54,20 @@ type ResilientOptions struct {
 	// Breaker, when set, records per-transfer outcomes (the caller
 	// decides whether to attempt the event at all while it is open).
 	Breaker *faults.Breaker
+	// Integrity, when set, arms per-frame sequencing + CRC on every
+	// crossing payload: corruption is detected and retried instead of
+	// silently consumed, residual frame loss is imputed per its policy,
+	// and every frame pays frame.IntegrityBits of envelope on the air
+	// (also charged on the nil transport, so the analytic energy answer
+	// matches). Nil keeps the bare legacy wire format.
+	Integrity *faults.Framing
+}
+
+func (o *ResilientOptions) imputePolicy() frame.ImputePolicy {
+	if o.Integrity == nil {
+		return frame.HoldLast
+	}
+	return o.Integrity.Impute
 }
 
 func (o *ResilientOptions) now() float64 {
@@ -90,6 +116,19 @@ type Outcome struct {
 	SpentSeconds float64
 	// DeadlineExceeded is true when the budget ran out mid-event.
 	DeadlineExceeded bool
+
+	// FramesSent counts transceiver frames across all payloads (framed
+	// transports); CorruptFrames of those were CRC-rejected and retried,
+	// CorruptDelivered carried bit errors the transport could not detect
+	// (bare wire only), DuplicateFrames and ReorderedFrames arrived more
+	// than once or out of order, and LostFrames died beyond the per-frame
+	// retry budget.
+	FramesSent, CorruptFrames, CorruptDelivered  int
+	DuplicateFrames, ReorderedFrames, LostFrames int
+	// WireValues counts the values that crossed the link; ImputedValues
+	// of those were reconstructed (lost with their frames) rather than
+	// delivered. Their ratio is the admission gate's imputation load.
+	WireValues, ImputedValues int
 }
 
 // NoResultError reports a resilient classification that could not
@@ -115,7 +154,7 @@ func (e *NoResultError) Unwrap() error { return e.Cause }
 type run struct {
 	opt     *ResilientOptions
 	out     *Outcome
-	clean   func(int64) wireless.Transfer // datasheet cost for the nil transport
+	link    wireless.Model // datasheet costs for the nil transport
 	lastErr error
 	exhaust bool
 }
@@ -136,13 +175,7 @@ func (r *run) send(bits int64, fromSensor bool) bool {
 		// The infallible link never drops, but the payload still goes on
 		// the air: charge the datasheet cost so Outcome.SensorEnergy
 		// agrees with the analytic per-event model.
-		tr := r.clean(bits)
-		r.out.SpentSeconds += tr.Delay
-		if fromSensor {
-			r.out.SensorEnergy += tr.TxEnergy
-		} else {
-			r.out.SensorEnergy += tr.RxEnergy
-		}
+		r.chargeClean(bits, fromSensor)
 		r.out.TransfersOK++
 		return true
 	}
@@ -188,13 +221,104 @@ func (r *run) send(bits int64, fromSensor bool) bool {
 	return false
 }
 
+// chargeClean accounts the datasheet cost of one payload on the
+// infallible link, including the integrity envelope when framing is on.
+func (r *run) chargeClean(bits int64, fromSensor bool) {
+	tr := r.link.Cost(bits)
+	if r.opt.Integrity != nil {
+		eb := wireless.Packets(bits) * frame.IntegrityBits
+		tr.WireBits += eb
+		tr.TxEnergy += float64(eb) * r.link.TxJPerBit
+		tr.RxEnergy += float64(eb) * r.link.RxJPerBit
+		tr.Delay += float64(eb) / r.link.RateBps
+	}
+	r.out.SpentSeconds += tr.Delay
+	if fromSensor {
+		r.out.SensorEnergy += tr.TxEnergy
+	} else {
+		r.out.SensorEnergy += tr.RxEnergy
+	}
+}
+
+// sendPayload is send for structured payloads: when the transport is
+// value-aware it reports how the payload arrived (corruption, smears,
+// values to impute); otherwise it degrades to the opaque path with a
+// nil report. The policy-level retry loop, backoff, deadline budget and
+// breaker accounting are identical to send.
+func (r *run) sendPayload(bits int64, values int, fromSensor bool) (*frame.RxReport, bool) {
+	if r.opt.Transport == nil {
+		r.chargeClean(bits, fromSensor)
+		r.out.TransfersOK++
+		r.out.WireValues += values
+		return nil, true
+	}
+	vt, isVT := r.opt.Transport.(ValueTransport)
+	if !isVT {
+		return nil, r.send(bits, fromSensor)
+	}
+	if r.exhaust {
+		r.out.SkippedTransfers++
+		return nil, false
+	}
+	for attempt := 0; ; attempt++ {
+		tr, rx, err := vt.SendValues(bits, values, r.opt.Integrity)
+		r.out.SpentSeconds += tr.Delay
+		if fromSensor {
+			r.out.SensorEnergy += tr.TxEnergy
+		} else {
+			r.out.SensorEnergy += tr.RxEnergy
+		}
+		if rx != nil {
+			r.out.FramesSent += rx.Frames
+			r.out.CorruptFrames += rx.CorruptDetected
+			r.out.CorruptDelivered += rx.CorruptDelivered
+			r.out.DuplicateFrames += rx.Duplicates
+			r.out.ReorderedFrames += rx.Reordered
+			r.out.LostFrames += rx.LostFrames
+		}
+		if err == nil {
+			r.out.TransfersOK++
+			r.out.WireValues += values
+			if r.opt.Breaker != nil {
+				r.opt.Breaker.RecordSuccess()
+			}
+			return rx, true
+		}
+		r.lastErr = err
+		if faults.IsLinkDown(err) {
+			r.out.HardOutage = true
+		}
+		if attempt >= r.opt.Policy.MaxRetries {
+			break
+		}
+		wait := r.opt.Policy.Backoff.Delay(attempt)
+		if r.overBudget(wait) {
+			r.exhaust = true
+			r.out.DeadlineExceeded = true
+			break
+		}
+		r.out.SpentSeconds += wait
+		r.out.Retries++
+	}
+	if r.opt.Breaker != nil {
+		r.opt.Breaker.RecordFailure()
+	}
+	r.out.LostTransfers++
+	return nil, false
+}
+
 // xfer memoizes one crossing payload: it is sent at most once per
-// event, however many consumers read it.
+// event, however many consumers read it. rx (when the transport is
+// value-aware) pins what the receive side saw; counted guards the
+// one-time imputation tally.
 type xfer struct {
 	bits       int64
+	values     int
 	fromSensor bool
 	attempted  bool
 	ok         bool
+	counted    bool
+	rx         *frame.RxReport
 }
 
 func (r *run) ensure(x *xfer) bool {
@@ -203,7 +327,7 @@ func (r *run) ensure(x *xfer) bool {
 	}
 	if !x.attempted {
 		x.attempted = true
-		x.ok = r.send(x.bits, x.fromSensor)
+		x.rx, x.ok = r.sendPayload(x.bits, x.values, x.fromSensor)
 	}
 	return x.ok
 }
@@ -229,7 +353,7 @@ func (s *System) ClassifyOver(seg biosig.Segment, opt *ResilientOptions) (Outcom
 	p := s.Placement
 	state := opt.Plan.At(opt.now())
 
-	r := &run{opt: opt, out: &out, clean: s.Link.Cost}
+	r := &run{opt: opt, out: &out, link: s.Link}
 	// The compute schedule is fixed hardware / fixed software: charge it
 	// up front, then add what the faulty link actually costs.
 	d := s.DelayPerEvent()
@@ -257,7 +381,7 @@ func (s *System) ClassifyOver(seg biosig.Segment, opt *ResilientOptions) (Outcom
 	var rawX *xfer
 	for _, id := range g.SourceReaders() {
 		if !p.OnSensor(id) {
-			rawX = &xfer{bits: g.SourceBits, fromSensor: true}
+			rawX = &xfer{bits: g.SourceBits, values: g.SegLen, fromSensor: true}
 			break
 		}
 	}
@@ -273,7 +397,7 @@ func (s *System) ClassifyOver(seg biosig.Segment, opt *ResilientOptions) (Outcom
 				continue
 			}
 			if groupX[gi] == nil {
-				groupX[gi] = &xfer{bits: tg.Bits, fromSensor: fromS}
+				groupX[gi] = &xfer{bits: tg.Bits, values: tg.Values, fromSensor: fromS}
 			}
 			if byPair[c] == nil {
 				byPair[c] = make(map[topology.CellID][]int)
@@ -292,8 +416,73 @@ func (s *System) ClassifyOver(seg biosig.Segment, opt *ResilientOptions) (Outcom
 	}
 
 	ev := newEvent(g, seg)
-	lost := make([]bool, len(g.Cells))
 	outputs := make([]value, len(g.Cells))
+
+	// dirtyView reconstructs the receive side of a producer's crossing
+	// output when any of its arrived transfer groups carries damage —
+	// undetected corruption, smeared slots or imputed losses. Nil means
+	// the arrival was pristine and consumers read the producer verbatim
+	// (quantization happens in the gather path as always).
+	dirtyView := func(producer topology.CellID) []float64 {
+		var view []float64
+		for gi := range groups {
+			tg := &groups[gi]
+			x := groupX[gi]
+			if tg.From != producer || x == nil || !x.attempted || !x.ok || !x.rx.Dirty() {
+				continue
+			}
+			if view == nil {
+				view = append([]float64(nil), outputs[producer].asFloat()...)
+			}
+			// The group's slice of the producer's full output: a DWT cell
+			// emits detail ‖ approx, each its own group.
+			off := 0
+			if tg.Class == topology.PayloadApprox {
+				off = g.Cells[producer].OutValues
+			}
+			n := tg.Values
+			if off >= len(view) {
+				continue
+			}
+			if off+n > len(view) {
+				n = len(view) - off
+			}
+			per := int64(0)
+			if tg.Values > 0 {
+				per = tg.Bits / int64(tg.Values)
+			}
+			imputed := applyDamage(view[off:off+n], per, x.rx, opt.imputePolicy())
+			if !x.counted {
+				x.counted = true
+				x.rx.Imputed = imputed
+				out.ImputedValues += imputed
+			}
+		}
+		return view
+	}
+
+	// When the raw segment crossed dirty, off-sensor source readers see
+	// the receiver's reconstruction, not the sensor's pristine samples.
+	var evRx *event
+	rxEvent := func() *event {
+		if evRx != nil {
+			return evRx
+		}
+		samples := append([]float64(nil), seg.Samples...)
+		per := int64(0)
+		if g.SegLen > 0 {
+			per = g.SourceBits / int64(g.SegLen)
+		}
+		imputed := applyDamage(samples, per, rawX.rx, opt.imputePolicy())
+		if !rawX.counted {
+			rawX.counted = true
+			rawX.rx.Imputed = imputed
+			out.ImputedValues += imputed
+		}
+		evRx = newEvent(g, biosig.Segment{Samples: samples, Label: seg.Label})
+		return evRx
+	}
+	lost := make([]bool, len(g.Cells))
 	complete := true
 	for _, id := range s.order {
 		c := g.Cells[id]
@@ -318,11 +507,23 @@ func (s *System) ClassifyOver(seg biosig.Segment, opt *ResilientOptions) (Outcom
 				avail[i] = true
 			}
 		}
+		// fetch resolves one in-edge's producer value as this cell sees
+		// it: crossing edges whose payload arrived damaged read the
+		// receiver's reconstruction instead of the producer verbatim.
+		fetch := func(i int) value {
+			e := ins[i]
+			if e.From != topology.SourceID && p.OnSensor(e.From) != p.OnSensor(id) {
+				if view := dirtyView(e.From); view != nil {
+					return value{fl: view}
+				}
+			}
+			return outputs[e.From]
+		}
 		if c.Role == topology.RoleFusion {
 			if p.OnSensor(id) {
 				out.SensorEnergy += s.HW.Energy(id)
 			}
-			v, used := s.fusePartial(c, ins, avail, outputs)
+			v, used := s.fusePartial(c, ins, avail, fetch)
 			out.VotesTotal = len(ins)
 			out.VotesUsed = used
 			minVotes := opt.Policy.MinVotes
@@ -356,7 +557,11 @@ func (s *System) ClassifyOver(seg biosig.Segment, opt *ResilientOptions) (Outcom
 		if p.OnSensor(id) {
 			out.SensorEnergy += s.HW.Energy(id)
 		}
-		v, err := s.evalCell(c, ins, func(i int) value { return outputs[ins[i].From] }, ev)
+		cellEv := ev
+		if !p.OnSensor(id) && rawX != nil && rawX.ok && rawX.rx.Dirty() {
+			cellEv = rxEvent()
+		}
+		v, err := s.evalCell(c, ins, fetch, cellEv)
 		if err != nil {
 			return out, fmt.Errorf("xsystem: cell %s: %w", c.Name, err)
 		}
@@ -383,17 +588,71 @@ func (s *System) ClassifyOver(seg biosig.Segment, opt *ResilientOptions) (Outcom
 	// sensor; failure leaves a valid sensor-local label.
 	out.Delivered = true
 	if p.OnSensor(g.Output) {
-		out.Delivered = r.send(wireless.ValueBits, true)
+		rx, ok := r.sendPayload(wireless.ValueBits, 1, true)
+		out.Delivered = ok
+		if ok && rx.Dirty() {
+			// The aggregator decoded a damaged score word: its label may
+			// disagree with the sensor's. Report what the receiving end
+			// actually concluded.
+			sc := quantizeWire(out.Score, wireless.ValueBits)
+			if mask, hit := rx.CorruptValues[0]; hit {
+				sc = corruptWire(sc, wireless.ValueBits, mask)
+			}
+			out.Score = sc
+			out.Label = 0
+			if sc >= 0 {
+				out.Label = 1
+			}
+		}
+	}
+	if out.ImputedValues > 0 || out.CorruptDelivered > 0 {
+		complete = false
 	}
 	out.Complete = complete && out.Delivered
 	return out, nil
 }
 
+// applyDamage rewrites view — the receiver's copy of one crossing
+// payload's values — per the transport's receive report: slots are
+// decoded at the wire width, smeared slots take their source's code
+// word, undetected bit flips corrupt in the code-word domain, and
+// values lost with their frames are imputed. Returns the imputed count.
+func applyDamage(view []float64, bits int64, rx *frame.RxReport, policy frame.ImputePolicy) int {
+	for i := range view {
+		view[i] = quantizeWire(view[i], bits)
+	}
+	if len(rx.Moved) > 0 {
+		base := append([]float64(nil), view...)
+		for dst, src := range rx.Moved {
+			if dst >= 0 && dst < len(view) && src >= 0 && src < len(base) {
+				view[dst] = base[src]
+			}
+		}
+	}
+	for idx, mask := range rx.CorruptValues {
+		if idx >= 0 && idx < len(view) {
+			view[idx] = corruptWire(view[idx], bits, mask)
+		}
+	}
+	if len(rx.Missing) == 0 {
+		return 0
+	}
+	missing := make([]bool, len(view))
+	for _, m := range rx.Missing {
+		if m >= 0 && m < len(view) {
+			missing[m] = true
+		}
+	}
+	return frame.Impute(view, missing, policy)
+}
+
 // fusePartial fuses the available base-classifier scores: the trained
 // bias plus each available vote, exactly the fusion cell's computation
-// restricted to the votes that arrived. It returns the fused value in
-// the representation of the fusion cell's end and the vote count used.
-func (s *System) fusePartial(c topology.Cell, ins []topology.Edge, avail []bool, outputs []value) (value, int) {
+// restricted to the votes that arrived. fetch resolves the i-th
+// in-edge's producer value as the fusion cell sees it (including any
+// receive-side damage). It returns the fused value in the
+// representation of the fusion cell's end and the vote count used.
+func (s *System) fusePartial(c topology.Cell, ins []topology.Edge, avail []bool, fetch func(int) value) (value, int) {
 	used := 0
 	if s.Placement.OnSensor(c.ID) {
 		score := fixed.FromFloat(s.Ens.Weights[len(s.Ens.Bases)])
@@ -401,7 +660,7 @@ func (s *System) fusePartial(c topology.Cell, ins []topology.Edge, avail []bool,
 			if !avail[i] {
 				continue
 			}
-			v := outputs[e.From]
+			v := fetch(i)
 			var sv fixed.Num
 			if s.Placement.OnSensor(e.From) == s.Placement.OnSensor(c.ID) {
 				sv = v.asFixed()[0]
@@ -422,7 +681,7 @@ func (s *System) fusePartial(c topology.Cell, ins []topology.Edge, avail []bool,
 		if !avail[i] {
 			continue
 		}
-		v := outputs[e.From]
+		v := fetch(i)
 		var sv float64
 		if s.Placement.OnSensor(e.From) == s.Placement.OnSensor(c.ID) {
 			sv = v.asFloat()[0]

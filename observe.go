@@ -70,6 +70,9 @@ type Span struct {
 	// Degraded marks an event span whose classification was served
 	// through a degraded path (partial fusion or a fallback cut).
 	Degraded bool
+	// Suspect marks an event span the signal-quality gate rejected or
+	// quarantined (see Config.Integrity).
+	Suspect bool
 }
 
 // Observer is the observability handle of one Engine or Network: a
@@ -160,6 +163,7 @@ func (o *Observer) Spans() []Span {
 			EnergyJoules: s.EnergyJoules,
 			DelaySeconds: s.DelaySeconds,
 			Degraded:     s.Degraded,
+			Suspect:      s.Suspect,
 		}
 	}
 	return out

@@ -1,8 +1,11 @@
 package xpro
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math/rand"
 
@@ -18,6 +21,23 @@ import (
 // persistVersion guards the on-disk format.
 const persistVersion = 1
 
+// snapshotMagic opens the checksummed snapshot envelope: magic, then
+// the gob payload, then a big-endian CRC-32 (IEEE) of the payload.
+// Load still accepts bare legacy snapshots (no magic, no checksum).
+var snapshotMagic = []byte("xprosnap\x01")
+
+// SnapshotIntegrityError reports a snapshot whose payload does not
+// match its stored checksum — a truncated or bit-rotted file.
+type SnapshotIntegrityError struct {
+	// Want is the checksum stored in the envelope; Got is the checksum
+	// of the payload as read.
+	Want, Got uint32
+}
+
+func (e *SnapshotIntegrityError) Error() string {
+	return fmt.Sprintf("xpro: snapshot checksum mismatch (stored %#08x, computed %#08x): file is corrupt or truncated", e.Want, e.Got)
+}
+
 // enginePersist is the serialized form of an Engine: the trained
 // classifier and the generated placement. Datasets are regenerated
 // deterministically from the configuration on load, so snapshots stay
@@ -32,26 +52,60 @@ type enginePersist struct {
 }
 
 // Save writes the engine (trained classifier + placement) to w in a
-// self-contained binary format readable by Load. Training is the
-// expensive part of New; a saved engine restores in milliseconds.
+// self-contained binary format readable by Load: a magic header, the
+// gob payload, and a trailing CRC-32 so at-rest corruption is detected
+// at load time instead of surfacing as a garbled classifier. Training
+// is the expensive part of New; a saved engine restores in
+// milliseconds.
 func (e *Engine) Save(w io.Writer) error {
-	return gob.NewEncoder(w).Encode(enginePersist{
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(enginePersist{
 		Version:   persistVersion,
 		Config:    e.cfg,
 		Ens:       e.ens,
 		Gen:       e.gen,
 		Placement: e.sys().Placement,
 		Accuracy:  e.acc,
-	})
+	}); err != nil {
+		return err
+	}
+	if _, err := w.Write(snapshotMagic); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.BigEndian.PutUint32(sum[:], crc32.ChecksumIEEE(payload.Bytes()))
+	_, err := w.Write(sum[:])
+	return err
 }
 
-// Load restores an engine saved with Save: it rebuilds the topology and
-// simulated hardware from the snapshot's classifier and placement, and
-// regenerates the held-out test set deterministically from the saved
-// configuration.
+// Load restores an engine saved with Save: the envelope checksum is
+// verified (mismatches return *SnapshotIntegrityError), then the
+// topology and simulated hardware are rebuilt from the snapshot's
+// classifier and placement, and the held-out test set is regenerated
+// deterministically from the saved configuration. Snapshots written
+// before the checksummed envelope (bare gob) still load.
 func Load(r io.Reader) (*Engine, error) {
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("xpro: reading snapshot: %w", err)
+	}
+	if bytes.HasPrefix(buf, snapshotMagic) {
+		body := buf[len(snapshotMagic):]
+		if len(body) < 4 {
+			return nil, fmt.Errorf("xpro: snapshot truncated inside the envelope (%d bytes)", len(buf))
+		}
+		payload, sum := body[:len(body)-4], body[len(body)-4:]
+		want := binary.BigEndian.Uint32(sum)
+		if got := crc32.ChecksumIEEE(payload); got != want {
+			return nil, &SnapshotIntegrityError{Want: want, Got: got}
+		}
+		buf = payload
+	}
 	var ep enginePersist
-	if err := gob.NewDecoder(r).Decode(&ep); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&ep); err != nil {
 		return nil, fmt.Errorf("xpro: decoding engine: %w", err)
 	}
 	if ep.Version > persistVersion {

@@ -3,6 +3,7 @@ package xpro
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -61,6 +62,65 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		if pa[i] != pb[i] {
 			t.Fatalf("cell %d placement differs: %+v vs %+v", i, pa[i], pb[i])
 		}
+	}
+}
+
+func TestLoadDetectsCorruptSnapshot(t *testing.T) {
+	eng, err := New(Config{Case: "M2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), snapshotMagic) {
+		t.Fatal("Save must write the checksummed envelope")
+	}
+	// Flip one payload byte: Load must return the typed integrity error,
+	// not a gob decode failure or a silently wrong engine.
+	for _, pos := range []int{len(snapshotMagic) + 40, buf.Len() / 2, buf.Len() - 5} {
+		dirty := append([]byte(nil), buf.Bytes()...)
+		dirty[pos] ^= 0x20
+		_, err := Load(bytes.NewReader(dirty))
+		var integ *SnapshotIntegrityError
+		if !errors.As(err, &integ) {
+			t.Fatalf("flip at byte %d: err = %v, want *SnapshotIntegrityError", pos, err)
+		}
+		if integ.Want == integ.Got {
+			t.Fatalf("flip at byte %d: error reports matching checksums %#08x", pos, integ.Want)
+		}
+	}
+	// Truncation inside the envelope fails cleanly too.
+	if _, err := Load(bytes.NewReader(buf.Bytes()[:len(snapshotMagic)+2])); err == nil {
+		t.Fatal("truncated envelope must fail")
+	}
+}
+
+func TestLoadAcceptsLegacySnapshot(t *testing.T) {
+	// Snapshots written before the checksummed envelope are bare gob;
+	// they must still restore.
+	eng, err := New(Config{Case: "M2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var legacy bytes.Buffer
+	if err := gob.NewEncoder(&legacy).Encode(enginePersist{
+		Version:   persistVersion,
+		Config:    eng.cfg,
+		Ens:       eng.ens,
+		Gen:       eng.gen,
+		Placement: eng.sys().Placement,
+		Accuracy:  eng.acc,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&legacy)
+	if err != nil {
+		t.Fatalf("legacy bare-gob snapshot failed to load: %v", err)
+	}
+	if a, b := eng.Report(), restored.Report(); a != b {
+		t.Errorf("legacy restore diverged:\n  orig     %+v\n  restored %+v", a, b)
 	}
 }
 

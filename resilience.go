@@ -38,6 +38,13 @@ const (
 	ModeFull DegradeMode = iota
 	// ModePartial fused only the base-classifier scores that arrived.
 	ModePartial
+	// ModeSuspectData is the signal-quality gate's rung: the event was
+	// rejected on entry (flatline, rail saturation, non-finite samples)
+	// or quarantined after classification because too many of its
+	// crossed values had to be imputed. A quarantined Result still
+	// carries the label the damaged data produced; the paired error is
+	// ErrSuspectData.
+	ModeSuspectData
 	// ModeSensorLocal computed the full result on the sensor but could
 	// not deliver it across the link.
 	ModeSensorLocal
@@ -57,6 +64,8 @@ func (m DegradeMode) String() string {
 		return "full"
 	case ModePartial:
 		return "partial"
+	case ModeSuspectData:
+		return "suspect-data"
 	case ModeSensorLocal:
 		return "sensor-local"
 	case ModeFallbackSensor:
@@ -86,6 +95,13 @@ type Result struct {
 	DeadlineExceeded bool
 	// SpentSeconds is the modeled time the event consumed.
 	SpentSeconds float64
+	// CorruptFrames counts frames the CRC rejected (and the link
+	// retried); CorruptDelivered counts frames that arrived carrying
+	// undetected bit errors (bare wire only — zero with framing on).
+	CorruptFrames, CorruptDelivered int
+	// ImputedValues counts crossed values reconstructed by the
+	// imputation policy because their frames were lost.
+	ImputedValues int
 	// Breaker is the circuit breaker state after the event
 	// ("closed", "half-open", "open"); empty without a policy.
 	Breaker string
@@ -150,13 +166,18 @@ func (r *Resilience) policy() faults.Policy {
 
 // FaultWindow is one fault interval on the engine's modeled timeline,
 // half-open [StartSeconds, EndSeconds). Kind is "loss-burst",
-// "link-outage", "brownout" or "agg-stall"; Loss applies to
-// loss-burst windows only.
+// "link-outage", "brownout", "agg-stall", "bit-flip", "duplicate" or
+// "reorder"; Loss applies to loss-burst windows only, Rate to the
+// three corruption kinds (per-bit error probability for bit-flip,
+// per-packet probability for duplicate and reorder). Overlapping
+// same-kind windows merge: the max Loss/Rate over the covering windows
+// applies.
 type FaultWindow struct {
 	Kind         string
 	StartSeconds float64
 	EndSeconds   float64
 	Loss         float64
+	Rate         float64
 }
 
 // FaultPlan is a deterministic schedule of fault windows injected into
@@ -172,7 +193,8 @@ type FaultPlan struct {
 func FaultScenarios() []string { return faults.ScenarioNames() }
 
 // FaultScenario builds a named fault plan ("outage", "bursty",
-// "brownout", "stall", "flaky") over a horizon of modeled seconds.
+// "brownout", "stall", "flaky", "corrupt", "garbled") over a horizon
+// of modeled seconds.
 func FaultScenario(name string, seed int64, horizonSeconds float64) (*FaultPlan, error) {
 	p, err := faults.Scenario(name, seed, horizonSeconds)
 	if err != nil {
@@ -181,7 +203,7 @@ func FaultScenario(name string, seed int64, horizonSeconds float64) (*FaultPlan,
 	out := &FaultPlan{Seed: seed}
 	for _, w := range p.Windows {
 		out.Windows = append(out.Windows, FaultWindow{
-			Kind: w.Kind.String(), StartSeconds: w.Start, EndSeconds: w.End, Loss: w.Loss,
+			Kind: w.Kind.String(), StartSeconds: w.Start, EndSeconds: w.End, Loss: w.Loss, Rate: w.Rate,
 		})
 	}
 	return out, nil
@@ -192,6 +214,9 @@ var faultKinds = map[string]faults.Kind{
 	"link-outage": faults.LinkOutage,
 	"brownout":    faults.Brownout,
 	"agg-stall":   faults.AggStall,
+	"bit-flip":    faults.BitFlip,
+	"duplicate":   faults.Duplicate,
+	"reorder":     faults.Reorder,
 }
 
 func (p *FaultPlan) internal() (*faults.Plan, error) {
@@ -204,7 +229,7 @@ func (p *FaultPlan) internal() (*faults.Plan, error) {
 		if !ok {
 			return nil, fmt.Errorf("xpro: fault window %d has unknown kind %q", i, w.Kind)
 		}
-		out.Windows = append(out.Windows, faults.Window{Kind: k, Start: w.StartSeconds, End: w.EndSeconds, Loss: w.Loss})
+		out.Windows = append(out.Windows, faults.Window{Kind: k, Start: w.StartSeconds, End: w.EndSeconds, Loss: w.Loss, Rate: w.Rate})
 	}
 	if err := out.Validate(); err != nil {
 		return nil, err
@@ -228,6 +253,10 @@ type resilient struct {
 	fallback *xsystem.System
 	period   float64
 	failFast bool
+	// integ is the data-plane integrity config (nil without
+	// Config.Integrity); framing is its compiled wire half.
+	integ   *Integrity
+	framing *faults.Framing
 	// ctrl is the adaptive repartitioning controller (nil without
 	// Config.Adaptive); lastOut is the most recent cross-end attempt's
 	// transfer record, the channel evidence ObserveEvent folds.
@@ -243,7 +272,7 @@ type resilient struct {
 // construction. Returns nil when the config requests none.
 func buildResilient(cfg Config, sys *xsystem.System, g *topology.Graph,
 	ens *ensemble.Ensemble, obs *Observer) (*resilient, error) {
-	if cfg.Resilience == nil && cfg.FaultPlan == nil && cfg.Adaptive == nil {
+	if cfg.Resilience == nil && cfg.FaultPlan == nil && cfg.Adaptive == nil && cfg.Integrity == nil {
 		return nil, nil
 	}
 	rc := cfg.Resilience
@@ -252,6 +281,9 @@ func buildResilient(cfg Config, sys *xsystem.System, g *topology.Graph,
 	}
 	pol := rc.policy()
 	if err := pol.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Integrity.validate(); err != nil {
 		return nil, err
 	}
 	plan, err := cfg.FaultPlan.internal()
@@ -317,6 +349,7 @@ func buildResilient(cfg Config, sys *xsystem.System, g *topology.Graph,
 	return &resilient{
 		policy: pol, plan: plan, clock: clock, breaker: breaker, link: link,
 		fallback: fb, period: period, failFast: rc.FailFast, ctrl: ctrl,
+		integ: cfg.Integrity, framing: cfg.Integrity.framing(),
 	}, nil
 }
 
@@ -354,7 +387,31 @@ func (r *resilient) classifyCtx(ctx context.Context, e *Engine, seg biosig.Segme
 	r.clock.Advance(r.period)
 
 	m := e.obs.reg
+	// Integrity counters fire for quarantined events too: the damage
+	// happened whether or not the gate let the label out.
+	if res.CorruptFrames > 0 || res.CorruptDelivered > 0 {
+		m.Counter("xpro_frames_corrupt_total",
+			"Frames that arrived corrupted: CRC-rejected (framed) or consumed dirty (bare wire).").
+			Add(float64(res.CorruptFrames + res.CorruptDelivered))
+	}
+	if res.ImputedValues > 0 {
+		m.Counter("xpro_samples_imputed_total",
+			"Crossed values reconstructed by the imputation policy after frame loss.").
+			Add(float64(res.ImputedValues))
+	}
 	if err != nil {
+		if errors.Is(err, ErrSuspectData) {
+			m.Counter("xpro_quality_rejected_total",
+				"Events the signal-quality admission gate rejected or quarantined.").Inc()
+			if tr := e.obs.tracer; tr != nil {
+				tr.Add(telemetry.Span{
+					Event: tr.NextEvent(), Name: "classify", End: "event",
+					Start: start, Wall: time.Since(start),
+					DelaySeconds: res.SpentSeconds, Degraded: true, Suspect: true,
+					Err: err.Error(),
+				})
+			}
+		}
 		m.Counter("xpro_classify_errors_total",
 			"Classify calls that returned an error.").Inc()
 		return res, err
@@ -402,12 +459,23 @@ func (r *resilient) classifyCtx(ctx context.Context, e *Engine, seg biosig.Segme
 			Event: tr.NextEvent(), Name: "classify", End: "event",
 			Start: start, Wall: time.Since(start),
 			DelaySeconds: res.SpentSeconds, Degraded: res.Degraded,
+			Suspect: res.Mode == ModeSuspectData,
 		})
 	}
 	return res, nil
 }
 
 func (r *resilient) classifyLocked(e *Engine, seg biosig.Segment) (Result, error) {
+	// The admission gate runs before anything touches the modeled
+	// timeline: a rejected segment advances no clock, trips no breaker
+	// and draws nothing from the link RNG, so gated and ungated runs of
+	// admissible streams replay identically.
+	if r.integ.gateOn() {
+		if reasons := r.integ.inspect(seg.Samples); len(reasons) > 0 {
+			return Result{Degraded: true, Mode: ModeSuspectData},
+				&SuspectDataError{Reasons: reasons}
+		}
+	}
 	state := r.plan.At(r.clock.Now())
 	if state != r.lastState {
 		// A fault window opened or closed since the previous event; the
@@ -430,6 +498,7 @@ func (r *resilient) classifyLocked(e *Engine, seg biosig.Segment) (Result, error
 		Clock:     r.clock,
 		Policy:    r.policy,
 		Breaker:   r.breaker,
+		Integrity: r.framing,
 	}
 
 	if r.breaker.Allow() {
@@ -440,6 +509,8 @@ func (r *resilient) classifyLocked(e *Engine, seg biosig.Segment) (Result, error
 				Label: out.Label, VotesUsed: out.VotesUsed, VotesTotal: out.VotesTotal,
 				Retries: out.Retries, LostTransfers: out.LostTransfers,
 				DeadlineExceeded: out.DeadlineExceeded, SpentSeconds: out.SpentSeconds,
+				CorruptFrames: out.CorruptFrames, CorruptDelivered: out.CorruptDelivered,
+				ImputedValues: out.ImputedValues,
 			}
 			switch {
 			case out.Complete:
@@ -448,6 +519,15 @@ func (r *resilient) classifyLocked(e *Engine, seg biosig.Segment) (Result, error
 				res.Mode, res.Degraded = ModeSensorLocal, true
 			default:
 				res.Mode, res.Degraded = ModePartial, true
+			}
+			// The gate's exit check: an event that leaned too hard on
+			// imputation is quarantined — the label it produced rides
+			// along for inspection, but the caller gets ErrSuspectData.
+			if r.integ.gateOn() && out.WireValues > 0 {
+				if f := float64(out.ImputedValues) / float64(out.WireValues); f > r.integ.maxImputedFraction() {
+					res.Mode, res.Degraded = ModeSuspectData, true
+					return res, &SuspectDataError{Reasons: []string{"excess-imputation"}}
+				}
 			}
 			return res, nil
 		}

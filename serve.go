@@ -286,12 +286,20 @@ func (f *Fleet) Submit(ctx context.Context, subject string, samples []float64) (
 	ch := make(chan FleetResult, 1)
 	job := func() {
 		res, err := e.ClassifyResultContext(ctx, samples)
-		if err != nil {
-			f.obs.reg.Counter("xpro_fleet_errors_total",
-				"Fleet events that completed with an error (including cancellations).").Inc()
-		} else {
+		switch {
+		case err == nil:
 			f.obs.reg.Counter("xpro_fleet_served_total",
 				"Fleet events served to completion.").Inc()
+		case errors.Is(err, ErrSuspectData):
+			// Quarantined, not failed: the subject's signal-quality gate
+			// rejected the segment or flagged an imputation-heavy result
+			// (see Config.Integrity). The worker served the event; the
+			// caller decides whether a quarantined label is usable.
+			f.obs.reg.Counter("xpro_fleet_suspect_total",
+				"Fleet events quarantined by a subject's signal-quality gate.").Inc()
+		default:
+			f.obs.reg.Counter("xpro_fleet_errors_total",
+				"Fleet events that completed with an error (including cancellations).").Inc()
 		}
 		ch <- FleetResult{Subject: subject, Result: res, Err: err}
 	}

@@ -232,6 +232,12 @@ type Config struct {
 	// cut between events (implies DefaultResilience when Resilience is
 	// nil; see DefaultAdaptive).
 	Adaptive *Adaptive
+	// Integrity, when set, arms the data-plane integrity layer: framed
+	// wire transport (per-frame sequencing + CRC with imputation of
+	// residual loss) and a signal-quality admission gate that returns
+	// ErrSuspectData instead of labeling garbage (implies
+	// DefaultResilience when Resilience is nil; see DefaultIntegrity).
+	Integrity *Integrity
 }
 
 // trained caches classifiers per (case, seed, protocol): training is by
