@@ -35,14 +35,50 @@ func run(args []string, stdout, stderr io.Writer) int {
 	format := fs.String("format", "text", "output format: text, md or csv")
 	metricsAddr := fs.String("metrics-addr", "", "serve the process-global /metrics, /trace and pprof on this address during the run (e.g. :9090)")
 	traceOut := fs.String("trace-out", "", "record per-cell spans process-wide and write them as JSON to this file")
+	record := fs.String("record", "", "append one benchmark trajectory point to this BENCH_*.json file (parses `go test -bench` output from -record-in) and exit")
+	recordIn := fs.String("record-in", "-", "benchmark output to parse in -record mode (- = stdin)")
+	recordNote := fs.String("record-note", "", "free-form note stored on the recorded trajectory point")
+	logJSON := fs.String("log-json", "", "stream every engine's structured event log (one JSON record per classify / re-cut / breaker transition / quarantine) to this file during the run")
+	sloFlag := fs.Bool("slo", false, "print the run's final SLO table: every windowed quantile series on the process-global registry")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *record != "" {
+		in := io.Reader(os.Stdin)
+		if *recordIn != "-" {
+			f, err := os.Open(*recordIn)
+			if err != nil {
+				fmt.Fprintf(stderr, "xprobench: %v\n", err)
+				return 1
+			}
+			defer f.Close()
+			in = f
+		}
+		if err := recordBench(*record, in, *recordNote, stdout); err != nil {
+			fmt.Fprintf(stderr, "xprobench: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 
 	of, err := experiments.ParseFormat(*format)
 	if err != nil {
 		fmt.Fprintf(stderr, "xprobench: %v\n", err)
 		return 2
+	}
+
+	if *logJSON != "" {
+		f, err := os.Create(*logJSON)
+		if err != nil {
+			fmt.Fprintf(stderr, "xprobench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		// Every engine's event log mirrors its records to the
+		// process-default sink, so one file collects the whole run.
+		telemetry.SetDefaultEventSink(f)
+		defer telemetry.SetDefaultEventSink(nil)
 	}
 
 	var tracer *telemetry.Tracer
@@ -115,7 +151,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "trace: %d spans written to %s (%d recorded, %d dropped)\n",
 			tracer.Len(), *traceOut, tracer.Recorded(), tracer.Dropped())
 	}
+	if *sloFlag {
+		printSLOTable(stdout)
+	}
 	return 0
+}
+
+// printSLOTable renders every windowed quantile series that landed on
+// the process-global registry during the run — the wall-time SLO view
+// of the experiments just executed.
+func printSLOTable(stdout io.Writer) {
+	fmt.Fprintf(stdout, "\nSLO quantiles (process-global registry):\n")
+	printed := 0
+	for _, m := range telemetry.Default().Snapshot() {
+		if m.Kind != telemetry.KindQuantile || m.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(stdout, "  %-40s n=%d", m.Name, m.Count)
+		for _, q := range m.Quantiles {
+			fmt.Fprintf(stdout, "  p%g=%.6g", q.Quantile*100, q.Value)
+		}
+		fmt.Fprintln(stdout)
+		printed++
+	}
+	if printed == 0 {
+		fmt.Fprintf(stdout, "  (no quantile series observed)\n")
+	}
 }
 
 func writeTrace(tr *telemetry.Tracer, path string) error {

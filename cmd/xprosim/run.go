@@ -30,6 +30,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	adaptiveFlag := fs.Bool("adaptive", false, "arm closed-loop adaptive repartitioning: estimate the channel online and hot-swap the cut when the estimate says a different one is cheaper")
 	corruption := fs.Bool("corruption", false, "arm the data-plane integrity layer: framed transport (CRC + sequence numbers, imputation) and the signal-quality admission gate; defaults -faults to \"corrupt\" when no scenario is chosen")
 	parallel := fs.Int("parallel", 1, "stream through the ordered worker pool with this many workers (1 = sequential; labels and ordering are identical either way)")
+	logJSON := fs.String("log-json", "", "stream the structured event log (one JSON record per classify / re-cut / breaker transition / quarantine) to this file during the run")
+	sloFlag := fs.Bool("slo", false, "print the engine's final SLO table: windowed latency/energy quantiles, degradation-ladder breakdown, health")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -81,6 +83,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	obs := eng.Observer()
+	if *logJSON != "" {
+		f, err := os.Create(*logJSON)
+		if err != nil {
+			fmt.Fprintf(stderr, "xprosim: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		obs.SetEventSink(f)
+		defer obs.SetEventSink(nil)
+	}
 	if *metricsAddr != "" {
 		addr, err := obs.StartIntrospection(*metricsAddr)
 		if err != nil {
@@ -237,6 +249,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "projected battery life at %.1f events/s: %.0f hours\n",
 		rep.EventsPerSecond, rep.SensorLifetimeHours)
 
+	if *sloFlag {
+		printSLO(stdout, eng)
+	}
+	if *logJSON != "" {
+		_, recorded, _ := obs.EventLogStats()
+		fmt.Fprintf(stdout, "event log: %d records written to %s\n", recorded, *logJSON)
+	}
+
 	if *metricsAddr != "" {
 		if code := scrapeMetrics(obs.IntrospectionAddr(), stdout, stderr); code != 0 {
 			return code
@@ -275,6 +295,30 @@ func scrapeMetrics(addr string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// printSLO renders the engine's final SLO table: the same numbers the
+// /slo endpoint serves, formatted for the terminal.
+func printSLO(stdout io.Writer, eng *xpro.Engine) {
+	rep := eng.SLOReport()
+	h := eng.Health()
+	fmt.Fprintf(stdout, "\nSLO (%.0fs window, %d events in window / %d total, health %s",
+		rep.WindowSeconds, rep.WindowEvents, rep.TotalEvents, h.Status)
+	if rep.Breaker != "" {
+		fmt.Fprintf(stdout, ", breaker %s", rep.Breaker)
+	}
+	fmt.Fprintf(stdout, "):\n")
+	fmt.Fprintf(stdout, "  latency p50/p95/p99: %.3f / %.3f / %.3f ms\n",
+		rep.LatencyP50Seconds*1e3, rep.LatencyP95Seconds*1e3, rep.LatencyP99Seconds*1e3)
+	fmt.Fprintf(stdout, "  sensor energy: %.3f µJ/event mean, %.3f µJ p99\n",
+		rep.EnergyPerEventJoules*1e6, rep.EnergyP99Joules*1e6)
+	fmt.Fprintf(stdout, "  degraded ratio %.3f, suspect rate %.3f\n",
+		rep.DegradedRatio, rep.SuspectRate)
+	for _, mode := range []string{"full", "partial", "suspect-data", "sensor-local", "fallback-sensor", "fallback-software"} {
+		if n := rep.Modes[mode]; n > 0 {
+			fmt.Fprintf(stdout, "  mode %-17s %d\n", mode+":", n)
+		}
+	}
 }
 
 func writeTrace(eng *xpro.Engine, path string) error {

@@ -172,3 +172,53 @@ func TestRunParallel(t *testing.T) {
 		t.Error("-parallel 0 accepted, want usage failure")
 	}
 }
+
+// -slo prints the final SLO table and -log-json streams the structured
+// event log; under a fault scenario the log carries ladder events.
+func TestRunSLOAndEventLog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains an engine")
+	}
+	logPath := filepath.Join(t.TempDir(), "events.jsonl")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-case", "C1", "-n", "30", "-faults", "outage",
+		"-slo", "-log-json", logPath}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	s := out.String()
+	for _, want := range []string{"SLO (", "latency p50/p95/p99", "degraded ratio", "event log:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	raw, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 30 {
+		t.Fatalf("event log has %d lines, want >= 30 (one per event)", len(lines))
+	}
+	kinds := map[string]int{}
+	for i, line := range lines {
+		var ev struct {
+			Seq   uint64 `json:"seq"`
+			Trace uint64 `json:"trace"`
+			Kind  string `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if ev.Seq == 0 || ev.Kind == "" {
+			t.Fatalf("line %d incomplete: %s", i, line)
+		}
+		kinds[ev.Kind]++
+	}
+	if kinds["classify"] < 30 {
+		t.Errorf("classify records = %d, want >= 30", kinds["classify"])
+	}
+	if kinds["breaker"] == 0 {
+		t.Error("no breaker transition recorded under a hard outage")
+	}
+}

@@ -239,3 +239,52 @@ func ExampleEngine_ClassifyResult_suspectData() {
 	// suspect=true reasons=true
 	// mode=suspect-data degraded=true
 }
+
+// ExampleNetwork_SLOReport polls the fleet-wide service-level summary:
+// latency quantiles over the union of every node's rolling window,
+// degradation-ladder accounting, and per-node battery headroom against
+// the bottleneck node. The same payload is served on the introspection
+// server's /slo endpoint; /healthz answers 503 while the fleet is
+// degraded.
+func ExampleNetwork_SLOReport() {
+	chest, err := xpro.New(xpro.Config{Case: "C1"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wrist, err := xpro.New(xpro.Config{Case: "M1"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := xpro.NewNetwork(map[string]*xpro.Engine{"chest": chest, "wrist": wrist})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, eng := range []*xpro.Engine{chest, wrist} {
+		for i := 0; i < 3; i++ {
+			if _, err := eng.Classify(eng.TestSet()[i].Samples); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	rep, err := net.SLOReport()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("events: %d in window, %d total\n", rep.WindowEvents, rep.TotalEvents)
+	fmt.Printf("full-fidelity answers: %d, degraded ratio %.1f, suspect rate %.1f\n",
+		rep.Modes["full"], rep.DegradedRatio, rep.SuspectRate)
+	fmt.Printf("latency quantiles ordered: %v\n",
+		rep.LatencyP50Seconds > 0 && rep.LatencyP50Seconds <= rep.LatencyP95Seconds &&
+			rep.LatencyP95Seconds <= rep.LatencyP99Seconds)
+	bottleneck := rep.Nodes[rep.BottleneckNode]
+	fmt.Printf("bottleneck headroom: %.0f h, nodes tracked: %d\n",
+		bottleneck.HeadroomHours, len(rep.Nodes))
+	fmt.Printf("health: %s\n", net.Health().Status)
+	// Output:
+	// events: 6 in window, 6 total
+	// full-fidelity answers: 6, degraded ratio 0.0, suspect rate 0.0
+	// latency quantiles ordered: true
+	// bottleneck headroom: 0 h, nodes tracked: 2
+	// health: ok
+}

@@ -179,3 +179,12 @@ func (e *SuspectDataError) Error() string {
 
 // Is makes errors.Is(err, ErrSuspectData) match.
 func (e *SuspectDataError) Is(target error) bool { return target == ErrSuspectData }
+
+// Reason joins the gate's reasons into the compact comma form the
+// structured event log carries as a quarantine record's Detail.
+func (e *SuspectDataError) Reason() string {
+	if e == nil || len(e.Reasons) == 0 {
+		return "suspect-data"
+	}
+	return strings.Join(e.Reasons, ",")
+}

@@ -3,6 +3,7 @@ package adaptive
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"xpro/internal/partition"
 	"xpro/internal/telemetry"
@@ -84,6 +85,7 @@ type Controller struct {
 	evals, swaps, rollbacks *telemetry.Counter
 	gaugeLoss, gaugeOutage  *telemetry.Gauge
 	gaugeCells              *telemetry.Gauge
+	evalWall                *telemetry.Quantile
 }
 
 // NewController builds a controller around a reference system. limit
@@ -127,6 +129,8 @@ func NewController(cfg Config, sys *xsystem.System, limit float64, metrics *tele
 			"EWMA hard-outage estimate of the channel."),
 		gaugeCells: metrics.Gauge("xpro_active_cut_sensor_cells",
 			"Sensor-side cell count of the currently active cut."),
+		evalWall: metrics.Quantile("xpro_recut_eval_wall_seconds",
+			"Wall time of one re-cut evaluation (windowed quantile sketch on host uptime).", 0),
 	}
 	ns, _ := c.active.Counts()
 	c.gaugeCells.Set(float64(ns))
@@ -168,6 +172,11 @@ func (c *Controller) Evaluate(now float64) (*Change, error) {
 	if c.prev != nil || now-c.lastChange < c.cfg.MinDwellSeconds {
 		return nil, nil
 	}
+	// Only full re-pricings land on the wall-time sketch; the dwell and
+	// probation early-outs above are nanosecond no-ops that would drown
+	// the signal.
+	start := time.Now()
+	defer func() { c.evalWall.ObserveWall(time.Since(start).Seconds()) }()
 
 	// Re-price every cut under the estimated channel: same graph, same
 	// hardware, derated link. Delay is re-priced too — a cut whose

@@ -27,6 +27,7 @@ import (
 	"xpro/internal/biosig"
 	"xpro/internal/faults"
 	"xpro/internal/partition"
+	"xpro/internal/telemetry"
 	"xpro/internal/wireless"
 	"xpro/internal/xsystem"
 )
@@ -169,6 +170,10 @@ type VariantStats struct {
 	ImputedValues int
 	// SensorEnergyJ is the total modeled sensor-node energy spent.
 	SensorEnergyJ float64
+	// LatencyP50S / LatencyP99S are the per-event modeled latency
+	// quantiles over the whole soak, estimated by a mergeable
+	// quantile sketch (rank error under 1%).
+	LatencyP50S, LatencyP99S float64
 	// FinalSensorCells is the sensor-side cell count of the cut that
 	// was active when the soak ended.
 	FinalSensorCells int
@@ -328,6 +333,7 @@ func soakVariant(sys *xsystem.System, fallback *xsystem.System, ctrl *adaptive.C
 		}
 	}
 
+	lat := telemetry.NewSketch(0)
 	for i := 0; i < cfg.Events; i++ {
 		seg := segs[i%len(segs)]
 		now := clock.Now()
@@ -403,10 +409,13 @@ func soakVariant(sys *xsystem.System, fallback *xsystem.System, ctrl *adaptive.C
 			}
 		}
 		st.Events++
+		lat.Add(spent)
 		clock.Advance(period)
 	}
 	ns, _ := active.Placement.Counts()
 	st.FinalSensorCells = ns
+	st.LatencyP50S = lat.Quantile(0.5)
+	st.LatencyP99S = lat.Quantile(0.99)
 	return st, nil
 }
 

@@ -438,6 +438,9 @@ func (pr *Problem) Generate(delayOf func(Placement) float64, limit float64) (Res
 		m.Histogram("xpro_generate_seconds",
 			"Wall time of one generator run.", telemetry.DurationBuckets).
 			Observe(time.Since(start).Seconds())
+		m.Quantile("xpro_generate_wall_seconds",
+			"Wall time of one generator run (windowed quantile sketch on host uptime).",
+			0).ObserveWall(time.Since(start).Seconds())
 		return res
 	}
 

@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestEventLogRingAndSeq(t *testing.T) {
+	l := NewEventLog(4)
+	for i := 0; i < 6; i++ {
+		l.Append(Event{Kind: "classify", Trace: uint64(100 + i)})
+	}
+	if l.Len() != 4 || l.Recorded() != 6 || l.Dropped() != 2 {
+		t.Fatalf("Len/Recorded/Dropped = %d/%d/%d, want 4/6/2", l.Len(), l.Recorded(), l.Dropped())
+	}
+	ev := l.Events()
+	for i, e := range ev {
+		if want := uint64(3 + i); e.Seq != want {
+			t.Errorf("event %d: Seq = %d, want %d (oldest first)", i, e.Seq, want)
+		}
+		if want := uint64(102 + i); e.Trace != want {
+			t.Errorf("event %d: Trace = %d, want %d", i, e.Trace, want)
+		}
+		if e.Wall.IsZero() {
+			t.Errorf("event %d: wall time not stamped", i)
+		}
+	}
+	l.Reset()
+	if l.Len() != 0 || l.Recorded() != 0 || l.Dropped() != 0 {
+		t.Error("Reset did not clear the log")
+	}
+}
+
+func TestEventLogSinksAndJSONL(t *testing.T) {
+	var own, global bytes.Buffer
+	l := NewEventLog(8)
+	l.SetSink(&own)
+	SetDefaultEventSink(&global)
+	defer SetDefaultEventSink(nil)
+
+	l.Append(Event{Kind: "quarantine", Trace: 7, Mode: "suspect-data", Suspect: true, Detail: "nan-burst"})
+	l.Append(Event{Kind: "breaker", Detail: "closed->open"})
+
+	for name, buf := range map[string]*bytes.Buffer{"own": &own, "global": &global} {
+		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+		if len(lines) != 2 {
+			t.Fatalf("%s sink: %d lines, want 2", name, len(lines))
+		}
+		var e Event
+		if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+			t.Fatalf("%s sink line 1: %v", name, err)
+		}
+		if e.Kind != "quarantine" || e.Trace != 7 || !e.Suspect || e.Mode != "suspect-data" {
+			t.Errorf("%s sink line 1 round-trip = %+v", name, e)
+		}
+	}
+
+	var dump bytes.Buffer
+	if err := l.WriteJSONL(&dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.String() != own.String() {
+		t.Error("WriteJSONL should match the streamed sink output")
+	}
+}
+
+func TestEventLogNilSafe(t *testing.T) {
+	var l *EventLog
+	l.Append(Event{Kind: "classify"})
+	l.SetSink(&bytes.Buffer{})
+	if l.Len() != 0 || l.Cap() != 0 || l.Recorded() != 0 || l.Dropped() != 0 || l.Events() != nil {
+		t.Error("nil EventLog is not a no-op")
+	}
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil || buf.Len() != 0 {
+		t.Error("nil WriteJSONL should write nothing")
+	}
+}
+
+func TestEventLogConcurrent(t *testing.T) {
+	l := NewEventLog(64)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 250; i++ {
+				l.Append(Event{Kind: "classify"})
+				l.Events()
+				l.Len()
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if got := l.Recorded(); got != 1000 {
+		t.Fatalf("Recorded = %d, want 1000", got)
+	}
+	ev := l.Events()
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Seq != ev[i-1].Seq+1 {
+			t.Fatalf("sequence gap: %d then %d", ev[i-1].Seq, ev[i].Seq)
+		}
+	}
+}

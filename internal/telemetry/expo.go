@@ -18,6 +18,15 @@ type Bucket struct {
 	Count uint64
 }
 
+// QuantileValue is one exported quantile mark of a windowed quantile
+// series.
+type QuantileValue struct {
+	// Quantile is the rank, e.g. 0.5, 0.99.
+	Quantile float64
+	// Value is the estimated value at that rank over the rolling window.
+	Value float64
+}
+
 // MetricSnapshot is the point-in-time state of one metric series. It is
 // a value copy: later registry updates do not affect it.
 type MetricSnapshot struct {
@@ -28,11 +37,14 @@ type MetricSnapshot struct {
 	Kind MetricKind
 	// Value is the counter or gauge value (unused for histograms).
 	Value float64
-	// Count and Sum summarize a histogram's observations.
+	// Count and Sum summarize a histogram's or quantile series'
+	// observations (cumulative since start).
 	Count uint64
 	Sum   float64
 	// Buckets are the histogram's cumulative buckets, ending with +Inf.
 	Buckets []Bucket
+	// Quantiles are a quantile series' windowed marks (ExpoQuantiles).
+	Quantiles []QuantileValue
 }
 
 // Snapshot returns a copy of every registered series, sorted by family
@@ -55,6 +67,10 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 	hists := make(map[string]*Histogram, len(r.hists))
 	for k, v := range r.hists {
 		hists[k] = v
+	}
+	quants := make(map[string]*Quantile, len(r.quants))
+	for k, v := range r.quants {
+		quants[k] = v
 	}
 	help := make(map[string]string, len(r.help))
 	for k, v := range r.help {
@@ -86,6 +102,15 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 			m.Buckets[len(h.uppers)] = Bucket{UpperBound: math.Inf(1), Count: cum}
 			m.Count = cum
 			m.Sum = h.Sum()
+		case quants[name] != nil:
+			q := quants[name]
+			m.Kind = KindQuantile
+			m.Count = q.Count()
+			m.Sum = q.Sum()
+			m.Quantiles = make([]QuantileValue, len(ExpoQuantiles))
+			for i, qq := range ExpoQuantiles {
+				m.Quantiles[i] = QuantileValue{Quantile: qq, Value: q.Query(qq)}
+			}
 		default:
 			continue
 		}
@@ -111,7 +136,7 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		fam := familyOf(m.Name)
 		if fam != lastFam {
 			if m.Help != "" {
-				fmt.Fprintf(bw, "# HELP %s %s\n", fam, strings.ReplaceAll(m.Help, "\n", " "))
+				fmt.Fprintf(bw, "# HELP %s %s\n", fam, escapeHelp(m.Help))
 			}
 			fmt.Fprintf(bw, "# TYPE %s %s\n", fam, m.Kind)
 			lastFam = fam
@@ -124,11 +149,28 @@ func (r *Registry) WriteProm(w io.Writer) error {
 			}
 			fmt.Fprintf(bw, "%s_sum%s %s\n", base, braced(labels), formatFloat(m.Sum))
 			fmt.Fprintf(bw, "%s_count%s %d\n", base, braced(labels), m.Count)
+		case KindQuantile:
+			base, labels := splitSeries(m.Name)
+			for _, qv := range m.Quantiles {
+				fmt.Fprintf(bw, "%s%s %s\n", base,
+					mergeLabels(labels, "quantile", formatFloat(qv.Quantile)), formatFloat(qv.Value))
+			}
+			fmt.Fprintf(bw, "%s_sum%s %s\n", base, braced(labels), formatFloat(m.Sum))
+			fmt.Fprintf(bw, "%s_count%s %d\n", base, braced(labels), m.Count)
 		default:
 			fmt.Fprintf(bw, "%s %s\n", m.Name, formatFloat(m.Value))
 		}
 	}
 	return bw.Flush()
+}
+
+// escapeHelp escapes HELP text per the text exposition format spec
+// (version 0.0.4): backslash as \\ and line feed as \n. The previous
+// implementation flattened newlines to spaces and left backslashes
+// raw, which a strict parser reads as a broken escape sequence.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
 // splitSeries splits "fam{a=\"b\"}" into "fam" and `a="b"`.

@@ -221,3 +221,29 @@ func TestPublishExpvarIdempotent(t *testing.T) {
 	r.PublishExpvar("telemetry_test_metrics")
 	r.PublishExpvar("telemetry_test_metrics") // second publish must not panic
 }
+
+// TestWritePromHostileValues is the golden exposition test for label
+// and HELP escaping: backslashes, double quotes and newlines must
+// survive a strict 0.0.4-format parser round trip.
+func TestWritePromHostileValues(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(WithLabels("xpro_hostile_total", map[string]string{
+		"path":  `C:\sensors\"chest"`,
+		"multi": "line1\nline2",
+	}), "Help with a \\ backslash\nand a newline.").Add(1)
+
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP xpro_hostile_total Help with a \\ backslash\nand a newline.
+# TYPE xpro_hostile_total counter
+xpro_hostile_total{multi="line1\nline2",path="C:\\sensors\\\"chest\""} 1
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if strings.Count(sb.String(), "\n") != 3 {
+		t.Errorf("hostile values leaked raw newlines:\n%q", sb.String())
+	}
+}

@@ -17,7 +17,10 @@ import (
 //
 //	/metrics      Prometheus text exposition of the registry
 //	/trace        the span ring as JSON
+//	/events       the structured event log as JSON lines
 //	/enginez      registered status sections (config, placement, report)
+//	/healthz      registered health endpoint (via RegisterEndpoint)
+//	/slo          registered SLO endpoint (via RegisterEndpoint)
 //	/debug/vars   expvar
 //	/debug/pprof  the standard Go profiler endpoints
 //
@@ -27,17 +30,35 @@ type Server struct {
 	reg    *Registry
 	tracer *Tracer
 
-	mu     sync.Mutex
-	status map[string]func() any
-	ln     net.Listener
-	hs     *http.Server
+	mu        sync.Mutex
+	status    map[string]func() any
+	endpoints map[string]func() (int, any)
+	events    *EventLog
+	ln        net.Listener
+	hs        *http.Server
 }
 
 // NewServer creates an idle introspection server over reg and tr.
 // Either may be nil: /metrics then serves an empty exposition and
 // /trace an empty span list.
 func NewServer(reg *Registry, tr *Tracer) *Server {
-	return &Server{reg: reg, tracer: tr, status: make(map[string]func() any)}
+	return &Server{
+		reg:       reg,
+		tracer:    tr,
+		status:    make(map[string]func() any),
+		endpoints: make(map[string]func() (int, any)),
+	}
+}
+
+// SetEventLog attaches the structured event log served at /events.
+// A nil log serves an empty stream.
+func (s *Server) SetEventLog(l *EventLog) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.events = l
+	s.mu.Unlock()
 }
 
 // RegisterStatus adds (or replaces) one /enginez section. fn is invoked
@@ -52,6 +73,20 @@ func (s *Server) RegisterStatus(section string, fn func() any) {
 	s.status[section] = fn
 }
 
+// RegisterEndpoint adds (or replaces) a JSON GET endpoint at path
+// (e.g. "/healthz", "/slo"). fn is invoked per request and returns the
+// HTTP status code and a JSON-marshalable body; it must be safe for
+// concurrent use. Registration must happen before Start/Handler —
+// routes are fixed when the mux is built.
+func (s *Server) RegisterEndpoint(path string, fn func() (int, any)) {
+	if s == nil || path == "" || path[0] != '/' || fn == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.endpoints[path] = fn
+}
+
 // Handler returns the server's route mux, usable standalone (e.g. in
 // tests or when embedding into an existing server).
 func (s *Server) Handler() http.Handler {
@@ -59,7 +94,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/", s.serveIndex)
 	mux.HandleFunc("/metrics", s.serveMetrics)
 	mux.HandleFunc("/trace", s.serveTrace)
+	mux.HandleFunc("/events", s.serveEvents)
 	mux.HandleFunc("/enginez", s.serveEnginez)
+	s.mu.Lock()
+	for path, fn := range s.endpoints {
+		mux.HandleFunc(path, s.jsonHandler(fn))
+	}
+	s.mu.Unlock()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -72,6 +113,7 @@ func (s *Server) Handler() http.Handler {
 // Start binds addr (":0" picks a free port) and serves in a background
 // goroutine. It returns the bound address, e.g. "127.0.0.1:43211".
 func (s *Server) Start(addr string) (string, error) {
+	h := s.Handler() // build outside the lock: Handler locks s.mu too
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.ln != nil {
@@ -82,7 +124,7 @@ func (s *Server) Start(addr string) (string, error) {
 		return "", fmt.Errorf("telemetry: %w", err)
 	}
 	s.ln = ln
-	s.hs = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	s.hs = &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
 	go s.hs.Serve(ln) //nolint:errcheck // Serve always returns on Close
 	return ln.Addr().String(), nil
 }
@@ -119,9 +161,44 @@ func (s *Server) serveIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "")
 	fmt.Fprintln(w, "  /metrics      Prometheus text exposition")
 	fmt.Fprintln(w, "  /trace        per-cell span ring (JSON)")
+	fmt.Fprintln(w, "  /events       structured event log (JSON lines)")
 	fmt.Fprintln(w, "  /enginez      engine config, placement and report (JSON)")
+	s.mu.Lock()
+	paths := make([]string, 0, len(s.endpoints))
+	for p := range s.endpoints {
+		paths = append(paths, p)
+	}
+	s.mu.Unlock()
+	sort.Strings(paths)
+	for _, p := range paths {
+		fmt.Fprintf(w, "  %-13s registered JSON endpoint\n", p)
+	}
 	fmt.Fprintln(w, "  /debug/vars   expvar")
 	fmt.Fprintln(w, "  /debug/pprof  Go profiler")
+}
+
+func (s *Server) serveEvents(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	l := s.events
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	if err := l.WriteJSONL(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// jsonHandler wraps a RegisterEndpoint function into an http.Handler
+// that writes the returned body as indented JSON with the returned
+// status code.
+func (s *Server) jsonHandler(fn func() (int, any)) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		code, body := fn()
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.WriteHeader(code)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(body) //nolint:errcheck // response already committed
+	}
 }
 
 func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {

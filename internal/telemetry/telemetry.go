@@ -46,6 +46,10 @@ const (
 	KindGauge
 	// KindHistogram is a fixed-bucket distribution.
 	KindHistogram
+	// KindQuantile is a windowed quantile sketch, exposed in the
+	// Prometheus summary shape: windowed quantiles plus cumulative
+	// _sum and _count.
+	KindQuantile
 )
 
 func (k MetricKind) String() string {
@@ -56,6 +60,8 @@ func (k MetricKind) String() string {
 		return "gauge"
 	case KindHistogram:
 		return "histogram"
+	case KindQuantile:
+		return "summary"
 	default:
 		return "untyped"
 	}
@@ -194,6 +200,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	quants   map[string]*Quantile
 	help     map[string]string     // keyed by family name
 	kinds    map[string]MetricKind // keyed by family name
 	order    []string              // full names in registration order
@@ -205,6 +212,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		quants:   make(map[string]*Quantile),
 		help:     make(map[string]string),
 		kinds:    make(map[string]MetricKind),
 	}
@@ -331,6 +339,30 @@ func (r *Registry) Histogram(name, help string, uppers []float64) *Histogram {
 	r.hists[name] = h
 	r.order = append(r.order, name)
 	return h
+}
+
+// Quantile returns the windowed quantile series registered under
+// name, creating it with the given rolling window on first use (later
+// calls reuse the first window; non-positive windows take
+// DefaultSLOWindowSeconds). See Counter for naming and clash
+// semantics.
+func (r *Registry) Quantile(name, help string, windowSeconds float64) *Quantile {
+	if r == nil {
+		return nil
+	}
+	name = sanitizeName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if q, ok := r.quants[name]; ok {
+		return q
+	}
+	if !r.claim(name, KindQuantile, help) {
+		return newQuantile(windowSeconds)
+	}
+	q := newQuantile(windowSeconds)
+	r.quants[name] = q
+	r.order = append(r.order, name)
+	return q
 }
 
 // WithLabels renders name{k="v",...} with keys sorted and values

@@ -445,6 +445,9 @@ func (s *System) Classify(seg biosig.Segment) (int, error) {
 	m.Histogram("xpro_classify_seconds",
 		"Wall time of one Classify call.", telemetry.DurationBuckets).
 		Observe(time.Since(start).Seconds())
+	m.Quantile("xpro_classify_wall_seconds",
+		"Wall time of one Classify call (windowed quantile sketch on host uptime).",
+		0).ObserveWall(time.Since(start).Seconds())
 	ns, na := s.Placement.Counts()
 	m.Counter(telemetry.WithLabels("xpro_cells_executed_total", map[string]string{"end": "sensor"}),
 		"Functional-cell activations by end.").Add(float64(ns))

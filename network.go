@@ -30,6 +30,12 @@ type Network struct {
 	mu         sync.Mutex
 	cached     *bsn.Network
 	cachedGens []uint64
+	// rep memoizes the computed NetworkReport against the view it was
+	// derived from; slo memoizes the fleet SLO report behind every
+	// engine's quantile generations (see slo.go).
+	rep    *NetworkReport
+	repFor *bsn.Network
+	slo    sloCache
 }
 
 // NewNetwork assembles a network from named engines. The engines should
@@ -59,6 +65,20 @@ func NewNetwork(engines map[string]*Engine) (*Network, error) {
 		}
 		return rep
 	})
+	obs.setEndpoint("/slo", func() (int, any) {
+		rep, err := n.SLOReport()
+		if err != nil {
+			return 500, map[string]string{"error": err.Error()}
+		}
+		return 200, rep
+	})
+	obs.setEndpoint("/healthz", func() (int, any) {
+		h := n.Health()
+		if h.Status != "ok" {
+			return 503, h
+		}
+		return 200, h
+	})
 	return n, nil
 }
 
@@ -75,6 +95,12 @@ func NewNetwork(engines map[string]*Engine) (*Network, error) {
 func (n *Network) net() (*bsn.Network, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	return n.netLocked()
+}
+
+// netLocked is net for callers already holding n.mu (Report and
+// SLOReport memoize derived results under the same critical section).
+func (n *Network) netLocked() (*bsn.Network, error) {
 	gens := make([]uint64, len(n.names))
 	fresh := n.cached != nil
 	for i, name := range n.names {
@@ -128,11 +154,19 @@ type NetworkReport struct {
 
 // Report computes the network summary over each engine's currently
 // effective system, so degraded-mode engines (open breaker, adaptive
-// re-cut) are accounted as they run.
+// re-cut) are accounted as they run. The computed report is memoized
+// against the shared-resource view it derives from: while no engine's
+// serving epoch moves, repeated calls copy two pre-sized maps instead
+// of re-pricing every node.
 func (n *Network) Report() (NetworkReport, error) {
-	nw, err := n.net()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	nw, err := n.netLocked()
 	if err != nil {
 		return NetworkReport{}, err
+	}
+	if n.rep != nil && n.repFor == nw {
+		return n.rep.copyForCaller(), nil
 	}
 	lifetimes, err := nw.NodeLifetimes()
 	if err != nil {
@@ -146,14 +180,32 @@ func (n *Network) Report() (NetworkReport, error) {
 	if err != nil {
 		return NetworkReport{}, err
 	}
-	return NetworkReport{
+	rep := NetworkReport{
 		NodeLifetimeHours:       lifetimes,
 		BottleneckNode:          name,
 		BottleneckHours:         hours,
 		AggregatorLifetimeHours: aggLife,
 		AggregatorUtilization:   nw.AggregatorUtilization(),
 		WorstCaseDelaySeconds:   nw.WorstCaseDelay(),
-	}, nil
+	}
+	n.rep, n.repFor = &rep, nw
+	return rep.copyForCaller(), nil
+}
+
+// copyForCaller hands out the memoized report with its own pre-sized
+// maps, so one caller's mutation cannot corrupt another's view.
+func (r NetworkReport) copyForCaller() NetworkReport {
+	life := make(map[string]float64, len(r.NodeLifetimeHours))
+	for k, v := range r.NodeLifetimeHours {
+		life[k] = v
+	}
+	r.NodeLifetimeHours = life
+	delay := make(map[string]float64, len(r.WorstCaseDelaySeconds))
+	for k, v := range r.WorstCaseDelaySeconds {
+		delay[k] = v
+	}
+	r.WorstCaseDelaySeconds = delay
+	return r
 }
 
 // RealTimeOK reports whether every node meets the delay limit even under

@@ -31,15 +31,27 @@ type Metric struct {
 	Name string
 	// Help is the family's description.
 	Help string
-	// Kind is "counter", "gauge" or "histogram".
+	// Kind is "counter", "gauge", "histogram" or "summary" (windowed
+	// quantile series).
 	Kind string
 	// Value is the counter or gauge value.
 	Value float64
-	// Count and Sum summarize a histogram's observations.
+	// Count and Sum summarize a histogram's or quantile series'
+	// observations (cumulative since start).
 	Count uint64
 	Sum   float64
 	// Buckets are a histogram's cumulative buckets, ending at +Inf.
 	Buckets []MetricBucket
+	// Quantiles are a quantile series' windowed marks (p50/p90/p95/p99).
+	Quantiles []MetricQuantile
+}
+
+// MetricQuantile is one windowed quantile mark of a summary series.
+type MetricQuantile struct {
+	// Quantile is the rank, e.g. 0.5, 0.99.
+	Quantile float64
+	// Value is the estimated value at that rank over the rolling window.
+	Value float64
 }
 
 // MetricBucket is one cumulative histogram bucket.
@@ -75,24 +87,60 @@ type Span struct {
 	Suspect bool
 }
 
+// LogEvent is one structured record of the SLO event log: a classify,
+// a re-cut decision, a circuit-breaker transition or a suspect-data
+// quarantine. Trace is the span tracer's event ID for the same
+// occurrence — the join key between the event stream and Spans().
+type LogEvent struct {
+	// Seq is the log-assigned sequence number (1-based).
+	Seq uint64
+	// Trace matches Span.Event of the span recorded for the same
+	// occurrence (0 when tracing is off).
+	Trace uint64
+	// TimeSeconds is the modeled clock reading when the event happened.
+	TimeSeconds float64
+	// Wall is the host wall-clock time of the record.
+	Wall time.Time
+	// Kind is "classify", "recut-swap", "recut-rollback", "breaker" or
+	// "quarantine".
+	Kind string
+	// Subject names the fleet subject, when known.
+	Subject string
+	// Mode is the degradation rung that served a classify record.
+	Mode string
+	// Detail carries kind-specific context: breaker "closed->open",
+	// quarantine reasons, re-cut cell movement.
+	Detail string
+	// LatencySeconds / EnergyJoules are the event's modeled costs.
+	LatencySeconds float64
+	EnergyJoules   float64
+	// Degraded and Suspect mirror the span flags.
+	Degraded bool
+	Suspect  bool
+}
+
 // Observer is the observability handle of one Engine or Network: a
-// concurrency-safe metrics registry, a bounded span tracer, and an
-// opt-in introspection HTTP server. All methods are safe for
-// concurrent use.
+// concurrency-safe metrics registry, a bounded span tracer, a bounded
+// structured event log, and an opt-in introspection HTTP server. All
+// methods are safe for concurrent use.
 type Observer struct {
 	reg    *telemetry.Registry
 	tracer *telemetry.Tracer
+	events *telemetry.EventLog
 
-	mu     sync.Mutex
-	status map[string]func() any
-	srv    *telemetry.Server
+	mu        sync.Mutex
+	status    map[string]func() any
+	endpoints map[string]func() (int, any)
+	srv       *telemetry.Server
 }
 
 func newObserver(traceCapacity int) *Observer {
 	return &Observer{
-		reg:    telemetry.NewRegistry(),
-		tracer: telemetry.NewTracer(traceCapacity),
-		status: make(map[string]func() any),
+		reg:       telemetry.NewRegistry(),
+		tracer:    telemetry.NewTracer(traceCapacity),
+		events:    telemetry.NewEventLog(telemetry.DefaultEventLogCapacity),
+		status:    make(map[string]func() any),
+		endpoints: make(map[string]func() (int, any)),
 	}
 }
 
@@ -101,6 +149,14 @@ func (o *Observer) setStatus(section string, fn func() any) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.status[section] = fn
+}
+
+// setEndpoint registers one JSON endpoint (path like "/slo") served by
+// the introspection server.
+func (o *Observer) setEndpoint(path string, fn func() (int, any)) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.endpoints[path] = fn
 }
 
 // Metrics returns a snapshot of every metric series, sorted by name.
@@ -120,6 +176,12 @@ func (o *Observer) Metrics() []Metric {
 			out[i].Buckets = make([]MetricBucket, len(m.Buckets))
 			for j, b := range m.Buckets {
 				out[i].Buckets[j] = MetricBucket{UpperBound: b.UpperBound, Count: b.Count}
+			}
+		}
+		if len(m.Quantiles) > 0 {
+			out[i].Quantiles = make([]MetricQuantile, len(m.Quantiles))
+			for j, q := range m.Quantiles {
+				out[i].Quantiles[j] = MetricQuantile{Quantile: q.Quantile, Value: q.Value}
 			}
 		}
 	}
@@ -181,9 +243,44 @@ func (o *Observer) WriteTraceJSON(w io.Writer) error {
 	return o.tracer.WriteJSON(w)
 }
 
+// Events returns the retained structured event-log records, oldest
+// first. Each record's Trace joins it to the span with the same Event
+// ID in Spans().
+func (o *Observer) Events() []LogEvent {
+	evs := o.events.Events()
+	out := make([]LogEvent, len(evs))
+	for i, e := range evs {
+		out[i] = LogEvent{
+			Seq: e.Seq, Trace: e.Trace, TimeSeconds: e.TimeSeconds, Wall: e.Wall,
+			Kind: e.Kind, Subject: e.Subject, Mode: e.Mode, Detail: e.Detail,
+			LatencySeconds: e.LatencySeconds, EnergyJoules: e.EnergyJoules,
+			Degraded: e.Degraded, Suspect: e.Suspect,
+		}
+	}
+	return out
+}
+
+// SetEventSink streams every appended event-log record to w as one
+// JSON line (nil removes the sink). The bounded in-memory ring keeps
+// only the newest records; the sink sees them all.
+func (o *Observer) SetEventSink(w io.Writer) { o.events.SetSink(w) }
+
+// WriteEventsJSONL writes the retained event-log records as JSON
+// lines, oldest first — the same bytes the /events endpoint serves.
+func (o *Observer) WriteEventsJSONL(w io.Writer) error {
+	return o.events.WriteJSONL(w)
+}
+
+// EventLogStats reports the event-log ring's occupancy: retained
+// records, total recorded, and how many were evicted.
+func (o *Observer) EventLogStats() (retained int, recorded, dropped uint64) {
+	return o.events.Len(), o.events.Recorded(), o.events.Dropped()
+}
+
 // StartIntrospection binds addr (":0" picks a free port) and serves
-// /metrics, /trace, /enginez, /debug/vars and /debug/pprof in the
-// background until StopIntrospection. It returns the bound address.
+// /metrics, /trace, /events, /enginez, /healthz, /slo, /debug/vars and
+// /debug/pprof in the background until StopIntrospection. It returns
+// the bound address.
 func (o *Observer) StartIntrospection(addr string) (string, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -191,8 +288,12 @@ func (o *Observer) StartIntrospection(addr string) (string, error) {
 		return "", errors.New("xpro: introspection server already running")
 	}
 	srv := telemetry.NewServer(o.reg, o.tracer)
+	srv.SetEventLog(o.events)
 	for name, fn := range o.status {
 		srv.RegisterStatus(name, fn)
+	}
+	for path, fn := range o.endpoints {
+		srv.RegisterEndpoint(path, fn)
 	}
 	bound, err := srv.Start(addr)
 	if err != nil {
@@ -256,6 +357,9 @@ func (e *Engine) ClassifyBatch(segments [][]float64) ([]int, error) {
 	m.Histogram("xpro_classify_batch_seconds",
 		"Wall time of one ClassifyBatch call.", telemetry.DurationBuckets).
 		Observe(time.Since(start).Seconds())
+	m.Quantile("xpro_classify_batch_wall_seconds",
+		"Wall time of one batch classify call (windowed quantile sketch on host uptime).",
+		0).ObserveWall(time.Since(start).Seconds())
 	return labels, nil
 }
 
@@ -300,6 +404,7 @@ func (e *Engine) classifyBatch(segments [][]float64) ([]int, error) {
 	if len(labels) != len(segments) {
 		return nil, fmt.Errorf("xpro: stream returned %d results for %d segments", len(labels), len(segments))
 	}
+	e.observePlainEvents(len(labels))
 	return labels, nil
 }
 

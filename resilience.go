@@ -102,6 +102,10 @@ type Result struct {
 	// ImputedValues counts crossed values reconstructed by the
 	// imputation policy because their frames were lost.
 	ImputedValues int
+	// SensorEnergyJoules is the modeled sensor-node energy the event
+	// actually consumed — retries, fallback compute and all — the value
+	// the xpro_event_energy_joules quantile series observes.
+	SensorEnergyJoules float64
 	// Breaker is the circuit breaker state after the event
 	// ("closed", "half-open", "open"); empty without a policy.
 	Breaker string
@@ -387,6 +391,7 @@ func (r *resilient) classifyCtx(ctx context.Context, e *Engine, seg biosig.Segme
 	r.clock.Advance(r.period)
 
 	m := e.obs.reg
+	now := r.clock.Now()
 	// Integrity counters fire for quarantined events too: the damage
 	// happened whether or not the gate let the label out.
 	if res.CorruptFrames > 0 || res.CorruptDelivered > 0 {
@@ -401,26 +406,39 @@ func (r *resilient) classifyCtx(ctx context.Context, e *Engine, seg biosig.Segme
 	}
 	if err != nil {
 		if errors.Is(err, ErrSuspectData) {
-			m.Counter("xpro_quality_rejected_total",
-				"Events the signal-quality admission gate rejected or quarantined.").Inc()
+			// Quarantined events land on the SLO series too: the latency
+			// and energy were spent whether or not the label was released.
+			e.slo.observe(now, res.SpentSeconds, res.SensorEnergyJoules, res.ImputedValues)
+			e.slo.qualityRejected.Inc()
+			var ev uint64
 			if tr := e.obs.tracer; tr != nil {
+				ev = tr.NextEvent()
 				tr.Add(telemetry.Span{
-					Event: tr.NextEvent(), Name: "classify", End: "event",
+					Event: ev, Name: "classify", End: "event",
 					Start: start, Wall: time.Since(start),
 					DelaySeconds: res.SpentSeconds, Degraded: true, Suspect: true,
 					Err: err.Error(),
 				})
 			}
+			detail := "suspect-data"
+			var sde *SuspectDataError
+			if errors.As(err, &sde) {
+				detail = sde.Reason()
+			}
+			e.obs.events.Append(telemetry.Event{
+				Trace: ev, TimeSeconds: now, Kind: "quarantine",
+				Mode: ModeSuspectData.String(), Detail: detail,
+				LatencySeconds: res.SpentSeconds, EnergyJoules: res.SensorEnergyJoules,
+				Degraded: true, Suspect: true,
+			})
 		}
-		m.Counter("xpro_classify_errors_total",
-			"Classify calls that returned an error.").Inc()
+		e.slo.errorsTotal.Inc()
 		return res, err
 	}
 	if r.ctrl != nil {
 		// Close the adaptive loop: fold the event's channel evidence,
 		// let probation roll a misbehaving fresh cut back, then ask the
 		// controller whether the estimated channel prices a better cut.
-		now := r.clock.Now()
 		violated := res.DeadlineExceeded || res.SpentSeconds > r.policy.Deadline
 		if ch := r.ctrl.ObserveEvent(now, r.lastOut, violated); ch != nil {
 			r.install(e, ch)
@@ -430,8 +448,8 @@ func (r *resilient) classifyCtx(ctx context.Context, e *Engine, seg biosig.Segme
 		}
 	}
 	res.Breaker = r.breaker.State().String()
-	m.Counter("xpro_classify_total",
-		"Segments classified through the partitioned pipeline.").Inc()
+	e.slo.classifyTotal.Inc()
+	e.slo.observe(now, res.SpentSeconds, res.SensorEnergyJoules, res.ImputedValues)
 	m.Histogram("xpro_classify_seconds",
 		"Wall time of one Classify call.", telemetry.DurationBuckets).
 		Observe(time.Since(start).Seconds())
@@ -450,18 +468,23 @@ func (r *resilient) classifyCtx(ctx context.Context, e *Engine, seg biosig.Segme
 			"Events whose modeled deadline budget ran out.").Inc()
 	}
 	if res.Degraded {
-		m.Counter(telemetry.WithLabels("xpro_classify_degraded_total",
-			map[string]string{"mode": res.Mode.String()}),
-			"Classifications served through a degraded path, by mode.").Inc()
+		e.slo.degraded[res.Mode].Inc()
 	}
+	var ev uint64
 	if tr := e.obs.tracer; tr != nil {
+		ev = tr.NextEvent()
 		tr.Add(telemetry.Span{
-			Event: tr.NextEvent(), Name: "classify", End: "event",
+			Event: ev, Name: "classify", End: "event",
 			Start: start, Wall: time.Since(start),
 			DelaySeconds: res.SpentSeconds, Degraded: res.Degraded,
 			Suspect: res.Mode == ModeSuspectData,
 		})
 	}
+	e.obs.events.Append(telemetry.Event{
+		Trace: ev, TimeSeconds: now, Kind: "classify", Mode: res.Mode.String(),
+		LatencySeconds: res.SpentSeconds, EnergyJoules: res.SensorEnergyJoules,
+		Degraded: res.Degraded,
+	})
 	return res, nil
 }
 
@@ -510,7 +533,7 @@ func (r *resilient) classifyLocked(e *Engine, seg biosig.Segment) (Result, error
 				Retries: out.Retries, LostTransfers: out.LostTransfers,
 				DeadlineExceeded: out.DeadlineExceeded, SpentSeconds: out.SpentSeconds,
 				CorruptFrames: out.CorruptFrames, CorruptDelivered: out.CorruptDelivered,
-				ImputedValues: out.ImputedValues,
+				ImputedValues: out.ImputedValues, SensorEnergyJoules: out.SensorEnergy,
 			}
 			switch {
 			case out.Complete:
@@ -556,12 +579,19 @@ func (r *resilient) install(e *Engine, ch *adaptive.Change) {
 	e.active.Store(ch.System)
 	e.epoch.Add(1)
 	e.publishReportGauges()
+	var ev uint64
 	if tr := e.obs.tracer; tr != nil {
+		ev = tr.NextEvent()
 		tr.Add(telemetry.Span{
-			Event: tr.NextEvent(), Name: "recut-" + ch.Kind, End: "event",
+			Event: ev, Name: "recut-" + ch.Kind, End: "event",
 			Start: time.Now(), DelaySeconds: r.clock.Now(),
 		})
 	}
+	sensor, _ := ch.Placement.Counts()
+	e.obs.events.Append(telemetry.Event{
+		Trace: ev, TimeSeconds: r.clock.Now(), Kind: "recut-" + ch.Kind,
+		Detail: fmt.Sprintf("sensor-cells=%d", sensor),
+	})
 }
 
 // usingFallback reports whether events are currently being routed
@@ -593,12 +623,15 @@ func (r *resilient) fallbackClassify(e *Engine, seg biosig.Segment, state faults
 		Degraded: true,
 		Retries:  attempt.Retries, LostTransfers: attempt.LostTransfers,
 		DeadlineExceeded: attempt.DeadlineExceeded, SpentSeconds: attempt.SpentSeconds,
+		SensorEnergyJoules: attempt.SensorEnergy,
 	}
 	if state.Brownout {
 		// The sensor's cell array is below threshold: the in-sensor
 		// fallback cannot compute, but sensing survives — stream raw
 		// samples and classify in software on the aggregator.
-		if ok := r.sendRaw(e); !ok {
+		txEnergy, ok := r.sendRaw(e)
+		base.SensorEnergyJoules += txEnergy
+		if !ok {
 			return Result{}, fmt.Errorf("xpro: sensor browned out and link unavailable: no path to a classification")
 		}
 		label, err := e.ens.Predict(seg)
@@ -619,18 +652,33 @@ func (r *resilient) fallbackClassify(e *Engine, seg biosig.Segment, state faults
 	if base.SpentSeconds == 0 {
 		base.SpentSeconds = out.SpentSeconds
 	}
+	// The fallback run's sensor-side energy rides on top of whatever the
+	// failed attempt already spent; when the attempt sensed the segment
+	// once, the fallback does not sense it again.
+	fe := out.SensorEnergy
+	if attempt.SensorEnergy > 0 {
+		fe -= r.fallback.Problem().SensingEnergy
+	}
+	if fe > 0 {
+		base.SensorEnergyJoules += fe
+	}
 	return base, nil
 }
 
 // sendRaw attempts to move the raw segment across the link under the
-// retry policy (used by the software fallback during brownouts).
-func (r *resilient) sendRaw(e *Engine) bool {
+// retry policy (used by the software fallback during brownouts). It
+// returns the sensor-side TX energy spent across all attempts,
+// successful or not — retransmissions drain the battery either way.
+func (r *resilient) sendRaw(e *Engine) (float64, bool) {
+	var txEnergy float64
 	for attempt := 0; attempt <= r.policy.MaxRetries; attempt++ {
-		if _, err := r.link.Send(e.graph.SourceBits); err == nil {
-			return true
+		tr, err := r.link.Send(e.graph.SourceBits)
+		txEnergy += tr.TxEnergy
+		if err == nil {
+			return txEnergy, true
 		}
 	}
-	return false
+	return txEnergy, false
 }
 
 // ClassifyResult is Classify with degradation provenance: the label

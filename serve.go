@@ -105,6 +105,9 @@ func (e *Engine) ClassifyBatchParallel(ctx context.Context, segments [][]float64
 	m.Histogram("xpro_classify_batch_seconds",
 		"Wall time of one ClassifyBatch call.", telemetry.DurationBuckets).
 		Observe(time.Since(start).Seconds())
+	m.Quantile("xpro_classify_batch_wall_seconds",
+		"Wall time of one batch classify call (windowed quantile sketch on host uptime).",
+		0).ObserveWall(time.Since(start).Seconds())
 	return labels, nil
 }
 
@@ -134,6 +137,7 @@ func (e *Engine) classifyBatchParallel(ctx context.Context, segments [][]float64
 	if err != nil {
 		return nil, err
 	}
+	e.observePlainEvents(len(labels))
 	return labels, nil
 }
 

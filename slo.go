@@ -1,0 +1,437 @@
+package xpro
+
+import (
+	"sync"
+
+	"xpro/internal/telemetry"
+)
+
+// This file is the SLO layer: windowed latency/energy quantiles over
+// mergeable sketches, per-rung degradation accounting, and the cheap
+// point-in-time reports the /slo and /healthz endpoints serve. Every
+// quantile series rides the engine's modeled clock, so a seeded fault
+// run reproduces the same SLO numbers bit-identically; fleet-wide
+// quantiles are per-engine window sketches merged at query time (not
+// averages of averages). Reports are memoized behind the same
+// serving-epoch discipline Network's shared-resource view uses, so
+// polling per request costs a few atomic loads when nothing changed.
+
+// degradeModes enumerates every rung once, in ladder order, for
+// per-rung breakdowns.
+var degradeModes = []DegradeMode{
+	ModeFull, ModePartial, ModeSuspectData,
+	ModeSensorLocal, ModeFallbackSensor, ModeFallbackSoftware,
+}
+
+// sloHandles are the engine's pre-resolved SLO metric handles: the hot
+// classify path observes through these pointers instead of re-walking
+// the registry maps (and re-rendering label strings) per event.
+type sloHandles struct {
+	latency *telemetry.Quantile // modeled per-event latency (s)
+	energy  *telemetry.Quantile // modeled sensor energy per event (J)
+	imputed *telemetry.Quantile // imputed values per event
+
+	classifyTotal   *telemetry.Counter
+	errorsTotal     *telemetry.Counter
+	qualityRejected *telemetry.Counter
+	degraded        map[DegradeMode]*telemetry.Counter
+
+	// mu guards the memoized report and its scratch sketches.
+	mu       sync.Mutex
+	memo     SLOReport
+	memoKey  sloKey
+	memoOK   bool
+	scratch  *telemetry.Sketch
+	escratch *telemetry.Sketch
+}
+
+// sloKey is the staleness key of a memoized engine SLO report: the
+// serving epoch plus each quantile series' observation generation.
+type sloKey struct {
+	epoch, latGen, enGen uint64
+}
+
+func newSLOHandles(reg *telemetry.Registry, windowSeconds float64) *sloHandles {
+	h := &sloHandles{
+		latency: reg.Quantile("xpro_classify_latency_seconds",
+			"Modeled per-event classify latency (windowed quantile sketch on the modeled clock).",
+			windowSeconds),
+		energy: reg.Quantile("xpro_event_energy_joules",
+			"Modeled sensor-node energy per classification event (windowed quantile sketch).",
+			windowSeconds),
+		imputed: reg.Quantile("xpro_imputed_values",
+			"Crossed values imputed per event after frame loss (windowed quantile sketch).",
+			windowSeconds),
+		classifyTotal: reg.Counter("xpro_classify_total",
+			"Segments classified through the partitioned pipeline."),
+		errorsTotal: reg.Counter("xpro_classify_errors_total",
+			"Classify calls that returned an error."),
+		qualityRejected: reg.Counter("xpro_quality_rejected_total",
+			"Events the signal-quality admission gate rejected or quarantined."),
+		degraded: make(map[DegradeMode]*telemetry.Counter, len(degradeModes)),
+		scratch:  telemetry.NewSketch(0),
+		escratch: telemetry.NewSketch(0),
+	}
+	for _, m := range degradeModes {
+		if m == ModeFull {
+			continue // full-path answers are counted by classifyTotal
+		}
+		h.degraded[m] = reg.Counter(telemetry.WithLabels("xpro_classify_degraded_total",
+			map[string]string{"mode": m.String()}),
+			"Classifications served through a degraded path, by mode.")
+	}
+	return h
+}
+
+// observe records one finished event (answered or quarantined) on the
+// windowed quantile series at modeled time now.
+func (h *sloHandles) observe(now, latencySeconds, energyJoules float64, imputedValues int) {
+	h.latency.Observe(now, latencySeconds)
+	h.energy.Observe(now, energyJoules)
+	h.imputed.Observe(now, float64(imputedValues))
+}
+
+// SLOReport is the point-in-time service-level summary of one engine:
+// latency and energy quantiles over the rolling window, and the
+// degradation-ladder accounting since start. Latency and energy ride
+// the engine's modeled clock, so the window is modeled seconds (see
+// Config.SLOWindowSeconds), and a seeded fault run reproduces the same
+// report deterministically.
+type SLOReport struct {
+	// WindowSeconds is the rolling window the quantiles cover.
+	WindowSeconds float64
+	// WindowEvents / TotalEvents count observed events (answered plus
+	// quarantined) inside the window and since start.
+	WindowEvents uint64
+	TotalEvents  uint64
+
+	// Windowed modeled classify latency quantiles (seconds).
+	LatencyP50Seconds float64
+	LatencyP95Seconds float64
+	LatencyP99Seconds float64
+
+	// EnergyPerEventJoules is the mean modeled sensor energy per event
+	// over the window; EnergyP99Joules its windowed 99th percentile.
+	EnergyPerEventJoules float64
+	EnergyP99Joules      float64
+
+	// DegradedRatio is degraded answers / all answers (since start).
+	DegradedRatio float64
+	// SuspectRate is quarantined events / all observed events.
+	SuspectRate float64
+
+	// Modes counts events per degradation rung since start, keyed by
+	// DegradeMode.String() ("full", "partial", "suspect-data", ...).
+	Modes map[string]uint64
+
+	// Breaker is the circuit breaker state ("closed", "half-open",
+	// "open"); empty on an engine without a Resilience policy.
+	Breaker string
+}
+
+// key returns the current staleness key (cheap: three atomic-ish
+// reads).
+func (e *Engine) sloCurrentKey() sloKey {
+	return sloKey{
+		epoch:  e.generation(),
+		latGen: e.slo.latency.Gen(),
+		enGen:  e.slo.energy.Gen(),
+	}
+}
+
+// SLOReport computes the engine's service-level summary. The report is
+// memoized behind the serving epoch and the quantile series'
+// generations, so polling it per request costs a key comparison and a
+// small map copy when no event has landed since the last call.
+func (e *Engine) SLOReport() SLOReport {
+	h := e.slo
+	key := e.sloCurrentKey()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.memoOK && h.memoKey == key {
+		return h.memo.withCopiedModes()
+	}
+	rep := e.buildSLOLocked()
+	h.memo, h.memoKey, h.memoOK = rep, key, true
+	return rep.withCopiedModes()
+}
+
+// withCopiedModes returns the report with its own Modes map, so a
+// cached report handed to one caller cannot be mutated under another.
+func (r SLOReport) withCopiedModes() SLOReport {
+	if r.Modes == nil {
+		return r
+	}
+	m := make(map[string]uint64, len(r.Modes))
+	for k, v := range r.Modes {
+		m[k] = v
+	}
+	r.Modes = m
+	return r
+}
+
+// buildSLOLocked assembles the report from the live series. Caller
+// holds e.slo.mu.
+func (e *Engine) buildSLOLocked() SLOReport {
+	h := e.slo
+	h.scratch.Reset()
+	h.latency.MergeWindowTo(h.scratch)
+	h.escratch.Reset()
+	h.energy.MergeWindowTo(h.escratch)
+
+	rep := SLOReport{
+		WindowSeconds: h.latency.WindowSeconds(),
+		WindowEvents:  h.scratch.Count(),
+		TotalEvents:   h.latency.Count(),
+	}
+	lat, en := h.scratch, h.escratch
+	if lat.Count() == 0 {
+		// Nothing inside the window: answer from the cumulative series,
+		// like Quantile.Query does.
+		lat = h.latency.CumulativeSketch()
+		en = h.energy.CumulativeSketch()
+	}
+	rep.LatencyP50Seconds = lat.Quantile(0.5)
+	rep.LatencyP95Seconds = lat.Quantile(0.95)
+	rep.LatencyP99Seconds = lat.Quantile(0.99)
+	if n := en.Count(); n > 0 {
+		rep.EnergyPerEventJoules = en.Sum() / float64(n)
+	}
+	rep.EnergyP99Joules = en.Quantile(0.99)
+
+	answered := uint64(h.classifyTotal.Value())
+	rejected := uint64(h.qualityRejected.Value())
+	rep.Modes = make(map[string]uint64, len(degradeModes))
+	var degradedTotal uint64
+	for m, c := range h.degraded {
+		v := uint64(c.Value())
+		rep.Modes[m.String()] = v
+		degradedTotal += v
+	}
+	rep.Modes[ModeSuspectData.String()] = rejected
+	full := answered - degradedTotal
+	if answered < degradedTotal { // races between counter reads
+		full = 0
+	}
+	rep.Modes[ModeFull.String()] = full
+	if answered > 0 {
+		rep.DegradedRatio = float64(degradedTotal) / float64(answered)
+	}
+	if total := answered + rejected; total > 0 {
+		rep.SuspectRate = float64(rejected) / float64(total)
+	}
+	if e.res != nil {
+		rep.Breaker = e.res.breaker.State().String()
+	}
+	return rep
+}
+
+// Health is the liveness/degradation summary /healthz serves.
+type Health struct {
+	// Status is "ok" or "degraded". An engine is degraded while its
+	// circuit breaker is open, or when most recent answers came through
+	// a degraded rung (DegradedRatio > 0.5) or were quarantined
+	// (SuspectRate > 0.5).
+	Status string
+	// Breaker is the circuit breaker state (engines; empty for fleets
+	// and engines without a Resilience policy).
+	Breaker       string
+	DegradedRatio float64
+	SuspectRate   float64
+	// WindowEvents counts events inside the rolling SLO window.
+	WindowEvents uint64
+}
+
+func healthOf(breaker string, degradedRatio, suspectRate float64, windowEvents uint64) Health {
+	h := Health{
+		Status:        "ok",
+		Breaker:       breaker,
+		DegradedRatio: degradedRatio,
+		SuspectRate:   suspectRate,
+		WindowEvents:  windowEvents,
+	}
+	if breaker == "open" || degradedRatio > 0.5 || suspectRate > 0.5 {
+		h.Status = "degraded"
+	}
+	return h
+}
+
+// Health summarizes the engine's current serviceability — the /healthz
+// payload. It reuses the memoized SLO report, so it is poll-cheap.
+func (e *Engine) Health() Health {
+	rep := e.SLOReport()
+	return healthOf(rep.Breaker, rep.DegradedRatio, rep.SuspectRate, rep.WindowEvents)
+}
+
+// NodeSLO is one node's slice of a fleet SLO report: the node's own
+// SLO summary plus its battery position relative to the fleet
+// bottleneck.
+type NodeSLO struct {
+	SLOReport
+	// LifetimeHours is the node's modeled battery lifetime on its
+	// currently effective system.
+	LifetimeHours float64
+	// HeadroomHours is how much longer this node lives than the fleet
+	// bottleneck (0 for the bottleneck node itself).
+	HeadroomHours float64
+}
+
+// NetworkSLOReport is the fleet-wide service-level summary: quantiles
+// computed by merging every node's window sketch (a true fleet
+// quantile, not an average of per-node quantiles), ladder accounting
+// summed across nodes, and per-node battery headroom.
+type NetworkSLOReport struct {
+	WindowSeconds float64
+	WindowEvents  uint64
+	TotalEvents   uint64
+
+	LatencyP50Seconds float64
+	LatencyP95Seconds float64
+	LatencyP99Seconds float64
+
+	EnergyPerEventJoules float64
+	EnergyP99Joules      float64
+
+	DegradedRatio float64
+	SuspectRate   float64
+	Modes         map[string]uint64
+
+	// BottleneckNode / BottleneckHours identify the battery-limiting
+	// node (the fleet dies when its first node does).
+	BottleneckNode  string
+	BottleneckHours float64
+
+	Nodes map[string]NodeSLO
+}
+
+// sloCache memoizes the fleet SLO report behind every engine's sloKey.
+type sloCache struct {
+	keys []sloKey
+	rep  *NetworkSLOReport
+}
+
+// SLOReport computes the fleet service-level summary. Like Report, it
+// is memoized behind each engine's serving epoch and quantile
+// generations: polling per request is a key sweep when no event landed
+// anywhere.
+func (n *Network) SLOReport() (NetworkSLOReport, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	keys := make([]sloKey, len(n.names))
+	fresh := n.slo.rep != nil
+	for i, name := range n.names {
+		keys[i] = n.engines[name].sloCurrentKey()
+		if fresh && keys[i] != n.slo.keys[i] {
+			fresh = false
+		}
+	}
+	if fresh {
+		return n.slo.rep.copyForCaller(), nil
+	}
+	rep, err := n.buildSLOLocked()
+	if err != nil {
+		return NetworkSLOReport{}, err
+	}
+	n.slo.keys, n.slo.rep = keys, &rep
+	return rep.copyForCaller(), nil
+}
+
+// copyForCaller hands out the memoized report with its own maps.
+func (r NetworkSLOReport) copyForCaller() NetworkSLOReport {
+	modes := make(map[string]uint64, len(r.Modes))
+	for k, v := range r.Modes {
+		modes[k] = v
+	}
+	r.Modes = modes
+	nodes := make(map[string]NodeSLO, len(r.Nodes))
+	for k, v := range r.Nodes {
+		v.SLOReport = v.SLOReport.withCopiedModes()
+		nodes[k] = v
+	}
+	r.Nodes = nodes
+	return r
+}
+
+// buildSLOLocked assembles the fleet report. Caller holds n.mu.
+func (n *Network) buildSLOLocked() (NetworkSLOReport, error) {
+	nw, err := n.netLocked()
+	if err != nil {
+		return NetworkSLOReport{}, err
+	}
+	lifetimes, err := nw.NodeLifetimes()
+	if err != nil {
+		return NetworkSLOReport{}, err
+	}
+	bottleneck, bottleneckHours, err := nw.BottleneckNode()
+	if err != nil {
+		return NetworkSLOReport{}, err
+	}
+
+	rep := NetworkSLOReport{
+		Modes:           make(map[string]uint64, len(degradeModes)),
+		Nodes:           make(map[string]NodeSLO, len(n.names)),
+		BottleneckNode:  bottleneck,
+		BottleneckHours: bottleneckHours,
+	}
+	lat := telemetry.NewSketch(0)
+	en := telemetry.NewSketch(0)
+	var answered, rejected, degraded uint64
+	for _, name := range n.names {
+		e := n.engines[name]
+		node := e.SLOReport()
+		if node.WindowSeconds > rep.WindowSeconds {
+			rep.WindowSeconds = node.WindowSeconds
+		}
+		rep.TotalEvents += node.TotalEvents
+		// Merge the node's windowed sketches into the fleet sketch: the
+		// fleet p99 is the p99 of the union, not a mean of node p99s.
+		e.slo.latency.MergeWindowTo(lat)
+		e.slo.energy.MergeWindowTo(en)
+		for m, v := range node.Modes {
+			rep.Modes[m] += v
+		}
+		answered += uint64(e.slo.classifyTotal.Value())
+		rejected += uint64(e.slo.qualityRejected.Value())
+		for _, c := range e.slo.degraded {
+			degraded += uint64(c.Value())
+		}
+		rep.Nodes[name] = NodeSLO{
+			SLOReport:     node,
+			LifetimeHours: lifetimes[name],
+			HeadroomHours: lifetimes[name] - bottleneckHours,
+		}
+	}
+	rep.WindowEvents = lat.Count()
+	rep.LatencyP50Seconds = lat.Quantile(0.5)
+	rep.LatencyP95Seconds = lat.Quantile(0.95)
+	rep.LatencyP99Seconds = lat.Quantile(0.99)
+	if c := en.Count(); c > 0 {
+		rep.EnergyPerEventJoules = en.Sum() / float64(c)
+	}
+	rep.EnergyP99Joules = en.Quantile(0.99)
+	if answered > 0 {
+		rep.DegradedRatio = float64(degraded) / float64(answered)
+	}
+	if total := answered + rejected; total > 0 {
+		rep.SuspectRate = float64(rejected) / float64(total)
+	}
+	return rep, nil
+}
+
+// Health summarizes fleet serviceability — the network /healthz
+// payload. The fleet is degraded when its aggregate ratios are, or
+// when any node's breaker is open.
+func (n *Network) Health() Health {
+	rep, err := n.SLOReport()
+	if err != nil {
+		return Health{Status: "degraded"}
+	}
+	breaker := ""
+	for _, name := range n.names {
+		if node, ok := rep.Nodes[name]; ok && node.Breaker == "open" {
+			breaker = "open"
+			break
+		}
+	}
+	return healthOf(breaker, rep.DegradedRatio, rep.SuspectRate, rep.WindowEvents)
+}

@@ -37,6 +37,7 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"xpro/internal/aggregator"
 	"xpro/internal/biosig"
@@ -238,6 +239,11 @@ type Config struct {
 	// ErrSuspectData instead of labeling garbage (implies
 	// DefaultResilience when Resilience is nil; see DefaultIntegrity).
 	Integrity *Integrity
+	// SLOWindowSeconds sets the rolling window the engine's SLO
+	// quantile series cover (SLOReport's p50/p95/p99 horizon): modeled
+	// seconds on an engine with a Resilience policy, host seconds
+	// otherwise. 0 takes the 60 s default.
+	SLOWindowSeconds float64
 }
 
 // trained caches classifiers per (case, seed, protocol): training is by
@@ -299,7 +305,8 @@ type Engine struct {
 	gen    partition.Result
 	acc    float64
 	obs    *Observer
-	res    *resilient // nil without a Resilience policy
+	res    *resilient  // nil without a Resilience policy
+	slo    *sloHandles // pre-resolved SLO series + memoized report
 	// epoch counts the observable state changes of the engine's serving
 	// configuration: adaptive hot swaps/rollbacks, circuit-breaker
 	// transitions, and fault-window edges — everything that can change
@@ -337,25 +344,46 @@ func newEngine(cfg Config, sys *xsystem.System, ens *ensemble.Ensemble,
 		return nil, err
 	}
 	e := &Engine{cfg: cfg, static: sys, ens: ens, graph: g, test: test,
-		gen: gen, acc: acc, obs: obs, res: res}
+		gen: gen, acc: acc, obs: obs, res: res,
+		slo: newSLOHandles(obs.reg, cfg.SLOWindowSeconds)}
 	e.active.Store(sys)
 	if res != nil && res.breaker != nil {
 		// Breaker transitions change which system effectiveSystem
 		// returns; bump the serving epoch so memoized network views
-		// rebuild. Chained after the metrics/estimator hook installed by
-		// buildResilient.
+		// rebuild, and land on the span trace and the structured event
+		// log (sharing one trace ID). Chained after the metrics/estimator
+		// hook installed by buildResilient.
 		prev := res.breaker.OnTransition
 		res.breaker.OnTransition = func(from, to faults.BreakerState) {
 			if prev != nil {
 				prev(from, to)
 			}
 			e.epoch.Add(1)
+			var ev uint64
+			if tr := obs.tracer; tr != nil {
+				ev = tr.NextEvent()
+				tr.Add(telemetry.Span{Event: ev, Name: "breaker", End: "event",
+					Start: time.Now(), DelaySeconds: res.clock.Now()})
+			}
+			obs.events.Append(telemetry.Event{
+				Trace: ev, TimeSeconds: res.clock.Now(), Kind: "breaker",
+				Detail: from.String() + "->" + to.String(),
+			})
 		}
 	}
 	e.publishReportGauges()
 	obs.setStatus("config", func() any { return e.cfg })
 	obs.setStatus("placement", func() any { return e.Placement() })
 	obs.setStatus("report", func() any { return e.Report() })
+	obs.setStatus("slo", func() any { return e.SLOReport() })
+	obs.setEndpoint("/slo", func() (int, any) { return 200, e.SLOReport() })
+	obs.setEndpoint("/healthz", func() (int, any) {
+		h := e.Health()
+		if h.Status != "ok" {
+			return 503, h
+		}
+		return 200, h
+	})
 	if res != nil && res.ctrl != nil {
 		obs.setStatus("adaptive", func() any { return e.AdaptiveStatus() })
 	}
@@ -493,7 +521,28 @@ func (e *Engine) Classify(samples []float64) (int, error) {
 		res, err := e.res.classify(e, biosig.Segment{Samples: samples})
 		return res.Label, err
 	}
-	return e.sys().Classify(biosig.Segment{Samples: samples})
+	label, err := e.sys().Classify(biosig.Segment{Samples: samples})
+	if err == nil {
+		e.observePlainEvents(1)
+	}
+	return label, err
+}
+
+// observePlainEvents records n full-path events on the SLO quantile
+// series of an engine without a Resilience policy: the active cut's
+// modeled per-event delay and sensor energy, stamped on host uptime
+// (no modeled clock exists on this path). The resilient path instead
+// observes each event's actual modeled figures in classifyCtx.
+func (e *Engine) observePlainEvents(n int) {
+	if n <= 0 {
+		return
+	}
+	lat := e.sys().DelayPerEvent().Total()
+	en := e.sys().EnergyPerEvent().SensorTotal()
+	now := telemetry.Uptime()
+	for i := 0; i < n; i++ {
+		e.slo.observe(now, lat, en, 0)
+	}
 }
 
 // TestSet returns the engine's held-out test segments (25% of the case
