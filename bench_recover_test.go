@@ -1,0 +1,90 @@
+package xpro
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Benchmarks of the crash-recovery path. BENCH_recover.json records
+// the committed trajectory; regenerate with:
+//
+//	go test -bench 'Checkpoint|Recover|Journal' -benchtime 1s -run - .
+//
+// The durable record is a fixed 117-byte payload per subject, so the
+// numbers to watch are per-event journal overhead (the tax every
+// classification pays once a store is attached) and recovery latency
+// as a function of journal length.
+
+func benchRecoveryEngine(b *testing.B) (*Engine, *DurableStore) {
+	b.Helper()
+	plan, err := FaultScenario("flaky", 21, 2.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rc := DefaultResilience()
+	rc.BaseLoss = 0.05
+	eng, err := New(Config{Case: "C1", Resilience: rc, FaultPlan: plan})
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := NewDurableStore()
+	if err := eng.EnableRecovery(store); err != nil {
+		b.Fatal(err)
+	}
+	return eng, store
+}
+
+// BenchmarkCheckpoint serializes the durable subject state: one
+// CRC-enveloped fixed-width record.
+func BenchmarkCheckpoint(b *testing.B) {
+	eng, _ := benchRecoveryEngine(b)
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := eng.Checkpoint(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(buf.Len()), "ckpt-bytes")
+}
+
+// BenchmarkJournalAppend is the per-event durability tax: the classify
+// path with a store attached, which encodes and appends one journal
+// record after every applied event.
+func BenchmarkJournalAppend(b *testing.B) {
+	eng, store := benchRecoveryEngine(b)
+	test := eng.TestSet()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.ClassifyResult(test[i%len(test)].Samples)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(store.SizeBytes())/float64(b.N), "ckpt-bytes")
+}
+
+// BenchmarkRecover rebuilds subject state from a checkpoint plus a
+// 50-record journal — the store a node carries after ~50 events
+// without compaction.
+func BenchmarkRecover(b *testing.B) {
+	eng, store := benchRecoveryEngine(b)
+	test := eng.TestSet()
+	for i := 0; i < 50; i++ {
+		eng.ClassifyResult(test[i].Samples)
+	}
+	ckpt, jrnl := store.Checkpoint(), store.Journal()
+	target, err := New(Config{Case: "C1", Resilience: DefaultResilience()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := target.Recover(bytes.NewReader(ckpt), bytes.NewReader(jrnl)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(ckpt)+len(jrnl)), "ckpt-bytes")
+}

@@ -11,6 +11,12 @@
 // The fast protocol is the paper's §4.4 training protocol with a scaled
 // candidate pool (runs in about a minute for all six cases); the paper
 // protocol uses the full 100-candidate, 10-fold configuration.
+//
+// In -record mode the command appends one point to a committed
+// benchmark trajectory file instead of running experiments:
+// BENCH_serve.json tracks the fleet-serving path, BENCH_frame.json the
+// framed transport, and BENCH_recover.json the crash-recovery path
+// (checkpoint encode, per-event journal tax, recover latency).
 package main
 
 import "os"

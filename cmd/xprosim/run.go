@@ -32,6 +32,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	parallel := fs.Int("parallel", 1, "stream through the ordered worker pool with this many workers (1 = sequential; labels and ordering are identical either way)")
 	logJSON := fs.String("log-json", "", "stream the structured event log (one JSON record per classify / re-cut / breaker transition / quarantine) to this file during the run")
 	sloFlag := fs.Bool("slo", false, "print the engine's final SLO table: windowed latency/energy quantiles, degradation-ladder breakdown, health")
+	checkpointOut := fs.String("checkpoint", "", "write the engine's durable subject-state checkpoint (one CRC-enveloped record) to this file after the run")
+	recoverIn := fs.String("recover", "", "recover the durable subject state from a checkpoint file before streaming: the run resumes the crashed run's modeled timeline")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -62,6 +64,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *adaptiveFlag {
 		cfg.Adaptive = xpro.DefaultAdaptive()
+	}
+	if (*checkpointOut != "" || *recoverIn != "") && cfg.Resilience == nil {
+		// Durable subject state lives in the fault-tolerance layer.
+		cfg.Resilience = xpro.DefaultResilience()
 	}
 	switch *kind {
 	case "cross":
@@ -101,6 +107,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		defer obs.StopIntrospection()
 		fmt.Fprintf(stdout, "introspection: http://%s/ (/metrics /trace /enginez /debug/pprof)\n", addr)
+	}
+	if *recoverIn != "" {
+		f, err := os.Open(*recoverIn)
+		if err != nil {
+			fmt.Fprintf(stderr, "xprosim: %v\n", err)
+			return 1
+		}
+		rrep, err := eng.Recover(f, nil)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "xprosim: recovering from %s: %v\n", *recoverIn, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "recovered from %s: resuming after event %d\n", *recoverIn, rrep.Seq)
 	}
 	rep := eng.Report()
 	fmt.Fprintf(stdout, "streaming %s through the %s engine (%d sensor / %d aggregator cells)\n",
@@ -142,6 +162,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		modes[xpro.ModeSuspectData.String()]++
 		return true
 	}
+	// Under a crash scenario (reboot-storm, or any plan with
+	// node-crash/reboot windows) events that arrive while the node is
+	// down fail fast; the run rides through and reports them.
+	crashRejected := 0
+	nodeDown := func(err error) bool {
+		if !errors.Is(err, xpro.ErrNodeDown) {
+			return false
+		}
+		crashRejected++
+		return true
+	}
 	account := func(i int, res xpro.Result) {
 		if res.Label == test[i].Label {
 			correct++
@@ -170,7 +201,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		start := time.Now()
 		for r := range eng.StreamParallel(context.Background(), in, *parallel) {
 			if r.Err != nil {
-				if quarantine(r.Err) {
+				if quarantine(r.Err) || nodeDown(r.Err) {
 					continue
 				}
 				fmt.Fprintf(stderr, "xprosim: segment %d: %v\n", r.Index, r.Err)
@@ -186,7 +217,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for i := 0; i < *n; i++ {
 			res, err := eng.ClassifyResult(test[i].Samples)
 			if err != nil {
-				if quarantine(err) {
+				if quarantine(err) || nodeDown(err) {
 					continue
 				}
 				fmt.Fprintf(stderr, "xprosim: segment %d: %v\n", i, err)
@@ -210,6 +241,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			obs.MetricValue("xpro_transfer_retries_total"),
 			obs.MetricValue("xpro_transfer_drops_total"),
 			obs.MetricValue("xpro_deadline_exceeded_total"))
+		if crashRejected > 0 {
+			fmt.Fprintf(stdout, "node down: %d events rejected; %.0f crashes, %.0f recoveries\n",
+				crashRejected,
+				obs.MetricValue("xpro_node_crashes_total"),
+				obs.MetricValue("xpro_node_recoveries_total"))
+		}
 		sim := *n
 		if sim > 200 {
 			sim = 200
@@ -261,6 +298,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if code := scrapeMetrics(obs.IntrospectionAddr(), stdout, stderr); code != 0 {
 			return code
 		}
+	}
+	if *checkpointOut != "" {
+		f, err := os.Create(*checkpointOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "xprosim: %v\n", err)
+			return 1
+		}
+		if err := eng.Checkpoint(f); err != nil {
+			f.Close()
+			fmt.Fprintf(stderr, "xprosim: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(stderr, "xprosim: %v\n", err)
+			return 1
+		}
+		st, err := eng.SubjectState()
+		if err != nil {
+			fmt.Fprintf(stderr, "xprosim: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "checkpoint: %d bytes written to %s (through event %d)\n",
+			xpro.CheckpointBytes, *checkpointOut, st.Seq)
 	}
 	if *traceOut != "" {
 		if err := writeTrace(eng, *traceOut); err != nil {

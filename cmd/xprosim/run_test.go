@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"xpro"
 )
 
 func TestRunBadFlags(t *testing.T) {
@@ -220,5 +222,69 @@ func TestRunSLOAndEventLog(t *testing.T) {
 	}
 	if kinds["breaker"] == 0 {
 		t.Error("no breaker transition recorded under a hard outage")
+	}
+}
+
+// -checkpoint persists the durable subject state after the run and
+// -recover resumes a later run from it; -faults reboot-storm rides
+// through node-down windows instead of aborting.
+func TestRunCheckpointRecover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains an engine")
+	}
+	ckpt := filepath.Join(t.TempDir(), "subject.ckpt")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-case", "C1", "-faults", "flaky", "-n", "20", "-checkpoint", ckpt}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "checkpoint: 134 bytes written to") {
+		t.Errorf("missing checkpoint line:\n%s", out.String())
+	}
+	info, err := os.Stat(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != xpro.CheckpointBytes {
+		t.Errorf("checkpoint file is %d bytes, want %d", info.Size(), xpro.CheckpointBytes)
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-case", "C1", "-n", "10", "-recover", ckpt}, &out, &errOut); code != 0 {
+		t.Fatalf("recover exit %d, stderr %q", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "recovered from "+ckpt+": resuming after event 20") {
+		t.Errorf("missing recovery line:\n%s", out.String())
+	}
+
+	// A truncated checkpoint must fail loudly, not silently restart.
+	raw, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ckpt, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-case", "C1", "-n", "10", "-recover", ckpt}, &out, &errOut); code != 1 {
+		t.Fatalf("truncated checkpoint: exit %d, want 1 (stderr %q)", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "recovering from") {
+		t.Errorf("stderr missing recovery error:\n%s", errOut.String())
+	}
+}
+
+func TestRunRebootStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains an engine")
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-case", "C1", "-faults", "reboot-storm", "-n", "120"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "node down:") || !strings.Contains(s, "recoveries") {
+		t.Errorf("output missing node-down accounting:\n%s", s)
 	}
 }

@@ -167,6 +167,41 @@ func (e *Estimator) Estimate() Estimate {
 	return Estimate{Loss: e.loss, Outage: e.outage, Samples: e.samples}
 }
 
+// EstimatorState is the serializable state of an Estimator — the warm
+// channel prior a crash would otherwise wipe. Alpha is configuration,
+// not state, and is deliberately absent: a restored estimator keeps
+// the weight it was built with.
+type EstimatorState struct {
+	Loss, Outage float64
+	Samples      int
+	// PendAttempts / PendFailed carry the per-packet evidence batched
+	// but not yet folded at snapshot time.
+	PendAttempts, PendFailed int64
+}
+
+// Snapshot captures the estimator's durable state.
+func (e *Estimator) Snapshot() EstimatorState {
+	return EstimatorState{
+		Loss: e.loss, Outage: e.outage, Samples: e.samples,
+		PendAttempts: e.pendAttempts, PendFailed: e.pendFailed,
+	}
+}
+
+// Restore rewinds the estimator to a snapshot. Out-of-range values are
+// rejected rather than clamped — a corrupt record must not poison the
+// estimate silently.
+func (e *Estimator) Restore(st EstimatorState) error {
+	if !(st.Loss >= 0 && st.Loss <= 1) || !(st.Outage >= 0 && st.Outage <= 1) { // NaN fails both
+		return fmt.Errorf("adaptive: estimator snapshot loss %v / outage %v outside [0,1]", st.Loss, st.Outage)
+	}
+	if st.Samples < 0 || st.PendAttempts < 0 || st.PendFailed < 0 {
+		return fmt.Errorf("adaptive: estimator snapshot has negative counters")
+	}
+	e.loss, e.outage, e.samples = st.Loss, st.Outage, st.Samples
+	e.pendAttempts, e.pendFailed = st.PendAttempts, st.PendFailed
+	return nil
+}
+
 // Inflation returns the expected (re)transmission factor of the
 // estimated channel: 1/(1−loss) — each payload is sent that many times
 // on average — capped at maxInflation, and pinned to the cap while the

@@ -34,7 +34,7 @@ import (
 
 // ProfileNames lists the built-in drift profiles.
 func ProfileNames() []string {
-	return []string{"squall", "cyclone", "monsoon", "staircase", "flapping", "hailstorm", "garble"}
+	return []string{"squall", "cyclone", "monsoon", "staircase", "flapping", "hailstorm", "garble", "reboot-storm"}
 }
 
 // Profile builds a named channel-drift plan over the given horizon
@@ -58,6 +58,9 @@ func ProfileNames() []string {
 //	           and imputation, without it the damage is consumed
 //	garble     seeded mixed corruption — flip, duplicate and reorder
 //	           windows over a lossy background
+//	reboot-storm  seeded node-crash and reboot windows over a lossy
+//	           background — the node itself keeps dying and coming
+//	           back; events inside a window produce nothing at all
 func Profile(name string, seed int64, horizon float64) (*faults.Plan, error) {
 	if !(horizon > 0) {
 		return nil, fmt.Errorf("chaos: horizon %v must be positive", horizon)
@@ -96,6 +99,11 @@ func Profile(name string, seed int64, horizon float64) (*faults.Plan, error) {
 		return faults.RandomPlan(seed, faults.PlanConfig{
 			Horizon: h, Bursts: 2, Flips: 2, Dups: 2, Reorders: 2,
 			MeanDuration: h / 20, BurstLoss: 0.5, FlipRate: 1.5e-3,
+		}), nil
+	case "reboot-storm":
+		return faults.RandomPlan(seed, faults.PlanConfig{
+			Horizon: h, Bursts: 2, Crashes: 3, Reboots: 2,
+			MeanDuration: h / 25, BurstLoss: 0.5,
 		}), nil
 	default:
 		return nil, fmt.Errorf("chaos: unknown profile %q (have %v)", name, ProfileNames())
@@ -163,6 +171,10 @@ type VariantStats struct {
 	// Swaps / Rollbacks count the adaptive controller's decisions
 	// (zero for the other variants).
 	Swaps, Rollbacks int
+	// CrashEvents counts events that arrived while the node was inside
+	// a node-crash/reboot window: nothing was served (they also count
+	// as Violations and NoResult).
+	CrashEvents int
 	// CorruptFrames counts frames the integrity layer rejected (CRC)
 	// plus corrupted values delivered undetected on the bare wire.
 	CorruptFrames int
@@ -337,6 +349,18 @@ func soakVariant(sys *xsystem.System, fallback *xsystem.System, ctrl *adaptive.C
 	for i := 0; i < cfg.Events; i++ {
 		seg := segs[i%len(segs)]
 		now := clock.Now()
+		if st0 := plan.At(now); st0.NodeDown {
+			// The node is crashed or rebooting: the event is lost
+			// entirely — no classification, no channel observation (the
+			// modem is off too) — but modeled time still passes, which is
+			// what eventually carries the node out of the window.
+			st.CrashEvents++
+			st.Violations++
+			st.NoResult++
+			st.Events++
+			clock.Advance(period)
+			continue
+		}
 		if ctrl != nil {
 			// Ambient channel observation: what the modem sees of the
 			// environment this instant, whether or not the active cut

@@ -273,3 +273,42 @@ func TestSoakSmoke(t *testing.T) {
 		}
 	}
 }
+
+// TestRebootStormSoak exercises the crash-window profile: events that
+// arrive while the node is down are violations with no result, the
+// storm actually engages (CrashEvents > 0 on every variant — the plan
+// is shared), and the seeded soak replays bit-identically.
+func TestRebootStormSoak(t *testing.T) {
+	f := getFixture(t)
+	sys := crossSystem(t, f, wireless.Model3())
+	run := func() *Result {
+		res, err := Soak(sys, f.test.Segs, Config{Profile: "reboot-storm", Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+	for _, v := range []VariantStats{res.Static, res.Ladder, res.Adaptive} {
+		if v.CrashEvents == 0 {
+			t.Errorf("%s: reboot storm produced no crash events", v.Name)
+		}
+		if v.CrashEvents > v.Violations || v.CrashEvents > v.NoResult {
+			t.Errorf("%s: crash events (%d) exceed violations (%d) or no-results (%d)",
+				v.Name, v.CrashEvents, v.Violations, v.NoResult)
+		}
+		if v.Events != 400 {
+			t.Errorf("%s: events = %d, want 400 (crashed arrivals still count)", v.Name, v.Events)
+		}
+	}
+	// The plan is shared across variants: the node is down for the same
+	// arrivals regardless of which engine variant it runs.
+	if res.Static.CrashEvents != res.Ladder.CrashEvents ||
+		res.Static.CrashEvents != res.Adaptive.CrashEvents {
+		t.Errorf("crash events differ across variants: %d / %d / %d",
+			res.Static.CrashEvents, res.Ladder.CrashEvents, res.Adaptive.CrashEvents)
+	}
+	if !reflect.DeepEqual(res, run()) {
+		t.Error("reboot-storm soak is not deterministic for a fixed seed")
+	}
+}

@@ -40,6 +40,17 @@ func (c *Clock) Advance(dt float64) {
 	}
 }
 
+// Restore sets the clock to an absolute modeled time, for crash
+// recovery only: a checkpointed run resumes at the instant the journal
+// recorded, so the replayed timeline is bit-identical to an
+// uninterrupted one. Non-finite or negative times are ignored — a
+// corrupt record cannot run time backwards past zero or to NaN.
+func (c *Clock) Restore(t float64) {
+	if isFinite(t) && t >= 0 {
+		c.t = t
+	}
+}
+
 // Kind classifies a fault window.
 type Kind int
 
@@ -73,6 +84,16 @@ const (
 	// Window.Rate. A framed receiver reassembles by sequence number; an
 	// unframed receiver decodes the swapped blocks in place.
 	Reorder
+	// NodeCrash models the sensor node losing power without warning
+	// (harvest dip, battery pull): for the window the node is entirely
+	// down — no sensing, no compute, no link — and its volatile state
+	// (breaker, estimator, RNG cursor, counters) is wiped. A node with a
+	// durable checkpoint rejoins warm; one without rejoins amnesiac.
+	NodeCrash
+	// Reboot models an ordered restart (watchdog, firmware update): the
+	// node is down for the window exactly like NodeCrash, but it sees
+	// the shutdown coming and may flush a final checkpoint first.
+	Reboot
 )
 
 func (k Kind) String() string {
@@ -91,6 +112,10 @@ func (k Kind) String() string {
 		return "duplicate"
 	case Reorder:
 		return "reorder"
+	case NodeCrash:
+		return "node-crash"
+	case Reboot:
+		return "reboot"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -164,6 +189,13 @@ type State struct {
 	// ReorderRate is the adjacent-pair swap probability contributed by
 	// Reorder windows (maximum of overlaps).
 	ReorderRate float64
+	// NodeDown is true inside a NodeCrash or Reboot window: the node is
+	// off the air entirely and serves nothing.
+	NodeDown bool
+	// Graceful is true when the outage is an ordered Reboot (and no
+	// harsher NodeCrash window overlaps it): the node had the chance to
+	// flush a checkpoint before going dark.
+	Graceful bool
 }
 
 // Corrupting reports whether any payload-corruption fault (bit flips,
@@ -179,11 +211,16 @@ func (p *Plan) At(t float64) State {
 	if p == nil {
 		return s
 	}
+	var crash, reboot bool
 	for _, w := range p.Windows {
 		if t < w.Start || t >= w.End {
 			continue
 		}
 		switch w.Kind {
+		case NodeCrash:
+			crash = true
+		case Reboot:
+			reboot = true
 		case LossBurst:
 			if w.Loss > s.Loss {
 				s.Loss = w.Loss
@@ -208,7 +245,22 @@ func (p *Plan) At(t float64) State {
 			}
 		}
 	}
+	// A crash overlapping a reboot is still a crash: the harsher outage
+	// wins, and the node gets no chance to checkpoint.
+	s.NodeDown = crash || reboot
+	s.Graceful = reboot && !crash
 	return s
+}
+
+// DownUntil returns when every node-down window covering time t ends —
+// the earliest instant the node can rejoin — or t itself when the node
+// is up.
+func (p *Plan) DownUntil(t float64) float64 {
+	end := p.Until(t, NodeCrash)
+	if r := p.Until(t, Reboot); r > end {
+		end = r
+	}
+	return end
 }
 
 // Until returns when the active windows of kind k covering time t end
@@ -259,6 +311,9 @@ type PlanConfig struct {
 	// 1e-3, 0.2, 0.2).
 	Flips, Dups, Reorders          int
 	FlipRate, DupRate, ReorderRate float64
+	// Crashes, Reboots count the node-down windows to scatter: hard
+	// power losses and ordered restarts respectively.
+	Crashes, Reboots int
 }
 
 // RandomPlan scatters fault windows over the horizon, deterministically
@@ -306,13 +361,17 @@ func RandomPlan(seed int64, cfg PlanConfig) *Plan {
 	add(BitFlip, cfg.Flips, 0, cfg.FlipRate)
 	add(Duplicate, cfg.Dups, 0, cfg.DupRate)
 	add(Reorder, cfg.Reorders, 0, cfg.ReorderRate)
+	// Node-down windows draw last for the same reason: a config that
+	// requests none replays the exact pre-existing seeded schedules.
+	add(NodeCrash, cfg.Crashes, 0, 0)
+	add(Reboot, cfg.Reboots, 0, 0)
 	sort.SliceStable(p.Windows, func(i, j int) bool { return p.Windows[i].Start < p.Windows[j].Start })
 	return p
 }
 
 // ScenarioNames lists the named scenarios Scenario accepts.
 func ScenarioNames() []string {
-	return []string{"outage", "bursty", "brownout", "stall", "flaky", "corrupt", "garbled"}
+	return []string{"outage", "bursty", "brownout", "stall", "flaky", "corrupt", "garbled", "reboot-storm"}
 }
 
 // Scenario builds a named fault plan over the given horizon, seeded
@@ -323,8 +382,11 @@ func ScenarioNames() []string {
 //	brownout  one sensor brownout covering the middle third
 //	stall     one aggregator stall covering the middle third
 //	flaky     a seeded random mix of the four classical kinds
-//	corrupt   one 10⁻³ bit-flip burst covering the middle third
-//	garbled   a seeded mix of bit flips, duplication and reordering
+//	corrupt      one 10⁻³ bit-flip burst covering the middle third
+//	garbled      a seeded mix of bit flips, duplication and reordering
+//	reboot-storm seeded node crashes and ordered reboots over a lossy
+//	             background — the node dies, loses volatile state and
+//	             rejoins, repeatedly
 func Scenario(name string, seed int64, horizon float64) (*Plan, error) {
 	if horizon <= 0 || !isFinite(horizon) {
 		return nil, fmt.Errorf("faults: scenario horizon %v must be positive and finite", horizon)
@@ -350,6 +412,9 @@ func Scenario(name string, seed int64, horizon float64) (*Plan, error) {
 	case "garbled":
 		return RandomPlan(seed, PlanConfig{Horizon: horizon, MeanDuration: horizon / 10,
 			Flips: 2, FlipRate: 2e-3, Dups: 1, DupRate: 0.15, Reorders: 1, ReorderRate: 0.15}), nil
+	case "reboot-storm":
+		return RandomPlan(seed, PlanConfig{Horizon: horizon, MeanDuration: horizon / 25,
+			Bursts: 2, BurstLoss: 0.5, Crashes: 3, Reboots: 2}), nil
 	default:
 		return nil, fmt.Errorf("faults: unknown scenario %q (have %v)", name, ScenarioNames())
 	}

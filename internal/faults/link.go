@@ -50,8 +50,32 @@ type Link struct {
 	// The adaptive channel estimator taps the link here.
 	Observer func(tr wireless.Transfer, retransmissions int, err error)
 
-	rng *rand.Rand
+	rng  *rand.Rand
+	src  *countingSource
+	seed int64
 }
+
+// countingSource wraps the link's seeded source and counts every state
+// advance, giving the link a durable RNG cursor: re-seeding and
+// discarding Draws() values reconstructs the stream position exactly.
+// It deliberately implements only rand.Source (not Source64), so every
+// consumption rand.Rand makes — Float64, Intn, whatever the rejection
+// loops do — routes through the counted Int63. The value sequence is
+// identical to the unwrapped source: Float64 and Intn derive from
+// Int63 either way.
+type countingSource struct {
+	src rand.Source
+	n   uint64
+}
+
+func (s *countingSource) Int63() int64    { s.n++; return s.src.Int63() }
+func (s *countingSource) Seed(seed int64) { s.src.Seed(seed); s.n = 0 }
+
+// MaxRNGDraws caps the cursor RestoreDraws will fast-forward through.
+// Restoring is O(draws); the cap keeps a corrupt (yet CRC-valid)
+// record from pinning a core for minutes. At a few dozen draws per
+// lossy event it is still >10M events of headroom.
+const MaxRNGDraws = 1 << 30
 
 // NewLink builds a fault-injected transport. plan may be nil (ambient
 // loss only); clock must not be nil.
@@ -68,11 +92,36 @@ func NewLink(m wireless.Model, plan *Plan, clock *Clock, baseLoss float64, maxRe
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
+	src := &countingSource{src: rand.NewSource(seed)}
 	return &Link{
 		Model: m, Plan: plan, Clock: clock,
 		BaseLoss: baseLoss, MaxRetries: maxRetries,
-		rng: rand.New(rand.NewSource(seed)),
+		rng: rand.New(src), src: src, seed: seed,
 	}, nil
+}
+
+// Draws returns the RNG cursor: how many values the link has consumed
+// from its seeded stream since construction (or the last RestoreDraws).
+// Together with the construction seed it pins the stream position, so
+// a recovered link replays the identical fault sequence.
+func (l *Link) Draws() uint64 { return l.src.n }
+
+// RestoreDraws rewinds the link's RNG to the state it had after
+// exactly n draws from the construction seed: the source is re-seeded
+// and n values discarded. Cursors beyond MaxRNGDraws are rejected —
+// they cannot come from a legitimate checkpoint and restoring is
+// O(draws).
+func (l *Link) RestoreDraws(n uint64) error {
+	if n > MaxRNGDraws {
+		return fmt.Errorf("faults: RNG cursor %d exceeds the restorable maximum %d", n, uint64(MaxRNGDraws))
+	}
+	src := &countingSource{src: rand.NewSource(l.seed)}
+	for i := uint64(0); i < n; i++ {
+		src.Int63()
+	}
+	l.src = src
+	l.rng = rand.New(src)
+	return nil
 }
 
 // Send moves dataBits across the link at the clock's current time. The

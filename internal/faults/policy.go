@@ -155,6 +155,44 @@ func (b *Breaker) RecordFailure() {
 // Failures returns the current consecutive-failure streak.
 func (b *Breaker) Failures() int { return b.failures }
 
+// BreakerSnapshot is the serializable state of a Breaker: everything a
+// crash would wipe. OpenedAt is meaningful only while State is
+// BreakerOpen.
+type BreakerSnapshot struct {
+	State    BreakerState
+	Failures int
+	OpenedAt float64
+}
+
+// Snapshot captures the breaker's durable state. The open → half-open
+// transition is NOT forced first: the snapshot records the raw state,
+// and a restore at a later clock time performs the lazy transition
+// exactly as the uninterrupted breaker would have.
+func (b *Breaker) Snapshot() BreakerSnapshot {
+	return BreakerSnapshot{State: b.state, Failures: b.failures, OpenedAt: b.openedAt}
+}
+
+// Restore rewinds the breaker to a snapshot. The state change (if any)
+// fires OnTransition, so gauges and estimators tracking the breaker
+// stay truthful through a recovery. Invalid snapshots are rejected.
+func (b *Breaker) Restore(s BreakerSnapshot) error {
+	switch s.State {
+	case BreakerClosed, BreakerHalfOpen, BreakerOpen:
+	default:
+		return fmt.Errorf("faults: breaker snapshot has invalid state %d", int(s.State))
+	}
+	if s.Failures < 0 {
+		return fmt.Errorf("faults: breaker snapshot has negative failure streak %d", s.Failures)
+	}
+	if math.IsNaN(s.OpenedAt) || math.IsInf(s.OpenedAt, 0) || s.OpenedAt < 0 {
+		return fmt.Errorf("faults: breaker snapshot opened-at %v must be finite and non-negative", s.OpenedAt)
+	}
+	b.failures = s.Failures
+	b.openedAt = s.OpenedAt
+	b.transition(s.State)
+	return nil
+}
+
 // Policy bundles the engine's resilience knobs: how long one event may
 // take (modeled), how transfers retry, and when the breaker trips.
 type Policy struct {

@@ -1,0 +1,242 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"xpro/internal/wireless"
+)
+
+func TestNodeDownWindows(t *testing.T) {
+	p := &Plan{Windows: []Window{
+		{Kind: NodeCrash, Start: 1, End: 2},
+		{Kind: Reboot, Start: 3, End: 5},
+		{Kind: NodeCrash, Start: 4, End: 4.5}, // overlaps the reboot
+	}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		t              float64
+		down, graceful bool
+	}{
+		{0.5, false, false},
+		{1.0, true, false}, // hard crash
+		{1.99, true, false},
+		{2.0, false, false}, // half-open interval
+		{3.5, true, true},   // ordered reboot alone
+		{4.2, true, false},  // crash overlapping a reboot: harsher wins
+		{4.7, true, true},   // crash over, reboot window continues
+		{5.0, false, false},
+	}
+	for _, c := range cases {
+		st := p.At(c.t)
+		if st.NodeDown != c.down || st.Graceful != c.graceful {
+			t.Errorf("At(%v): NodeDown=%v Graceful=%v, want %v/%v",
+				c.t, st.NodeDown, st.Graceful, c.down, c.graceful)
+		}
+	}
+	if got := p.DownUntil(1.5); got != 2 {
+		t.Errorf("DownUntil(1.5) = %v, want 2", got)
+	}
+	// Inside the crash+reboot overlap the down interval extends to the
+	// longer (reboot) window's end.
+	if got := p.DownUntil(4.2); got != 5 {
+		t.Errorf("DownUntil(4.2) = %v, want 5", got)
+	}
+	if got := p.DownUntil(0.5); got != 0.5 {
+		t.Errorf("DownUntil outside any window = %v, want the query time", got)
+	}
+}
+
+func TestNodeDownKindStrings(t *testing.T) {
+	if NodeCrash.String() != "node-crash" || Reboot.String() != "reboot" {
+		t.Errorf("kind strings: %q, %q", NodeCrash.String(), Reboot.String())
+	}
+}
+
+func TestClockRestore(t *testing.T) {
+	c := &Clock{}
+	c.Advance(3)
+	c.Restore(1.5)
+	if c.Now() != 1.5 {
+		t.Errorf("Restore(1.5): Now() = %v", c.Now())
+	}
+	for _, bad := range []float64{-1, nan(), inf()} {
+		c.Restore(bad)
+		if c.Now() != 1.5 {
+			t.Errorf("Restore(%v) should be ignored; Now() = %v", bad, c.Now())
+		}
+	}
+}
+
+func nan() float64  { return zero() / zero() }
+func inf() float64  { return 1 / zero() }
+func zero() float64 { return 0 }
+
+func TestBreakerSnapshotRestore(t *testing.T) {
+	clock := &Clock{}
+	b, err := NewBreaker(2, 5, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.RecordFailure()
+	b.RecordFailure() // trips open at t=0
+	snap := b.Snapshot()
+	if snap.State != BreakerOpen || snap.Failures != 2 || snap.OpenedAt != 0 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+
+	// Restore into a fresh breaker at a later clock: the transition hook
+	// fires, and the lazy open→half-open transition happens exactly when
+	// the uninterrupted breaker's cooldown would have elapsed.
+	clock2 := &Clock{}
+	clock2.Advance(3)
+	b2, err := NewBreaker(2, 5, clock2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var transitions []BreakerState
+	b2.OnTransition = func(_, to BreakerState) { transitions = append(transitions, to) }
+	if err := b2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(transitions) != 1 || transitions[0] != BreakerOpen {
+		t.Errorf("restore transitions = %v, want [open]", transitions)
+	}
+	if b2.State() != BreakerOpen {
+		t.Errorf("state after restore = %v, want open (cooldown not elapsed)", b2.State())
+	}
+	clock2.Advance(2.5) // t = 5.5 >= openedAt(0) + cooldown(5)
+	if b2.State() != BreakerHalfOpen {
+		t.Errorf("state after cooldown = %v, want half-open", b2.State())
+	}
+
+	// Invalid snapshots are rejected untouched.
+	before := b2.Snapshot()
+	for _, bad := range []BreakerSnapshot{
+		{State: BreakerState(9)},
+		{State: BreakerClosed, Failures: -1},
+		{State: BreakerOpen, OpenedAt: -2},
+		{State: BreakerOpen, OpenedAt: nan()},
+	} {
+		if err := b2.Restore(bad); err == nil {
+			t.Errorf("Restore(%+v) accepted", bad)
+		}
+	}
+	if b2.Snapshot() != before {
+		t.Error("rejected restores mutated the breaker")
+	}
+}
+
+// The RNG cursor must reproduce the stream position exactly, including
+// through Intn-style rejection sampling: restoring Draws() n and
+// replaying must yield bit-identical sends.
+func TestLinkDrawsRestore(t *testing.T) {
+	model := wireless.Model{TxJPerBit: 1e-9, RxJPerBit: 1e-9, RateBps: 250e3}
+	mk := func() *Link {
+		l, err := NewLink(model, nil, &Clock{}, 0.4, 6, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	a := mk()
+	for i := 0; i < 25; i++ {
+		a.Send(4096)
+	}
+	cursor := a.Draws()
+	if cursor == 0 {
+		t.Fatal("lossy sends drew nothing from the RNG")
+	}
+
+	b := mk()
+	if err := b.RestoreDraws(cursor); err != nil {
+		t.Fatal(err)
+	}
+	if b.Draws() != cursor {
+		t.Fatalf("Draws after restore = %d, want %d", b.Draws(), cursor)
+	}
+	for i := 0; i < 25; i++ {
+		ta, ea := a.Send(4096)
+		tb, eb := b.Send(4096)
+		if !reflect.DeepEqual(ta, tb) || (ea == nil) != (eb == nil) {
+			t.Fatalf("send %d diverged after cursor restore:\n  %+v (%v)\n  %+v (%v)", i, ta, ea, tb, eb)
+		}
+	}
+	if a.Draws() != b.Draws() {
+		t.Errorf("cursors diverged: %d vs %d", a.Draws(), b.Draws())
+	}
+
+	if err := b.RestoreDraws(MaxRNGDraws + 1); err == nil {
+		t.Error("RestoreDraws accepted a cursor beyond MaxRNGDraws")
+	}
+}
+
+// Adding crash/reboot windows to a PlanConfig must not perturb the
+// seeded schedule of the pre-existing kinds: a config that requests
+// none replays the exact legacy plans, and one that requests some only
+// appends.
+func TestRandomPlanCrashPrefixStable(t *testing.T) {
+	base := PlanConfig{Horizon: 100, Outages: 2, Bursts: 3, MeanDuration: 4, BurstLoss: 0.6}
+	withCrashes := base
+	withCrashes.Crashes, withCrashes.Reboots = 2, 1
+
+	a := RandomPlan(42, base)
+	b := RandomPlan(42, withCrashes)
+	if len(b.Windows) != len(a.Windows)+3 {
+		t.Fatalf("window counts: %d vs %d (+3 expected)", len(a.Windows), len(b.Windows))
+	}
+	// RandomPlan sorts windows by start time, so the crash windows
+	// interleave positionally — but the node-down draws come last from
+	// the seeded stream, so the set of pre-existing windows must be
+	// exactly unchanged.
+	var rest []Window
+	crashes, reboots := 0, 0
+	for _, w := range b.Windows {
+		switch w.Kind {
+		case NodeCrash:
+			crashes++
+		case Reboot:
+			reboots++
+		default:
+			rest = append(rest, w)
+		}
+	}
+	if crashes != 2 || reboots != 1 {
+		t.Errorf("node-down windows = %d crashes, %d reboots; want 2, 1", crashes, reboots)
+	}
+	if !reflect.DeepEqual(a.Windows, rest) {
+		t.Errorf("crash windows perturbed the pre-existing seeded schedule:\n  %+v\n  %+v", a.Windows, rest)
+	}
+}
+
+func TestRebootStormScenario(t *testing.T) {
+	p, err := Scenario("reboot-storm", 7, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[Kind]int{}
+	for _, w := range p.Windows {
+		kinds[w.Kind]++
+	}
+	if kinds[NodeCrash] != 3 || kinds[Reboot] != 2 {
+		t.Errorf("reboot-storm kinds = %v, want 3 crashes and 2 reboots", kinds)
+	}
+	q, err := Scenario("reboot-storm", 7, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, q) {
+		t.Error("reboot-storm scenario is not deterministic for a fixed seed")
+	}
+	found := false
+	for _, n := range ScenarioNames() {
+		if n == "reboot-storm" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("ScenarioNames misses reboot-storm")
+	}
+}

@@ -9,10 +9,11 @@ import (
 )
 
 // Event is one structured record of the SLO event log: a classify, a
-// re-cut decision, a circuit-breaker transition or a suspect-data
-// quarantine, stamped with the modeled time it happened and the trace
-// ID of the span recorded for the same occurrence — the join key
-// between the JSON event stream and the span ring.
+// re-cut decision, a circuit-breaker transition, a suspect-data
+// quarantine or a node crash/recovery edge, stamped with the modeled
+// time it happened and the trace ID of the span recorded for the same
+// occurrence — the join key between the JSON event stream and the
+// span ring.
 type Event struct {
 	// Seq is the log-assigned sequence number (1-based, per log).
 	Seq uint64 `json:"seq"`
@@ -24,8 +25,8 @@ type Event struct {
 	TimeSeconds float64 `json:"t_s"`
 	// Wall is the host wall-clock time of the record.
 	Wall time.Time `json:"wall"`
-	// Kind is "classify", "recut-swap", "recut-rollback", "breaker" or
-	// "quarantine".
+	// Kind is "classify", "recut-swap", "recut-rollback", "breaker",
+	// "quarantine", "node-crash" or "node-recover".
 	Kind string `json:"kind"`
 	// Subject names the fleet subject, when known.
 	Subject string `json:"subject,omitempty"`

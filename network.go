@@ -150,6 +150,13 @@ type NetworkReport struct {
 	// WorstCaseDelaySeconds is each node's end-to-end delay when every
 	// node fires simultaneously (back-end work serializes).
 	WorstCaseDelaySeconds map[string]float64
+	// DownNodes lists (sorted) the subjects whose nodes are currently
+	// inside a node-crash/reboot fault window: their engines fail fast
+	// with ErrNodeDown instead of serving. The shared-resource numbers
+	// above still price them as built — a crashed node's battery is not
+	// draining, but it also is not serving, and the fleet re-cut
+	// controller reads this list to react.
+	DownNodes []string
 }
 
 // Report computes the network summary over each engine's currently
@@ -187,6 +194,7 @@ func (n *Network) Report() (NetworkReport, error) {
 		AggregatorLifetimeHours: aggLife,
 		AggregatorUtilization:   nw.AggregatorUtilization(),
 		WorstCaseDelaySeconds:   nw.WorstCaseDelay(),
+		DownNodes:               n.downNodesLocked(),
 	}
 	n.rep, n.repFor = &rep, nw
 	return rep.copyForCaller(), nil
@@ -205,7 +213,22 @@ func (r NetworkReport) copyForCaller() NetworkReport {
 		delay[k] = v
 	}
 	r.WorstCaseDelaySeconds = delay
+	r.DownNodes = append([]string(nil), r.DownNodes...)
 	return r
+}
+
+// downNodesLocked lists the subjects currently inside a node-down
+// fault window, in the network's sorted name order. Caller holds n.mu.
+func (n *Network) downNodesLocked() []string {
+	var down []string
+	for _, name := range n.names {
+		if e := n.engines[name]; e.res != nil {
+			if live, _, _, _ := e.res.recoveryStatus(); !live {
+				down = append(down, name)
+			}
+		}
+	}
+	return down
 }
 
 // RealTimeOK reports whether every node meets the delay limit even under

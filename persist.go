@@ -57,6 +57,12 @@ type enginePersist struct {
 // at load time instead of surfacing as a garbled classifier. Training
 // is the expensive part of New; a saved engine restores in
 // milliseconds.
+//
+// Save persists the shared immutable artifact only. The per-subject
+// mutable core — clock, breaker, RNG cursor, estimator, ledgers —
+// lives in the much smaller SubjectState record under the same
+// CRC-envelope discipline: see Engine.Checkpoint / Engine.Recover
+// (recovery.go) for crash–restart durability.
 func (e *Engine) Save(w io.Writer) error {
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(enginePersist{

@@ -170,12 +170,17 @@ func (r *Resilience) policy() faults.Policy {
 
 // FaultWindow is one fault interval on the engine's modeled timeline,
 // half-open [StartSeconds, EndSeconds). Kind is "loss-burst",
-// "link-outage", "brownout", "agg-stall", "bit-flip", "duplicate" or
-// "reorder"; Loss applies to loss-burst windows only, Rate to the
-// three corruption kinds (per-bit error probability for bit-flip,
-// per-packet probability for duplicate and reorder). Overlapping
-// same-kind windows merge: the max Loss/Rate over the covering windows
-// applies.
+// "link-outage", "brownout", "agg-stall", "bit-flip", "duplicate",
+// "reorder", "node-crash" or "reboot"; Loss applies to loss-burst
+// windows only, Rate to the three corruption kinds (per-bit error
+// probability for bit-flip, per-packet probability for duplicate and
+// reorder). Overlapping same-kind windows merge: the max Loss/Rate
+// over the covering windows applies. The two node-down kinds take the
+// node off the air entirely — every Classify inside the window fails
+// fast with ErrNodeDown and the node's volatile state is wiped; a
+// "reboot" is ordered (a final checkpoint is flushed on the way down)
+// while a "node-crash" is a hard power loss, and a crash overlapping a
+// reboot is still a crash.
 type FaultWindow struct {
 	Kind         string
 	StartSeconds float64
@@ -221,6 +226,8 @@ var faultKinds = map[string]faults.Kind{
 	"bit-flip":    faults.BitFlip,
 	"duplicate":   faults.Duplicate,
 	"reorder":     faults.Reorder,
+	"node-crash":  faults.NodeCrash,
+	"reboot":      faults.Reboot,
 }
 
 func (p *FaultPlan) internal() (*faults.Plan, error) {
@@ -270,6 +277,24 @@ type resilient struct {
 	// crossing a window edge bumps the engine's serving epoch so
 	// memoized network views rebuild.
 	lastState faults.State
+
+	// The crash-tolerance layer (recovery.go). seq numbers every event
+	// applied to the timeline; the energy/quarantine/imputation ledgers
+	// and the crash bookkeeping make up the durable SubjectState. store
+	// (when attached via EnableRecovery) receives one journal record per
+	// applied event; lastCkpt is the modeled time of the last checkpoint
+	// (-1: never). down marks the node inside a node-crash/reboot
+	// window; seed re-arms the link RNG on restore.
+	seq         uint64
+	energyJ     float64
+	quarantined uint64
+	imputed     uint64
+	crashes     uint64
+	recoveries  uint64
+	down        bool
+	store       *DurableStore
+	lastCkpt    float64
+	seed        int64
 }
 
 // buildResilient assembles the fault-tolerance layer during engine
@@ -354,6 +379,7 @@ func buildResilient(cfg Config, sys *xsystem.System, g *topology.Graph,
 		policy: pol, plan: plan, clock: clock, breaker: breaker, link: link,
 		fallback: fb, period: period, failFast: rc.FailFast, ctrl: ctrl,
 		integ: cfg.Integrity, framing: cfg.Integrity.framing(),
+		seed: seed, lastCkpt: -1,
 	}, nil
 }
 
@@ -392,6 +418,17 @@ func (r *resilient) classifyCtx(ctx context.Context, e *Engine, seg biosig.Segme
 
 	m := e.obs.reg
 	now := r.clock.Now()
+	if err != nil && errors.Is(err, ErrNodeDown) {
+		// The node was dark: nothing was served, sensed or journaled.
+		// The arrival still consumed modeled time (the Advance above),
+		// but it is not an applied event — no sequence number, no SLO
+		// sample — so recovered and uninterrupted timelines agree on
+		// what the node actually did.
+		m.Counter("xpro_node_down_total",
+			"Events rejected because the node was inside a node-crash/reboot window.").Inc()
+		e.slo.errorsTotal.Inc()
+		return res, err
+	}
 	// Integrity counters fire for quarantined events too: the damage
 	// happened whether or not the gate let the label out.
 	if res.CorruptFrames > 0 || res.CorruptDelivered > 0 {
@@ -433,6 +470,7 @@ func (r *resilient) classifyCtx(ctx context.Context, e *Engine, seg biosig.Segme
 			})
 		}
 		e.slo.errorsTotal.Inc()
+		r.ledgerLocked(e, res, err)
 		return res, err
 	}
 	if r.ctrl != nil {
@@ -448,6 +486,10 @@ func (r *resilient) classifyCtx(ctx context.Context, e *Engine, seg biosig.Segme
 		}
 	}
 	res.Breaker = r.breaker.State().String()
+	// The ledger entry comes after the breaker read and the adaptive
+	// folds above: the journal record must capture the post-event state
+	// exactly, or a recovered engine would diverge from this one.
+	r.ledgerLocked(e, res, nil)
 	e.slo.classifyTotal.Inc()
 	e.slo.observe(now, res.SpentSeconds, res.SensorEnergyJoules, res.ImputedValues)
 	m.Histogram("xpro_classify_seconds",
@@ -489,6 +531,24 @@ func (r *resilient) classifyCtx(ctx context.Context, e *Engine, seg biosig.Segme
 }
 
 func (r *resilient) classifyLocked(e *Engine, seg biosig.Segment) (Result, error) {
+	now := r.clock.Now()
+	state := r.plan.At(now)
+	// A node inside a node-crash/reboot window is off the air: the
+	// event fails fast before the admission gate, the breaker or the
+	// link can see it. classifyCtx still advances the clock for the
+	// arrival — time passes whether or not the node is up — so a stream
+	// of arrivals carries the node past the window's end.
+	if state.NodeDown {
+		if !r.down {
+			r.crashLocked(e, state.Graceful, now)
+		}
+		return Result{}, &NodeDownError{
+			AtSeconds: now, UntilSeconds: r.plan.DownUntil(now), Graceful: state.Graceful,
+		}
+	}
+	if r.down {
+		r.rejoinLocked(e, now)
+	}
 	// The admission gate runs before anything touches the modeled
 	// timeline: a rejected segment advances no clock, trips no breaker
 	// and draws nothing from the link RNG, so gated and ungated runs of
@@ -499,7 +559,6 @@ func (r *resilient) classifyLocked(e *Engine, seg biosig.Segment) (Result, error
 				&SuspectDataError{Reasons: reasons}
 		}
 	}
-	state := r.plan.At(r.clock.Now())
 	if state != r.lastState {
 		// A fault window opened or closed since the previous event; the
 		// degraded-path pricing a network report would compute may have

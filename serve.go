@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sync"
 	"time"
 
 	"xpro/internal/biosig"
@@ -39,6 +38,28 @@ var ErrOverloaded = serve.ErrOverloaded
 
 // ErrFleetClosed rejects submissions made after Fleet.Close began.
 var ErrFleetClosed = serve.ErrClosed
+
+// ErrWorkerPanic marks a fleet event whose classification panicked.
+// The panic is contained: the worker is replaced, the subject's queue
+// keeps draining in order, and the caller gets this typed error
+// instead of a crashed process. Match with errors.Is; errors.As gives
+// the *WorkerPanicError carrying the recovered value.
+var ErrWorkerPanic = errors.New("xpro: fleet worker panicked")
+
+// WorkerPanicError reports a contained per-event panic.
+type WorkerPanicError struct {
+	// Subject is the engine whose event blew up; Value the recovered
+	// panic value.
+	Subject string
+	Value   any
+}
+
+func (e *WorkerPanicError) Error() string {
+	return fmt.Sprintf("xpro: classification for subject %q panicked: %v", e.Subject, e.Value)
+}
+
+// Is makes errors.Is(err, ErrWorkerPanic) match.
+func (e *WorkerPanicError) Is(target error) bool { return target == ErrWorkerPanic }
 
 // ErrCanceled marks a classification abandoned because its context was
 // canceled or its deadline expired before the event entered the
@@ -233,8 +254,6 @@ type Fleet struct {
 	shards  map[string]uint64
 	names   []string
 	obs     *Observer
-
-	closeOnce sync.Once
 }
 
 // Serve starts a fleet over the network's engines. Subjects are
@@ -246,7 +265,18 @@ func (n *Network) Serve(opt ServeOptions) (*Fleet, error) {
 	if opt.Workers < 0 || opt.QueueDepth < 0 {
 		return nil, fmt.Errorf("xpro: negative ServeOptions (workers %d, queue depth %d)", opt.Workers, opt.QueueDepth)
 	}
-	pool := serve.NewPool(serve.Options{Workers: opt.Workers, QueueDepth: opt.QueueDepth})
+	pool := serve.NewPool(serve.Options{
+		Workers: opt.Workers, QueueDepth: opt.QueueDepth,
+		// Belt and braces under the fleet's own per-job recover (see
+		// Fleet.run): any panic that still reaches a worker — a job
+		// from a future code path, a panic inside the guard itself —
+		// is counted and the worker replaced instead of crashing the
+		// fleet.
+		OnPanic: func(worker int, recovered any) {
+			n.obs.reg.Counter("xpro_panics_total",
+				"Panics contained by the serving runtime (worker replaced).").Inc()
+		},
+	})
 	shards := make(map[string]uint64, len(n.names))
 	for i, name := range n.names {
 		shards[name] = uint64(i)
@@ -288,25 +318,7 @@ func (f *Fleet) Submit(ctx context.Context, subject string, samples []float64) (
 		return nil, fmt.Errorf("xpro: fleet has no subject %q", subject)
 	}
 	ch := make(chan FleetResult, 1)
-	job := func() {
-		res, err := e.ClassifyResultContext(ctx, samples)
-		switch {
-		case err == nil:
-			f.obs.reg.Counter("xpro_fleet_served_total",
-				"Fleet events served to completion.").Inc()
-		case errors.Is(err, ErrSuspectData):
-			// Quarantined, not failed: the subject's signal-quality gate
-			// rejected the segment or flagged an imputation-heavy result
-			// (see Config.Integrity). The worker served the event; the
-			// caller decides whether a quarantined label is usable.
-			f.obs.reg.Counter("xpro_fleet_suspect_total",
-				"Fleet events quarantined by a subject's signal-quality gate.").Inc()
-		default:
-			f.obs.reg.Counter("xpro_fleet_errors_total",
-				"Fleet events that completed with an error (including cancellations).").Inc()
-		}
-		ch <- FleetResult{Subject: subject, Result: res, Err: err}
-	}
+	job := func() { ch <- f.run(ctx, e, subject, samples) }
 	if err := f.pool.Submit(f.shards[subject], job); err != nil {
 		f.obs.reg.Counter("xpro_fleet_rejected_total",
 			"Fleet submissions rejected by backpressure or shutdown.").Inc()
@@ -315,6 +327,48 @@ func (f *Fleet) Submit(ctx context.Context, subject string, samples []float64) (
 	f.obs.reg.Counter("xpro_fleet_submitted_total",
 		"Fleet events accepted for serving.").Inc()
 	return ch, nil
+}
+
+// run executes one subject's classification inside the fleet's panic
+// bulkhead: a panicking engine yields a typed *WorkerPanicError result
+// (matching ErrWorkerPanic) instead of propagating — the worker
+// survives, the subject's queue keeps draining in order, and the
+// outcome counters stay truthful either way.
+func (f *Fleet) run(ctx context.Context, e *Engine, subject string, samples []float64) (out FleetResult) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			f.obs.reg.Counter("xpro_panics_total",
+				"Panics contained by the serving runtime (worker replaced).").Inc()
+			f.obs.reg.Counter("xpro_fleet_errors_total",
+				"Fleet events that completed with an error (including cancellations).").Inc()
+			out = FleetResult{Subject: subject, Err: &WorkerPanicError{Subject: subject, Value: rec}}
+		}
+	}()
+	res, err := e.ClassifyResultContext(ctx, samples)
+	switch {
+	case err == nil:
+		f.obs.reg.Counter("xpro_fleet_served_total",
+			"Fleet events served to completion.").Inc()
+	case errors.Is(err, ErrSuspectData):
+		// Quarantined, not failed: the subject's signal-quality gate
+		// rejected the segment or flagged an imputation-heavy result
+		// (see Config.Integrity). The worker served the event; the
+		// caller decides whether a quarantined label is usable.
+		f.obs.reg.Counter("xpro_fleet_suspect_total",
+			"Fleet events quarantined by a subject's signal-quality gate.").Inc()
+	case errors.Is(err, ErrNodeDown):
+		// The subject's node is inside a crash/reboot window: the event
+		// failed fast without touching the engine's pipeline. It still
+		// counts as an errored event below the dedicated series.
+		f.obs.reg.Counter("xpro_fleet_node_down_total",
+			"Fleet events rejected because the subject's node was crashed or rebooting.").Inc()
+		f.obs.reg.Counter("xpro_fleet_errors_total",
+			"Fleet events that completed with an error (including cancellations).").Inc()
+	default:
+		f.obs.reg.Counter("xpro_fleet_errors_total",
+			"Fleet events that completed with an error (including cancellations).").Inc()
+	}
+	return FleetResult{Subject: subject, Result: res, Err: err}
 }
 
 // Classify submits one segment and waits for its result. If ctx ends
@@ -373,7 +427,14 @@ func (f *Fleet) ClassifyBatch(ctx context.Context, reqs []FleetRequest) []FleetR
 
 // Close stops accepting new submissions and blocks until every queued
 // event has been served — in-flight work drains, it is never dropped.
-// Closing twice is safe.
-func (f *Fleet) Close() {
-	f.closeOnce.Do(f.pool.Close)
-}
+// Closing any number of times, from any number of goroutines, or mixed
+// with CloseWithin, is safe: every call observes the one shutdown the
+// pool runs under its own sync.Once pair.
+func (f *Fleet) Close() { f.pool.Close() }
+
+// CloseWithin is Close bounded by a wall-clock drain budget: intake
+// stops immediately, and if the queued events do not finish within d
+// the call returns the pool's *serve.DrainTimeoutError (reporting the
+// jobs still pending) while the drain continues in the background. A
+// later Close waits for that same drain to finish.
+func (f *Fleet) CloseWithin(d time.Duration) error { return f.pool.CloseWithin(d) }

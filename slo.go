@@ -127,6 +127,21 @@ type SLOReport struct {
 	// Breaker is the circuit breaker state ("closed", "half-open",
 	// "open"); empty on an engine without a Resilience policy.
 	Breaker string
+
+	// Live is false while the subject's node is inside a node-crash or
+	// reboot fault window (events fail fast with ErrNodeDown). Engines
+	// without a Resilience policy are always live.
+	Live bool
+	// Crashes / Recoveries count node-down windows entered and rejoined
+	// on the modeled timeline.
+	Crashes    uint64
+	Recoveries uint64
+	// LastCheckpointAgeSeconds is the modeled time since the engine
+	// last wrote a durable checkpoint — the crash-recovery staleness
+	// bound: a crash now loses at most the journal records written
+	// since. -1 when the engine has never checkpointed (or has no
+	// resilience layer).
+	LastCheckpointAgeSeconds float64
 }
 
 // key returns the current staleness key (cheap: three atomic-ish
@@ -148,12 +163,23 @@ func (e *Engine) SLOReport() SLOReport {
 	key := e.sloCurrentKey()
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	var rep SLOReport
 	if h.memoOK && h.memoKey == key {
-		return h.memo.withCopiedModes()
+		rep = h.memo.withCopiedModes()
+	} else {
+		rep = e.buildSLOLocked()
+		h.memo, h.memoKey, h.memoOK = rep, key, true
+		rep = rep.withCopiedModes()
 	}
-	rep := e.buildSLOLocked()
-	h.memo, h.memoKey, h.memoOK = rep, key, true
-	return rep.withCopiedModes()
+	// The recovery fields are patched outside the memo: a checkpoint
+	// write moves LastCheckpointAgeSeconds without landing an event, so
+	// the staleness key cannot see it. recoveryStatus takes r.mu under
+	// h.mu — the classify path never takes h.mu, so the order is safe.
+	rep.Live, rep.LastCheckpointAgeSeconds = true, -1
+	if e.res != nil {
+		rep.Live, rep.Crashes, rep.Recoveries, rep.LastCheckpointAgeSeconds = e.res.recoveryStatus()
+	}
+	return rep
 }
 
 // withCopiedModes returns the report with its own Modes map, so a
@@ -228,10 +254,11 @@ func (e *Engine) buildSLOLocked() SLOReport {
 
 // Health is the liveness/degradation summary /healthz serves.
 type Health struct {
-	// Status is "ok" or "degraded". An engine is degraded while its
-	// circuit breaker is open, or when most recent answers came through
-	// a degraded rung (DegradedRatio > 0.5) or were quarantined
-	// (SuspectRate > 0.5).
+	// Status is "ok", "degraded" or "down". An engine is down while its
+	// node sits inside a node-crash/reboot fault window; degraded while
+	// its circuit breaker is open, or when most recent answers came
+	// through a degraded rung (DegradedRatio > 0.5) or were quarantined
+	// (SuspectRate > 0.5). A network is degraded when any node is down.
 	Status string
 	// Breaker is the circuit breaker state (engines; empty for fleets
 	// and engines without a Resilience policy).
@@ -240,6 +267,17 @@ type Health struct {
 	SuspectRate   float64
 	// WindowEvents counts events inside the rolling SLO window.
 	WindowEvents uint64
+	// Live is false while the node (for a network: any node) is inside
+	// a node-down fault window.
+	Live bool
+	// Crashes / Recoveries count node-down windows entered and rejoined
+	// (for a network: summed across nodes).
+	Crashes    uint64
+	Recoveries uint64
+	// LastCheckpointAgeSeconds is the modeled age of the last durable
+	// checkpoint, -1 when never checkpointed (for a network: the oldest
+	// age across checkpointing nodes, -1 when none checkpoint).
+	LastCheckpointAgeSeconds float64
 }
 
 func healthOf(breaker string, degradedRatio, suspectRate float64, windowEvents uint64) Health {
@@ -249,6 +287,9 @@ func healthOf(breaker string, degradedRatio, suspectRate float64, windowEvents u
 		DegradedRatio: degradedRatio,
 		SuspectRate:   suspectRate,
 		WindowEvents:  windowEvents,
+		Live:          true,
+
+		LastCheckpointAgeSeconds: -1,
 	}
 	if breaker == "open" || degradedRatio > 0.5 || suspectRate > 0.5 {
 		h.Status = "degraded"
@@ -260,7 +301,13 @@ func healthOf(breaker string, degradedRatio, suspectRate float64, windowEvents u
 // payload. It reuses the memoized SLO report, so it is poll-cheap.
 func (e *Engine) Health() Health {
 	rep := e.SLOReport()
-	return healthOf(rep.Breaker, rep.DegradedRatio, rep.SuspectRate, rep.WindowEvents)
+	h := healthOf(rep.Breaker, rep.DegradedRatio, rep.SuspectRate, rep.WindowEvents)
+	h.Live, h.Crashes, h.Recoveries = rep.Live, rep.Crashes, rep.Recoveries
+	h.LastCheckpointAgeSeconds = rep.LastCheckpointAgeSeconds
+	if !h.Live {
+		h.Status = "down"
+	}
+	return h
 }
 
 // NodeSLO is one node's slice of a fleet SLO report: the node's own
@@ -301,6 +348,14 @@ type NetworkSLOReport struct {
 	BottleneckNode  string
 	BottleneckHours float64
 
+	// LiveNodes counts nodes currently serving (not inside a node-down
+	// fault window); Crashes / Recoveries sum the per-node crash
+	// bookkeeping. Per-node liveness and checkpoint age live on each
+	// NodeSLO's embedded SLOReport.
+	LiveNodes  int
+	Crashes    uint64
+	Recoveries uint64
+
 	Nodes map[string]NodeSLO
 }
 
@@ -326,7 +381,18 @@ func (n *Network) SLOReport() (NetworkSLOReport, error) {
 		}
 	}
 	if fresh {
-		return n.slo.rep.copyForCaller(), nil
+		rep := n.slo.rep.copyForCaller()
+		// Checkpoint ages can move without landing an event (an explicit
+		// Checkpoint call resets them), which the staleness keys cannot
+		// see — patch them fresh per node.
+		for name, node := range rep.Nodes {
+			if e := n.engines[name]; e.res != nil {
+				_, _, _, age := e.res.recoveryStatus()
+				node.LastCheckpointAgeSeconds = age
+				rep.Nodes[name] = node
+			}
+		}
+		return rep, nil
 	}
 	rep, err := n.buildSLOLocked()
 	if err != nil {
@@ -379,6 +445,11 @@ func (n *Network) buildSLOLocked() (NetworkSLOReport, error) {
 	for _, name := range n.names {
 		e := n.engines[name]
 		node := e.SLOReport()
+		if node.Live {
+			rep.LiveNodes++
+		}
+		rep.Crashes += node.Crashes
+		rep.Recoveries += node.Recoveries
 		if node.WindowSeconds > rep.WindowSeconds {
 			rep.WindowSeconds = node.WindowSeconds
 		}
@@ -419,19 +490,36 @@ func (n *Network) buildSLOLocked() (NetworkSLOReport, error) {
 }
 
 // Health summarizes fleet serviceability — the network /healthz
-// payload. The fleet is degraded when its aggregate ratios are, or
-// when any node's breaker is open.
+// payload. The fleet is degraded when its aggregate ratios are, when
+// any node's breaker is open, or when any node is down inside a
+// node-crash/reboot window (Live reports the latter; the fleet as a
+// whole still serves its surviving subjects, so a down node degrades
+// rather than downs the fleet).
 func (n *Network) Health() Health {
 	rep, err := n.SLOReport()
 	if err != nil {
-		return Health{Status: "degraded"}
+		return Health{Status: "degraded", LastCheckpointAgeSeconds: -1}
 	}
 	breaker := ""
+	oldest := -1.0
 	for _, name := range n.names {
-		if node, ok := rep.Nodes[name]; ok && node.Breaker == "open" {
+		node, ok := rep.Nodes[name]
+		if !ok {
+			continue
+		}
+		if node.Breaker == "open" {
 			breaker = "open"
-			break
+		}
+		if node.LastCheckpointAgeSeconds > oldest {
+			oldest = node.LastCheckpointAgeSeconds
 		}
 	}
-	return healthOf(breaker, rep.DegradedRatio, rep.SuspectRate, rep.WindowEvents)
+	h := healthOf(breaker, rep.DegradedRatio, rep.SuspectRate, rep.WindowEvents)
+	h.Crashes, h.Recoveries = rep.Crashes, rep.Recoveries
+	h.LastCheckpointAgeSeconds = oldest
+	if rep.LiveNodes < len(rep.Nodes) {
+		h.Live = false
+		h.Status = "degraded"
+	}
+	return h
 }
