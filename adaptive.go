@@ -2,6 +2,7 @@ package xpro
 
 import (
 	"xpro/internal/adaptive"
+	"xpro/internal/admit"
 )
 
 // This file is the public face of closed-loop adaptive repartitioning
@@ -128,6 +129,168 @@ type AdaptiveStatus struct {
 	OnProbation bool
 	// Swaps / Rollbacks count the decisions taken so far.
 	Swaps, Rollbacks int
+}
+
+// Overload configures the fleet's overload-protection loop
+// (ServeOptions.Overload): the deadline-aware admission controller in
+// front of the worker pool, and the brownout controller that couples
+// sustained queue delay to the degradation ladder. Construct it with
+// DefaultOverload and override fields; the controllers reject
+// non-finite or inconsistent knobs when the fleet starts.
+//
+// The brownout half mirrors the adaptive re-cut controller's shape:
+// hysteresis (the Enter/Exit gap plus a minimum dwell) stops a noisy
+// queue from flapping the fleet, and a probation window after entry
+// verifies the cheap rung actually reduced the delay — if it did not,
+// the brownout rolls back (the queue was not service-time bound and
+// the quality cost bought nothing).
+type Overload struct {
+	// TargetDelaySeconds is the acceptable standing queue delay; a
+	// sojourn above it for IntervalSeconds trips CoDel-style dropping
+	// of the lowest class.
+	TargetDelaySeconds float64
+	IntervalSeconds    float64
+	// Alpha is the EWMA weight of the service-time and queue-delay
+	// estimators, in (0, 1].
+	Alpha float64
+	// BatchShare / InteractiveShare are the queue-occupancy fractions
+	// those classes may use (0 < BatchShare ≤ InteractiveShare ≤ 1);
+	// alert traffic always has the full queue. Monotone shares are
+	// what makes shedding strict-priority.
+	BatchShare, InteractiveShare float64
+	// Per-class default deadline budgets, applied when a submission's
+	// context carries no deadline. Zero disables the class default.
+	BatchBudgetSeconds       float64
+	InteractiveBudgetSeconds float64
+	AlertBudgetSeconds       float64
+
+	// BrownoutEnterSeconds / BrownoutExitSeconds bound the
+	// queue-delay EWMA hysteresis band; BrownoutMinDwellSeconds the
+	// minimum time between brownout transitions.
+	BrownoutEnterSeconds    float64
+	BrownoutExitSeconds     float64
+	BrownoutMinDwellSeconds float64
+	// BrownoutProbationSeconds / BrownoutImprovementFactor shape the
+	// rollback check: ProbationSeconds after entering, the delay must
+	// be under entry × ImprovementFactor or the brownout rolls back.
+	BrownoutProbationSeconds  float64
+	BrownoutImprovementFactor float64
+}
+
+// DefaultOverload returns the default overload-protection tuning:
+// 5 ms CoDel target over a 100 ms interval, batch capped at half the
+// queue and interactive at 80%, brownout entering at 50 ms sustained
+// queue delay and exiting under 10 ms.
+func DefaultOverload() *Overload {
+	ac := admit.DefaultConfig()
+	bc := admit.DefaultBrownoutConfig()
+	return &Overload{
+		TargetDelaySeconds:        ac.TargetDelaySeconds,
+		IntervalSeconds:           ac.IntervalSeconds,
+		Alpha:                     ac.Alpha,
+		BatchShare:                ac.BatchShare,
+		InteractiveShare:          ac.InteractiveShare,
+		BrownoutEnterSeconds:      bc.EnterDelaySeconds,
+		BrownoutExitSeconds:       bc.ExitDelaySeconds,
+		BrownoutMinDwellSeconds:   bc.MinDwellSeconds,
+		BrownoutProbationSeconds:  bc.ProbationSeconds,
+		BrownoutImprovementFactor: bc.ImprovementFactor,
+	}
+}
+
+func (o *Overload) internal() (admit.Config, admit.BrownoutConfig) {
+	return admit.Config{
+			TargetDelaySeconds:       o.TargetDelaySeconds,
+			IntervalSeconds:          o.IntervalSeconds,
+			Alpha:                    o.Alpha,
+			BatchShare:               o.BatchShare,
+			InteractiveShare:         o.InteractiveShare,
+			BatchBudgetSeconds:       o.BatchBudgetSeconds,
+			InteractiveBudgetSeconds: o.InteractiveBudgetSeconds,
+			AlertBudgetSeconds:       o.AlertBudgetSeconds,
+		}, admit.BrownoutConfig{
+			EnterDelaySeconds: o.BrownoutEnterSeconds,
+			ExitDelaySeconds:  o.BrownoutExitSeconds,
+			MinDwellSeconds:   o.BrownoutMinDwellSeconds,
+			ProbationSeconds:  o.BrownoutProbationSeconds,
+			ImprovementFactor: o.BrownoutImprovementFactor,
+		}
+}
+
+// BrownoutEvent is one transition of the fleet brownout controller.
+type BrownoutEvent struct {
+	// AtSeconds is the transition time on host uptime.
+	AtSeconds float64
+	// Kind is "enter", "exit" or "rollback".
+	Kind string
+	// QueueDelaySeconds is the queue-delay EWMA at transition time.
+	QueueDelaySeconds float64
+}
+
+// OverloadStatus is a point-in-time snapshot of the fleet's
+// overload-protection loop.
+type OverloadStatus struct {
+	// Enabled is true when the fleet was served with
+	// ServeOptions.Overload.
+	Enabled bool
+	// BrownedOut is true while every engine is forced onto its cheap
+	// rung; Dropping while the admission controller's CoDel state is
+	// draining a standing queue.
+	BrownedOut bool
+	Dropping   bool
+	// QueueDelaySeconds is the queue-delay EWMA; ServiceSeconds the
+	// per-event service-time EWMA.
+	QueueDelaySeconds float64
+	ServiceSeconds    float64
+	// Sheds / Admitted count admission decisions per class, keyed by
+	// the class label ("batch", "interactive", "alert").
+	Sheds    map[string]uint64
+	Admitted map[string]uint64
+	// BrownoutEnters / BrownoutExits / BrownoutRollbacks count the
+	// controller's transitions.
+	BrownoutEnters    uint64
+	BrownoutExits     uint64
+	BrownoutRollbacks uint64
+}
+
+// OverloadStatus reports the overload-protection loop's state. On a
+// fleet served without ServeOptions.Overload only Enabled=false is
+// populated.
+func (f *Fleet) OverloadStatus() OverloadStatus {
+	if f.admit == nil {
+		return OverloadStatus{}
+	}
+	st := OverloadStatus{
+		Enabled:           true,
+		BrownedOut:        f.brown.Active(),
+		Dropping:          f.admit.Dropping(),
+		QueueDelaySeconds: f.admit.QueueDelay(),
+		ServiceSeconds:    f.admit.ServiceEstimate(),
+		Sheds:             make(map[string]uint64, admit.NumClasses),
+		Admitted:          make(map[string]uint64, admit.NumClasses),
+	}
+	sheds, admitted := f.admit.Sheds(), f.admit.Admitted()
+	for c := admit.Class(0); c < admit.Class(admit.NumClasses); c++ {
+		st.Sheds[c.String()] = sheds[c]
+		st.Admitted[c.String()] = admitted[c]
+	}
+	st.BrownoutEnters, st.BrownoutExits, st.BrownoutRollbacks = f.brown.Counts()
+	return st
+}
+
+// BrownoutLog returns the fleet brownout controller's bounded
+// transition log, oldest first. Fleets without overload protection
+// return nil.
+func (f *Fleet) BrownoutLog() []BrownoutEvent {
+	if f.brown == nil {
+		return nil
+	}
+	events, _ := f.brown.Events()
+	out := make([]BrownoutEvent, len(events))
+	for i, ev := range events {
+		out[i] = BrownoutEvent{AtSeconds: ev.TimeSeconds, Kind: ev.Kind, QueueDelaySeconds: ev.DelaySeconds}
+	}
+	return out
 }
 
 // AdaptiveStatus reports the adaptive loop's current state. On an

@@ -2,9 +2,11 @@ package xpro
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -150,4 +152,58 @@ func BenchmarkFleetNetworkReport(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFleetOverload measures the admission-guarded submit path:
+// the full fleet hop with the deadline/occupancy decision in front of
+// it, mixed priorities, under enough parallel submitters to keep the
+// queues warm. sheds/op reports how much of the offered load the
+// controller refused.
+func BenchmarkFleetOverload(b *testing.B) {
+	engines := map[string]*Engine{
+		"chest": benchEngine(b, "C1"),
+		"wrist": benchEngine(b, "E1"),
+	}
+	n, err := NewNetwork(engines)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := n.Serve(ServeOptions{
+		Workers: runtime.GOMAXPROCS(0), QueueDepth: 64,
+		Overload: DefaultOverload(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	segs := map[string][]float64{
+		"chest": engines["chest"].TestSet()[0].Samples,
+		"wrist": engines["wrist"].TestSet()[0].Samples,
+	}
+	prios := []Priority{PriorityBatch, PriorityInteractive, PriorityAlert}
+	ctx := context.Background()
+	var sheds atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			subject := "chest"
+			if i%2 == 1 {
+				subject = "wrist"
+			}
+			rq := FleetRequest{Subject: subject, Samples: segs[subject], Priority: prios[i%3]}
+			i++
+			ch, err := f.SubmitRequest(ctx, rq)
+			switch {
+			case err == nil:
+				<-ch
+			case errors.Is(err, ErrShed) || errors.Is(err, ErrOverloaded):
+				sheds.Add(1)
+			default:
+				b.Fatal(err)
+			}
+		}
+	})
+	b.ReportMetric(float64(sheds.Load())/float64(b.N), "sheds/op")
 }

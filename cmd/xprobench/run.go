@@ -28,6 +28,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	faultsOnly := fs.Bool("faults", false, "shorthand for -exp ext-faults: the graceful-degradation table under injected fault scenarios")
 	adaptiveOnly := fs.Bool("adaptive", false, "shorthand for -exp ext-adaptive: the chaos-soak table comparing static, ladder and adaptive re-cut variants under channel drift")
 	corruptionOnly := fs.Bool("corruption", false, "shorthand for -exp ext-corruption: the framed-transport vs bare-wire table under a seeded bit-flip storm")
+	overloadOnly := fs.Bool("overload", false, "shorthand for -exp ext-overload: the flash-crowd table proving deadline-aware admission holds p99 under a 10x surge with strict-priority shedding")
 	parallel := fs.Int("parallel", 0, "worker-pool width for the ext-parallel experiment; with no -exp it is shorthand for -exp ext-parallel (0 = GOMAXPROCS, sequential comparison always included)")
 	cases := fs.String("cases", "", "comma-separated case symbols (default: all six)")
 	protocol := fs.String("protocol", "fast", "training protocol: fast or paper")
@@ -122,6 +123,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *corruptionOnly {
 		*exp = "ext-corruption"
+	}
+	if *overloadOnly {
+		*exp = "ext-overload"
 	}
 	if *parallel != 0 {
 		if *parallel < 0 {

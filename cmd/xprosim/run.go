@@ -32,6 +32,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	parallel := fs.Int("parallel", 1, "stream through the ordered worker pool with this many workers (1 = sequential; labels and ordering are identical either way)")
 	logJSON := fs.String("log-json", "", "stream the structured event log (one JSON record per classify / re-cut / breaker transition / quarantine) to this file during the run")
 	sloFlag := fs.Bool("slo", false, "print the engine's final SLO table: windowed latency/energy quantiles, degradation-ladder breakdown, health")
+	overloadFlag := fs.Bool("overload", false, "flood the engine through an overload-protected fleet (deadline-aware admission, strict-priority shedding, brownout): all n segments are offered at once with rotating batch/interactive/alert priorities")
 	checkpointOut := fs.String("checkpoint", "", "write the engine's durable subject-state checkpoint (one CRC-enveloped record) to this file after the run")
 	recoverIn := fs.String("recover", "", "recover the durable subject state from a checkpoint file before streaming: the run resumes the crashed run's modeled timeline")
 	if err := fs.Parse(args); err != nil {
@@ -188,7 +189,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 				i+1, float64(correct)/float64(i+1), energy*1e6, seconds*1e3)
 		}
 	}
-	if *parallel > 1 {
+	if *overloadFlag {
+		if code := runOverload(stdout, stderr, eng, test, *n, *parallel); code != 0 {
+			return code
+		}
+	} else if *parallel > 1 {
 		// Ordered parallel stream: results arrive in submission order, so
 		// the running accuracy printout reads the same as the serial path.
 		in := make(chan []float64)
@@ -226,7 +231,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			account(i, res)
 		}
 	}
-	if *n > 0 {
+	if *n > 0 && !*overloadFlag {
 		fmt.Fprintf(stdout, "\ndone: %d events, accuracy %.3f\n", *n, float64(correct)/float64(*n))
 	}
 	if *faultsFlag != "" {
@@ -330,6 +335,77 @@ func run(args []string, stdout, stderr io.Writer) int {
 		retained, recorded, dropped := obs.TraceStats()
 		fmt.Fprintf(stdout, "trace: %d spans written to %s (%d recorded, %d dropped)\n",
 			retained, *traceOut, recorded, dropped)
+	}
+	return 0
+}
+
+// runOverload floods a single-subject overload-protected fleet with
+// every test segment at once, priorities rotating batch / interactive /
+// alert, and reports what the admission controller did about it. The
+// flood outruns the worker by construction, so the bounded queue
+// fills, the occupancy and deadline gates shed the lower classes, and
+// the printout shows the strict-priority contract on real traffic.
+func runOverload(stdout, stderr io.Writer, eng *xpro.Engine, test []xpro.Segment, n, workers int) int {
+	net, err := xpro.NewNetwork(map[string]*xpro.Engine{"subject": eng})
+	if err != nil {
+		fmt.Fprintf(stderr, "xprosim: %v\n", err)
+		return 1
+	}
+	fleet, err := net.Serve(xpro.ServeOptions{
+		Workers: workers, QueueDepth: 16, Overload: xpro.DefaultOverload(),
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "xprosim: %v\n", err)
+		return 1
+	}
+	defer fleet.Close()
+
+	prios := []xpro.Priority{xpro.PriorityBatch, xpro.PriorityInteractive, xpro.PriorityAlert}
+	type pending struct {
+		idx int
+		ch  <-chan xpro.FleetResult
+	}
+	var accepted []pending
+	shed, poolFull := 0, 0
+	for i := 0; i < n; i++ {
+		ch, err := fleet.SubmitRequest(context.Background(), xpro.FleetRequest{
+			Subject: "subject", Samples: test[i].Samples, Priority: prios[i%3],
+		})
+		switch {
+		case err == nil:
+			accepted = append(accepted, pending{i, ch})
+		case errors.Is(err, xpro.ErrShed):
+			shed++
+		case errors.Is(err, xpro.ErrOverloaded):
+			poolFull++
+		default:
+			fmt.Fprintf(stderr, "xprosim: segment %d: %v\n", i, err)
+			return 1
+		}
+	}
+	correct, served := 0, 0
+	for _, p := range accepted {
+		r := <-p.ch
+		if r.Err != nil {
+			fmt.Fprintf(stderr, "xprosim: segment %d: %v\n", p.idx, r.Err)
+			return 1
+		}
+		served++
+		if r.Result.Label == test[p.idx].Label {
+			correct++
+		}
+	}
+	st := fleet.OverloadStatus()
+	fmt.Fprintf(stdout, "\noverload: offered %d, served %d, shed %d (batch %d, interactive %d, alert %d), pool-full %d\n",
+		n, served, shed, st.Sheds["batch"], st.Sheds["interactive"], st.Sheds["alert"], poolFull)
+	if served > 0 {
+		fmt.Fprintf(stdout, "overload: served accuracy %.3f, queue delay EWMA %.3f ms, service EWMA %.3f ms\n",
+			float64(correct)/float64(served), st.QueueDelaySeconds*1e3, st.ServiceSeconds*1e3)
+	}
+	fmt.Fprintf(stdout, "brownout: enters %d, exits %d, rollbacks %d\n",
+		st.BrownoutEnters, st.BrownoutExits, st.BrownoutRollbacks)
+	for _, ev := range fleet.BrownoutLog() {
+		fmt.Fprintf(stdout, "  %-8s t=%.3fs delay=%.3fms\n", ev.Kind, ev.AtSeconds, ev.QueueDelaySeconds*1e3)
 	}
 	return 0
 }

@@ -288,3 +288,51 @@ func ExampleNetwork_SLOReport() {
 	// bottleneck headroom: 0 h, nodes tracked: 2
 	// health: ok
 }
+
+// ExampleFleet_priority serves a fleet with overload protection and
+// drives it into saturation: the bounded queue fills with alert
+// traffic (which admission never sheds — only the full pool itself
+// refuses it), and a batch submission against the standing queue is
+// refused at the door with a typed *ShedError naming the reason.
+func ExampleFleet_priority() {
+	chest, err := xpro.New(xpro.Config{Case: "E1"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := xpro.NewNetwork(map[string]*xpro.Engine{"chest": chest})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ov := xpro.DefaultOverload()
+	ov.BatchShare = 0.25 // batch may hold 2 of the 8 queue slots
+	fleet, err := net.Serve(xpro.ServeOptions{Workers: 1, QueueDepth: 8, Overload: ov})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fleet.Close()
+
+	seg := chest.TestSet()[0].Samples
+	alert := xpro.FleetRequest{Subject: "chest", Samples: seg, Priority: xpro.PriorityAlert}
+	var errAlert error
+	for i := 0; i < 100000; i++ { // flood until the bounded queue is full
+		if _, errAlert = fleet.SubmitRequest(context.Background(), alert); errAlert != nil {
+			break
+		}
+	}
+	fmt.Println("alert refusal is pool backpressure:", errors.Is(errAlert, xpro.ErrOverloaded))
+
+	batch := xpro.FleetRequest{Subject: "chest", Samples: seg, Priority: xpro.PriorityBatch}
+	_, errBatch := fleet.SubmitRequest(context.Background(), batch)
+	var shed *xpro.ShedError
+	if !errors.As(errBatch, &shed) {
+		log.Fatal(errBatch)
+	}
+	fmt.Println("batch shed reason:", shed.Reason)
+	fmt.Println("shed priority:", shed.Priority)
+	fmt.Println("alert sheds by admission:", fleet.OverloadStatus().Sheds["alert"])
+	// Output:
+	// alert refusal is pool backpressure: true
+	// batch shed reason: occupancy
+	// shed priority: batch
+	// alert sheds by admission: 0
+}

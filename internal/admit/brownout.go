@@ -1,0 +1,209 @@
+package admit
+
+import (
+	"fmt"
+	"sync"
+)
+
+// BrownoutConfig parameterises the Brownout controller. Hysteresis
+// comes from the Enter/Exit gap plus a minimum dwell in each state;
+// probation mirrors the adaptive re-cut controller: shortly after
+// entering, the queue delay must have actually improved or the
+// brownout is rolled back (the cheap rung wasn't the bottleneck).
+type BrownoutConfig struct {
+	// EnterDelaySeconds: queue-delay EWMA above this makes the
+	// fleet a candidate to brown out.
+	EnterDelaySeconds float64
+	// ExitDelaySeconds: EWMA below this makes a browned-out fleet
+	// a candidate to recover. Must be < EnterDelaySeconds.
+	ExitDelaySeconds float64
+	// MinDwellSeconds: minimum time in either state before the
+	// next transition, so the fleet can't flap.
+	MinDwellSeconds float64
+	// ProbationSeconds: how long after entering brownout to wait
+	// before judging whether it helped.
+	ProbationSeconds float64
+	// ImprovementFactor: at the probation check the delay must be
+	// below entryDelay × ImprovementFactor or the brownout rolls
+	// back. In (0, 1].
+	ImprovementFactor float64
+	// LogCap bounds the in-memory event log (0 = DefaultLogCap).
+	LogCap int
+}
+
+// DefaultLogCap is the event-log bound when BrownoutConfig.LogCap
+// is zero.
+const DefaultLogCap = 256
+
+// DefaultBrownoutConfig returns the brownout parameters used by the
+// fleet when overload protection is enabled without further tuning.
+func DefaultBrownoutConfig() BrownoutConfig {
+	return BrownoutConfig{
+		EnterDelaySeconds: 0.050,
+		ExitDelaySeconds:  0.010,
+		MinDwellSeconds:   1.0,
+		ProbationSeconds:  2.0,
+		ImprovementFactor: 0.9,
+	}
+}
+
+// Validate checks the configuration.
+func (c BrownoutConfig) Validate() error {
+	switch {
+	case !(c.EnterDelaySeconds > 0) || !finite(c.EnterDelaySeconds):
+		return fmt.Errorf("admit: EnterDelaySeconds must be finite and > 0, got %v", c.EnterDelaySeconds)
+	case !(c.ExitDelaySeconds > 0) || !(c.ExitDelaySeconds < c.EnterDelaySeconds):
+		return fmt.Errorf("admit: ExitDelaySeconds must be in (0, EnterDelaySeconds), got %v", c.ExitDelaySeconds)
+	case c.MinDwellSeconds < 0 || !finite(c.MinDwellSeconds):
+		return fmt.Errorf("admit: MinDwellSeconds must be finite and >= 0, got %v", c.MinDwellSeconds)
+	case c.ProbationSeconds < 0 || !finite(c.ProbationSeconds):
+		return fmt.Errorf("admit: ProbationSeconds must be finite and >= 0, got %v", c.ProbationSeconds)
+	case !(c.ImprovementFactor > 0 && c.ImprovementFactor <= 1):
+		return fmt.Errorf("admit: ImprovementFactor must be in (0, 1], got %v", c.ImprovementFactor)
+	case c.LogCap < 0:
+		return fmt.Errorf("admit: LogCap must be >= 0, got %d", c.LogCap)
+	}
+	return nil
+}
+
+// BrownoutEvent is one state transition in the brownout log. The
+// log is the determinism artifact: two replays of the same seed
+// must produce identical slices.
+type BrownoutEvent struct {
+	// TimeSeconds is the transition time on the caller's clock.
+	TimeSeconds float64 `json:"t"`
+	// Kind is "enter", "exit" or "rollback".
+	Kind string `json:"kind"`
+	// DelaySeconds is the queue-delay EWMA at transition time.
+	DelaySeconds float64 `json:"delay_s"`
+}
+
+// Brownout couples sustained overload to the degradation ladder:
+// while active, every engine in the fleet is forced onto its cheap
+// in-sensor rung so service time (and therefore capacity) improves
+// instead of the queue growing. It is a pure state machine over
+// (time, queue-delay) observations — callers apply the decision.
+type Brownout struct {
+	mu  sync.Mutex
+	cfg BrownoutConfig
+
+	active     bool
+	lastChange float64
+	started    bool // lastChange valid
+	entryDelay float64
+	probation  bool // probation pending
+	probDue    float64
+
+	log     []BrownoutEvent
+	dropped int
+	enters  uint64
+	exits   uint64
+	backs   uint64
+}
+
+// NewBrownout builds a Brownout from cfg. cfg must Validate.
+func NewBrownout(cfg BrownoutConfig) (*Brownout, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.LogCap == 0 {
+		cfg.LogCap = DefaultLogCap
+	}
+	return &Brownout{cfg: cfg}, nil
+}
+
+// Config returns the controller's configuration.
+func (b *Brownout) Config() BrownoutConfig { return b.cfg }
+
+// Active reports whether the fleet is currently browned out.
+func (b *Brownout) Active() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.active
+}
+
+// Observe advances the state machine with the queue-delay EWMA at
+// time now. It returns (changed, active): changed is true when this
+// observation transitioned the state, and active is the state after
+// the observation. Callers apply side effects (forcing/releasing
+// the cheap rung, bumping epochs, metrics) only when changed.
+func (b *Brownout) Observe(now, delay float64) (changed, active bool) {
+	if !finite(now) || !finite(delay) || delay < 0 {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return false, b.active
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	dwellOK := !b.started || now-b.lastChange >= b.cfg.MinDwellSeconds
+	if !b.active {
+		if delay > b.cfg.EnterDelaySeconds && dwellOK {
+			b.active = true
+			b.started = true
+			b.lastChange = now
+			b.entryDelay = delay
+			b.probation = b.cfg.ProbationSeconds > 0
+			b.probDue = now + b.cfg.ProbationSeconds
+			b.enters++
+			b.append(BrownoutEvent{TimeSeconds: now, Kind: "enter", DelaySeconds: delay})
+			return true, true
+		}
+		return false, false
+	}
+	// Probation: did browning out actually reduce the delay? If
+	// not, the queue isn't service-time bound and the quality cost
+	// buys nothing — roll back (and the dwell stops re-entry churn).
+	if b.probation && now >= b.probDue {
+		b.probation = false
+		if delay > b.entryDelay*b.cfg.ImprovementFactor {
+			b.active = false
+			b.lastChange = now
+			b.backs++
+			b.append(BrownoutEvent{TimeSeconds: now, Kind: "rollback", DelaySeconds: delay})
+			return true, false
+		}
+	}
+	if delay < b.cfg.ExitDelaySeconds && dwellOK {
+		b.active = false
+		b.lastChange = now
+		b.exits++
+		b.append(BrownoutEvent{TimeSeconds: now, Kind: "exit", DelaySeconds: delay})
+		return true, false
+	}
+	return false, true
+}
+
+func (b *Brownout) append(e BrownoutEvent) {
+	if len(b.log) >= b.cfg.LogCap {
+		b.log = b.log[1:]
+		b.dropped++
+	}
+	b.log = append(b.log, e)
+}
+
+// Last returns the most recent transition, if any.
+func (b *Brownout) Last() (BrownoutEvent, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.log) == 0 {
+		return BrownoutEvent{}, false
+	}
+	return b.log[len(b.log)-1], true
+}
+
+// Events returns a copy of the bounded transition log and the
+// number of events dropped to stay within the cap.
+func (b *Brownout) Events() ([]BrownoutEvent, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]BrownoutEvent, len(b.log))
+	copy(out, b.log)
+	return out, b.dropped
+}
+
+// Counts returns cumulative (enters, exits, rollbacks).
+func (b *Brownout) Counts() (enters, exits, rollbacks uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.enters, b.exits, b.backs
+}

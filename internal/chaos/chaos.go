@@ -34,7 +34,7 @@ import (
 
 // ProfileNames lists the built-in drift profiles.
 func ProfileNames() []string {
-	return []string{"squall", "cyclone", "monsoon", "staircase", "flapping", "hailstorm", "garble", "reboot-storm"}
+	return []string{"squall", "cyclone", "monsoon", "staircase", "flapping", "hailstorm", "garble", "reboot-storm", "flash-crowd"}
 }
 
 // Profile builds a named channel-drift plan over the given horizon
@@ -61,6 +61,12 @@ func ProfileNames() []string {
 //	reboot-storm  seeded node-crash and reboot windows over a lossy
 //	           background — the node itself keeps dying and coming
 //	           back; events inside a window produce nothing at all
+//	flash-crowd  seeded demand-surge windows (10× arrival rate) over a
+//	           lossy background — the correlated overload storm: every
+//	           subject on a channel bursts at once while the channel
+//	           itself degrades. The classify pipeline ignores surge
+//	           windows; arrival processes (FlashCrowd, the simulator)
+//	           read them through State.Surge
 func Profile(name string, seed int64, horizon float64) (*faults.Plan, error) {
 	if !(horizon > 0) {
 		return nil, fmt.Errorf("chaos: horizon %v must be positive", horizon)
@@ -104,6 +110,11 @@ func Profile(name string, seed int64, horizon float64) (*faults.Plan, error) {
 		return faults.RandomPlan(seed, faults.PlanConfig{
 			Horizon: h, Bursts: 2, Crashes: 3, Reboots: 2,
 			MeanDuration: h / 25, BurstLoss: 0.5,
+		}), nil
+	case "flash-crowd":
+		return faults.RandomPlan(seed, faults.PlanConfig{
+			Horizon: h, Bursts: 2, Surges: 3,
+			MeanDuration: h / 8, BurstLoss: 0.6, SurgeFactor: 10,
 		}), nil
 	default:
 		return nil, fmt.Errorf("chaos: unknown profile %q (have %v)", name, ProfileNames())

@@ -1,0 +1,188 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"xpro/internal/admit"
+	"xpro/internal/faults"
+	"xpro/internal/wireless"
+)
+
+func TestFlashCrowdValidation(t *testing.T) {
+	f := getFixture(t)
+	sys := crossSystem(t, f, wireless.Model3())
+	if _, err := FlashCrowd(nil, f.test.Segs, FlashCrowdConfig{}); err == nil {
+		t.Error("nil system should error")
+	}
+	if _, err := FlashCrowd(sys, nil, FlashCrowdConfig{}); err == nil {
+		t.Error("empty segments should error")
+	}
+	bad := admit.DefaultConfig()
+	bad.Alpha = 2
+	if _, err := FlashCrowd(sys, f.test.Segs, FlashCrowdConfig{Admission: &bad}); err == nil {
+		t.Error("invalid admission config should error")
+	}
+	badB := admit.DefaultBrownoutConfig()
+	badB.ExitDelaySeconds = badB.EnterDelaySeconds * 2
+	if _, err := FlashCrowd(sys, f.test.Segs, FlashCrowdConfig{Brownout: &badB}); err == nil {
+		t.Error("invalid brownout config should error")
+	}
+}
+
+// TestFlashCrowdAcceptance is the overload battery's core property
+// set: under a seeded 10× flash crowd the admission controller keeps
+// admitted p99 latency within 2× the unloaded baseline, sheds
+// strictly by priority (alert is never refused; interactive is only
+// shed in windows where batch shed too), and per-subject service
+// order is never inverted.
+func TestFlashCrowdAcceptance(t *testing.T) {
+	f := getFixture(t)
+	sys := crossSystem(t, f, wireless.Model3())
+	res, err := FlashCrowd(sys, f.test.Segs, FlashCrowdConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("baseline: offered=%d p50=%.3gms p99=%.3gms maxq=%d",
+		res.Baseline.Offered, res.Baseline.LatencyP50S*1e3, res.Baseline.LatencyP99S*1e3, res.Baseline.MaxQueueLen)
+	t.Logf("overload: offered=%d admitted=%d shed=%v poolfull=%d p50=%.3gms p99=%.3gms classp99=%.3v maxq=%d browned=%d enters=%d",
+		res.Overload.Offered, res.Overload.Admitted, res.Overload.ShedByClass, res.Overload.PoolFull,
+		res.Overload.LatencyP50S*1e3, res.Overload.LatencyP99S*1e3, res.Overload.ClassP99S, res.Overload.MaxQueueLen,
+		res.Overload.BrownedServed, res.BrownoutEnters)
+
+	if res.SurgeFactor < 10 {
+		t.Fatalf("plan surge factor %v, want >= 10", res.SurgeFactor)
+	}
+	if res.Overload.Offered != res.Baseline.Offered {
+		t.Errorf("passes saw different arrival streams: %d vs %d",
+			res.Overload.Offered, res.Baseline.Offered)
+	}
+	if res.Overload.Offered < 1000 {
+		t.Errorf("only %d offered arrivals; the crowd never materialised", res.Overload.Offered)
+	}
+	total := 0
+	for _, n := range res.Overload.ShedByClass {
+		total += n
+	}
+	if total == 0 {
+		t.Error("overload pass shed nothing; the battery is vacuous")
+	}
+	if !res.LatencyBounded(2) {
+		t.Errorf("admitted p99 %.3gms exceeds 2x baseline p99 %.3gms",
+			res.Overload.LatencyP99S*1e3, res.Baseline.LatencyP99S*1e3)
+	}
+	if err := res.StrictPriority(); err != nil {
+		t.Error(err)
+	}
+	if res.Overload.OrderViolations != 0 || res.Baseline.OrderViolations != 0 {
+		t.Errorf("per-subject order inversions: baseline %d, overload %d",
+			res.Baseline.OrderViolations, res.Overload.OrderViolations)
+	}
+	if res.Overload.PoolFull != 0 {
+		t.Errorf("%d arrivals hit a full queue; admission should shed before the pool does", res.Overload.PoolFull)
+	}
+	// Batch is shed hardest: it has the smallest share and budget.
+	if res.Overload.ShedByClass[admit.Batch] < res.Overload.ShedByClass[admit.Interactive] {
+		t.Errorf("batch sheds (%d) fewer than interactive sheds (%d)",
+			res.Overload.ShedByClass[admit.Batch], res.Overload.ShedByClass[admit.Interactive])
+	}
+}
+
+// TestFlashCrowdReplay is the seeded-replay contract: the whole
+// result — stats, shed log, brownout log — must be bit-identical
+// across two runs of the same seed.
+func TestFlashCrowdReplay(t *testing.T) {
+	f := getFixture(t)
+	sys := crossSystem(t, f, wireless.Model3())
+	cfg := FlashCrowdConfig{Seed: 21, Arrivals: 300}
+	a, err := FlashCrowd(sys, f.test.Segs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FlashCrowd(sys, f.test.Segs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("flash-crowd replay diverged:\n  run A: %+v\n  run B: %+v", a, b)
+	}
+	if len(a.Sheds) == 0 {
+		t.Error("replay produced no sheds; determinism check is vacuous")
+	}
+}
+
+// TestFlashCrowdBrownout forces the brownout path: with the deadline
+// and occupancy gates effectively disabled, the standing queue grows
+// until the delay EWMA crosses the (tight) brownout threshold, the
+// fleet drops to its cheap rung, and capacity recovers. The
+// transition log must engage and stay bounded.
+func TestFlashCrowdBrownout(t *testing.T) {
+	f := getFixture(t)
+	sys := crossSystem(t, f, wireless.Model3())
+	ac := admit.DefaultConfig()
+	// Permissive gates: full shares, no budgets, CoDel target high
+	// enough that dropping never engages — queues actually build.
+	ac.BatchShare, ac.InteractiveShare = 1, 1
+	ac.TargetDelaySeconds = 10
+	ac.IntervalSeconds = 10
+	bc := admit.DefaultBrownoutConfig()
+	bc.EnterDelaySeconds = 0.010
+	bc.ExitDelaySeconds = 0.002
+	bc.MinDwellSeconds = 0.05
+	bc.ProbationSeconds = 0.2
+	res, err := FlashCrowd(sys, f.test.Segs, FlashCrowdConfig{
+		Seed: 7, Arrivals: 300, Admission: &ac, Brownout: &bc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("brownout enters=%d exits=%d rollbacks=%d browned-served=%d transitions=%d",
+		res.BrownoutEnters, res.BrownoutExits, res.BrownoutRollbacks,
+		res.Overload.BrownedServed, len(res.Brownouts))
+	if res.BrownoutEnters == 0 {
+		t.Fatal("brownout never engaged under a sustained 10x crowd with open gates")
+	}
+	if res.Overload.BrownedServed == 0 {
+		t.Error("brownout engaged but no event was served on the cheap rung")
+	}
+	for i, e := range res.Brownouts {
+		if e.Kind != "enter" && e.Kind != "exit" && e.Kind != "rollback" {
+			t.Errorf("event %d has unknown kind %q", i, e.Kind)
+		}
+		if i > 0 && e.TimeSeconds < res.Brownouts[i-1].TimeSeconds {
+			t.Errorf("brownout log not time-ordered at %d: %v after %v",
+				i, e.TimeSeconds, res.Brownouts[i-1].TimeSeconds)
+		}
+	}
+	// The cheap rung must actually be cheaper: browned events pull the
+	// mean service down, so the fleet served more than a no-brownout
+	// queue of the same depth could have.
+	if res.Overload.Served == 0 {
+		t.Fatal("no events served")
+	}
+}
+
+// TestFlashCrowdSurgePlan pins the flash-crowd profile shape: it
+// carries both demand-surge and loss windows, so overload and channel
+// degradation genuinely overlap subjects on the same channel.
+func TestFlashCrowdSurgePlan(t *testing.T) {
+	plan, err := Profile("flash-crowd", 7, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var surges, losses int
+	for _, w := range plan.Windows {
+		switch w.Kind {
+		case faults.DemandSurge:
+			surges++
+			if w.Rate < 1 {
+				t.Errorf("surge window rate %v < 1", w.Rate)
+			}
+		case faults.LossBurst:
+			losses++
+		}
+	}
+	if surges != 3 || losses != 2 {
+		t.Errorf("flash-crowd plan has %d surges and %d loss bursts, want 3 and 2", surges, losses)
+	}
+}

@@ -346,6 +346,7 @@ func Runners() []runner {
 		{"ext-adaptive", ExtAdaptive},
 		{"ext-parallel", ExtParallel},
 		{"ext-corruption", ExtCorruption},
+		{"ext-overload", ExtOverload},
 		{"scorecard", Scorecard},
 	}
 }

@@ -94,6 +94,14 @@ const (
 	// node is down for the window exactly like NodeCrash, but it sees
 	// the shutdown coming and may flush a final checkpoint first.
 	Reboot
+	// DemandSurge is not a hardware fault but a load fault: a flash
+	// crowd multiplies the event arrival rate by Window.Rate (≥ 1)
+	// for the duration of the window. The classify pipeline ignores
+	// it; arrival processes (the chaos soak harnesses, the event
+	// simulator's drivers) read it through State.Surge to burst their
+	// offered load, so overload and correlated faults can be
+	// scheduled on the same seeded timeline.
+	DemandSurge
 )
 
 func (k Kind) String() string {
@@ -116,6 +124,8 @@ func (k Kind) String() string {
 		return "node-crash"
 	case Reboot:
 		return "reboot"
+	case DemandSurge:
+		return "demand-surge"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -164,6 +174,10 @@ func (p *Plan) Validate() error {
 			if !(w.Rate >= 0 && w.Rate <= 1) { // NaN fails both comparisons
 				return fmt.Errorf("faults: window %d has rate %v outside [0,1]", i, w.Rate)
 			}
+		case DemandSurge:
+			if !(w.Rate >= 1) || !isFinite(w.Rate) { // NaN fails the comparison
+				return fmt.Errorf("faults: window %d has surge multiplier %v below 1", i, w.Rate)
+			}
 		}
 	}
 	return nil
@@ -189,6 +203,10 @@ type State struct {
 	// ReorderRate is the adjacent-pair swap probability contributed by
 	// Reorder windows (maximum of overlaps).
 	ReorderRate float64
+	// Surge is the arrival-rate multiplier contributed by DemandSurge
+	// windows (maximum of overlaps), 0 when none is active — callers
+	// treat anything below 1 as the nominal rate.
+	Surge float64
 	// NodeDown is true inside a NodeCrash or Reboot window: the node is
 	// off the air entirely and serves nothing.
 	NodeDown bool
@@ -242,6 +260,10 @@ func (p *Plan) At(t float64) State {
 		case Reorder:
 			if w.Rate > s.ReorderRate {
 				s.ReorderRate = w.Rate
+			}
+		case DemandSurge:
+			if w.Rate > s.Surge {
+				s.Surge = w.Rate
 			}
 		}
 	}
@@ -314,6 +336,10 @@ type PlanConfig struct {
 	// Crashes, Reboots count the node-down windows to scatter: hard
 	// power losses and ordered restarts respectively.
 	Crashes, Reboots int
+	// Surges counts DemandSurge windows to scatter; SurgeFactor sets
+	// their arrival-rate multiplier (default 10).
+	Surges      int
+	SurgeFactor float64
 }
 
 // RandomPlan scatters fault windows over the horizon, deterministically
@@ -336,6 +362,9 @@ func RandomPlan(seed int64, cfg PlanConfig) *Plan {
 	}
 	if cfg.ReorderRate <= 0 {
 		cfg.ReorderRate = 0.2
+	}
+	if cfg.SurgeFactor < 1 {
+		cfg.SurgeFactor = 10
 	}
 	rng := rand.New(rand.NewSource(seed))
 	p := &Plan{}
@@ -365,13 +394,16 @@ func RandomPlan(seed int64, cfg PlanConfig) *Plan {
 	// requests none replays the exact pre-existing seeded schedules.
 	add(NodeCrash, cfg.Crashes, 0, 0)
 	add(Reboot, cfg.Reboots, 0, 0)
+	// Demand-surge windows draw after everything else, again so plans
+	// that request none replay the exact pre-existing schedules.
+	add(DemandSurge, cfg.Surges, 0, cfg.SurgeFactor)
 	sort.SliceStable(p.Windows, func(i, j int) bool { return p.Windows[i].Start < p.Windows[j].Start })
 	return p
 }
 
 // ScenarioNames lists the named scenarios Scenario accepts.
 func ScenarioNames() []string {
-	return []string{"outage", "bursty", "brownout", "stall", "flaky", "corrupt", "garbled", "reboot-storm"}
+	return []string{"outage", "bursty", "brownout", "stall", "flaky", "corrupt", "garbled", "reboot-storm", "flash-crowd"}
 }
 
 // Scenario builds a named fault plan over the given horizon, seeded
@@ -387,6 +419,8 @@ func ScenarioNames() []string {
 //	reboot-storm seeded node crashes and ordered reboots over a lossy
 //	             background — the node dies, loses volatile state and
 //	             rejoins, repeatedly
+//	flash-crowd  seeded demand surges (10x arrival rate) over loss
+//	             bursts: overload and link faults arriving correlated
 func Scenario(name string, seed int64, horizon float64) (*Plan, error) {
 	if horizon <= 0 || !isFinite(horizon) {
 		return nil, fmt.Errorf("faults: scenario horizon %v must be positive and finite", horizon)
@@ -415,6 +449,9 @@ func Scenario(name string, seed int64, horizon float64) (*Plan, error) {
 	case "reboot-storm":
 		return RandomPlan(seed, PlanConfig{Horizon: horizon, MeanDuration: horizon / 25,
 			Bursts: 2, BurstLoss: 0.5, Crashes: 3, Reboots: 2}), nil
+	case "flash-crowd":
+		return RandomPlan(seed, PlanConfig{Horizon: horizon, MeanDuration: horizon / 8,
+			Bursts: 2, BurstLoss: 0.6, Surges: 3, SurgeFactor: 10}), nil
 	default:
 		return nil, fmt.Errorf("faults: unknown scenario %q (have %v)", name, ScenarioNames())
 	}

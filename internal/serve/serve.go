@@ -60,9 +60,19 @@ type OverloadedError struct {
 	Workers    int
 	QueueDepth int
 	QueueLen   int
+	// RetryAfterSeconds, when > 0, hints how long the caller should
+	// wait before retrying: the admission controller's estimate of
+	// the time for the rejected queue to drain at the current
+	// service rate. Zero when no admission controller is attached
+	// (the pool itself has no service-time estimator).
+	RetryAfterSeconds float64
 }
 
 func (e *OverloadedError) Error() string {
+	if e.RetryAfterSeconds > 0 {
+		return fmt.Sprintf("serve: worker %d/%d queue full (%d/%d jobs pending, retry after %.3fs)",
+			e.Worker, e.Workers, e.QueueLen, e.QueueDepth, e.RetryAfterSeconds)
+	}
 	return fmt.Sprintf("serve: worker %d/%d queue full (%d/%d jobs pending)",
 		e.Worker, e.Workers, e.QueueLen, e.QueueDepth)
 }
@@ -211,6 +221,9 @@ func (p *Pool) Submit(shard uint64, job func()) error {
 func (p *Pool) QueueLen(shard uint64) int {
 	return len(p.queues[shard%uint64(len(p.queues))])
 }
+
+// QueueDepth returns each worker's bounded queue capacity.
+func (p *Pool) QueueDepth() int { return p.depth }
 
 // Pending returns the total number of jobs queued across all workers.
 func (p *Pool) Pending() int {

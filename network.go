@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"xpro/internal/aggregator"
 	"xpro/internal/bsn"
@@ -36,6 +37,13 @@ type Network struct {
 	rep    *NetworkReport
 	repFor *bsn.Network
 	slo    sloCache
+
+	// fleet is the most recent Fleet served over this network (nil
+	// until Serve). SLOReport and Health read its overload state —
+	// shed counts and brownout — through this pointer; the fields are
+	// patched outside the memo like the checkpoint ages, since sheds
+	// move without bumping any engine's epoch.
+	fleet atomic.Pointer[Fleet]
 }
 
 // NewNetwork assembles a network from named engines. The engines should

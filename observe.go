@@ -101,8 +101,9 @@ type LogEvent struct {
 	TimeSeconds float64
 	// Wall is the host wall-clock time of the record.
 	Wall time.Time
-	// Kind is "classify", "recut-swap", "recut-rollback", "breaker" or
-	// "quarantine".
+	// Kind is "classify", "recut-swap", "recut-rollback", "breaker",
+	// "quarantine" or "brownout" (a fleet brownout transition; Detail
+	// carries "enter", "exit" or "rollback").
 	Kind string
 	// Subject names the fleet subject, when known.
 	Subject string

@@ -1,0 +1,459 @@
+package xpro
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"xpro/internal/serve"
+)
+
+// resilientFleetPair builds a two-subject network whose engines carry
+// a Resilience policy (so the fleet brownout has a cheap rung to force)
+// and serves it with the given options.
+func resilientFleetPair(t *testing.T, opt ServeOptions) (*Network, *Fleet, map[string]*Engine) {
+	t.Helper()
+	engines := map[string]*Engine{}
+	for name, sym := range map[string]string{"chest": "C1", "wrist": "M1"} {
+		e, err := New(Config{Case: sym, Resilience: DefaultResilience()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[name] = e
+	}
+	n, err := NewNetwork(engines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := n.Serve(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, f, engines
+}
+
+// blockWorker parks the pool worker serving shard behind a channel the
+// test controls, so queue state is exact while assertions run.
+func blockWorker(t *testing.T, f *Fleet, shard uint64) chan struct{} {
+	t.Helper()
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if err := f.pool.Submit(shard, func() { close(started); <-release }); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	return release
+}
+
+// TestFleetShedStrictPriority drives the admission controller's
+// occupancy gate through the public fleet API: with the worker parked,
+// batch hits its queue share first, interactive second, and alert is
+// still admitted after both — with every refusal a typed *ShedError
+// whose fields describe the decision.
+func TestFleetShedStrictPriority(t *testing.T) {
+	ov := DefaultOverload()
+	ov.BatchShare, ov.InteractiveShare = 0.25, 0.5 // limits 2 and 4 of depth 8
+	_, f, engines := fleetPair(t, ServeOptions{Workers: 1, QueueDepth: 8, Overload: ov})
+	defer f.Close()
+	seg := segsOf(engines["chest"], 1)[0]
+	release := blockWorker(t, f, 0)
+
+	var chans []<-chan FleetResult
+	submit := func(p Priority) error {
+		ch, err := f.SubmitRequest(context.Background(),
+			FleetRequest{Subject: "chest", Samples: seg, Priority: p})
+		if err == nil {
+			chans = append(chans, ch)
+		}
+		return err
+	}
+	for i := 0; i < 2; i++ { // fill to the batch limit
+		if err := submit(PriorityInteractive); err != nil {
+			t.Fatalf("interactive submit %d: %v", i, err)
+		}
+	}
+	err := submit(PriorityBatch)
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("batch at queue len 2: got %v, want ErrShed", err)
+	}
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("shed error is not a *ShedError: %v", err)
+	}
+	if shed.Subject != "chest" || shed.Priority != PriorityBatch || shed.Reason != "occupancy" {
+		t.Fatalf("shed fields = %q/%v/%q, want chest/batch/occupancy", shed.Subject, shed.Priority, shed.Reason)
+	}
+	if shed.QueueLen != 2 || shed.QueueDepth != 8 {
+		t.Fatalf("shed queue geometry = %d/%d, want 2/8", shed.QueueLen, shed.QueueDepth)
+	}
+	if shed.RetryAfterSeconds <= 0 {
+		t.Fatalf("shed retry-after hint = %v, want > 0", shed.RetryAfterSeconds)
+	}
+	for i := 2; i < 4; i++ { // fill to the interactive limit
+		if err := submit(PriorityInteractive); err != nil {
+			t.Fatalf("interactive submit %d: %v", i, err)
+		}
+	}
+	err = submit(PriorityInteractive)
+	if !errors.As(err, &shed) || shed.Priority != PriorityInteractive || shed.Reason != "occupancy" {
+		t.Fatalf("interactive at queue len 4: got %v, want interactive occupancy shed", err)
+	}
+	if err := submit(PriorityAlert); err != nil { // alert rides above both shares
+		t.Fatalf("alert at queue len 4: %v, want admitted", err)
+	}
+
+	st := f.OverloadStatus()
+	if !st.Enabled {
+		t.Fatal("OverloadStatus.Enabled = false on an overload-protected fleet")
+	}
+	if st.Sheds["batch"] != 1 || st.Sheds["interactive"] != 1 || st.Sheds["alert"] != 0 {
+		t.Fatalf("sheds by class = %v, want batch:1 interactive:1 alert:0", st.Sheds)
+	}
+	if st.Admitted["interactive"] != 4 || st.Admitted["alert"] != 1 {
+		t.Fatalf("admitted by class = %v, want interactive:4 alert:1", st.Admitted)
+	}
+	if got := f.obs.MetricValue(`xpro_admit_shed_total{class="batch"}`); got != 1 {
+		t.Fatalf(`xpro_admit_shed_total{class="batch"} = %v, want 1`, got)
+	}
+	close(release)
+	for i, ch := range chans {
+		if r := <-ch; r.Err != nil {
+			t.Fatalf("admitted event %d failed after release: %v", i, r.Err)
+		}
+	}
+}
+
+// TestFleetShedDeadlineGate: once the service-time EWMA is primed, an
+// event whose class deadline budget is smaller than the queue-wait
+// estimate is refused at the door with reason "deadline".
+func TestFleetShedDeadlineGate(t *testing.T) {
+	ov := DefaultOverload()
+	ov.InteractiveBudgetSeconds = 1e-12
+	_, f, engines := fleetPair(t, ServeOptions{Workers: 1, QueueDepth: 8, Overload: ov})
+	defer f.Close()
+	seg := segsOf(engines["chest"], 1)[0]
+	for i := 0; i < 3; i++ { // prime the service-time estimator
+		if _, err := f.Classify(context.Background(), "chest", seg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	release := blockWorker(t, f, 0)
+	ch, err := f.Submit(context.Background(), "chest", seg) // queue len 0: estimate is 0, admitted
+	if err != nil {
+		t.Fatalf("first interactive submit: %v", err)
+	}
+	_, err = f.Submit(context.Background(), "chest", seg)
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != "deadline" {
+		t.Fatalf("queued interactive with 1ps budget: got %v, want deadline shed", err)
+	}
+	if shed.BudgetSeconds != ov.InteractiveBudgetSeconds {
+		t.Fatalf("shed budget = %v, want the class default %v", shed.BudgetSeconds, ov.InteractiveBudgetSeconds)
+	}
+	if shed.EstimatedWaitSeconds <= shed.BudgetSeconds {
+		t.Fatalf("shed estimate %v does not exceed budget %v", shed.EstimatedWaitSeconds, shed.BudgetSeconds)
+	}
+	close(release)
+	<-ch
+}
+
+// TestFleetOverloadedRetryAfterHint: on an overload-protected fleet
+// even a bare pool-full ErrOverloaded rejection carries the admission
+// controller's retry-after estimate, via errors.As on the typed
+// *serve.OverloadedError.
+func TestFleetOverloadedRetryAfterHint(t *testing.T) {
+	_, f, engines := fleetPair(t, ServeOptions{Workers: 1, QueueDepth: 1, Overload: DefaultOverload()})
+	defer f.Close()
+	seg := segsOf(engines["chest"], 1)[0]
+	for i := 0; i < 2; i++ {
+		if _, err := f.Classify(context.Background(), "chest", seg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	release := blockWorker(t, f, 0)
+	defer close(release)
+	alert := FleetRequest{Subject: "chest", Samples: seg, Priority: PriorityAlert}
+	if _, err := f.SubmitRequest(context.Background(), alert); err != nil {
+		t.Fatalf("alert filling the queue: %v", err)
+	}
+	_, err := f.SubmitRequest(context.Background(), alert)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("alert on a full queue: got %v, want ErrOverloaded", err)
+	}
+	var oe *serve.OverloadedError
+	if !errors.As(err, &oe) {
+		t.Fatalf("overload error is not a *serve.OverloadedError: %v", err)
+	}
+	if oe.QueueLen != 1 || oe.QueueDepth != 1 {
+		t.Fatalf("overload queue geometry = %d/%d, want 1/1", oe.QueueLen, oe.QueueDepth)
+	}
+	if oe.RetryAfterSeconds <= 0 {
+		t.Fatalf("overload retry-after hint = %v, want > 0", oe.RetryAfterSeconds)
+	}
+}
+
+// TestFleetBrownoutForcesFallback drives the full brownout loop
+// through real queue delay: a parked worker builds a standing queue,
+// the delay EWMA crosses the enter threshold as it drains, every
+// engine is forced onto its in-sensor fallback rung (visible in
+// served results, OverloadStatus, the SLO report and health), and a
+// stretch of idle serving decays the EWMA back under the exit
+// threshold, releasing the fleet.
+func TestFleetBrownoutForcesFallback(t *testing.T) {
+	ov := DefaultOverload()
+	ov.BrownoutEnterSeconds = 0.005
+	ov.BrownoutExitSeconds = 0.0005
+	ov.BrownoutMinDwellSeconds = 0.001
+	ov.BrownoutProbationSeconds = 0 // no rollback check: this test owns the exit path
+	n, f, engines := resilientFleetPair(t, ServeOptions{Workers: 1, QueueDepth: 64, Overload: ov})
+	defer f.Close()
+	seg := segsOf(engines["chest"], 1)[0]
+
+	// Build real queue delay: park the worker, queue a burst, let it
+	// age past the enter threshold, then drain.
+	release := blockWorker(t, f, 0)
+	var chans []<-chan FleetResult
+	for i := 0; i < 8; i++ {
+		ch, err := f.Submit(context.Background(), "chest", seg)
+		if err != nil {
+			t.Fatalf("burst submit %d: %v", i, err)
+		}
+		chans = append(chans, ch)
+	}
+	time.Sleep(30 * time.Millisecond)
+	close(release)
+	for i, ch := range chans {
+		if r := <-ch; r.Err != nil {
+			t.Fatalf("burst event %d: %v", i, r.Err)
+		}
+	}
+
+	st := f.OverloadStatus()
+	if !st.BrownedOut || st.BrownoutEnters == 0 {
+		t.Fatalf("after a 30ms standing queue drained: BrownedOut=%v enters=%d, want browned out",
+			st.BrownedOut, st.BrownoutEnters)
+	}
+	log := f.BrownoutLog()
+	if len(log) == 0 || log[0].Kind != "enter" {
+		t.Fatalf("brownout log = %+v, want a leading enter event", log)
+	}
+	res, err := f.Classify(context.Background(), "chest", seg)
+	if err != nil {
+		t.Fatalf("classify while browned out: %v", err)
+	}
+	if res.Mode != ModeFallbackSensor {
+		t.Fatalf("browned-out event served in mode %v, want ModeFallbackSensor", res.Mode)
+	}
+	rep, err := n.SLOReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.BrownedOut || rep.BrownedOutNodes != len(f.Subjects()) {
+		t.Fatalf("SLO report BrownedOut=%v nodes=%d, want true/%d",
+			rep.BrownedOut, rep.BrownedOutNodes, len(f.Subjects()))
+	}
+	if !n.Health().BrownedOut {
+		t.Fatal("network health does not flag the brownout")
+	}
+
+	// Recovery: idle-queue events decay the delay EWMA below the exit
+	// threshold (0.8^n from ~25ms needs a few dozen observations).
+	deadline := time.Now().Add(5 * time.Second)
+	for f.OverloadStatus().BrownedOut {
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet still browned out after 5s of idle serving: %+v", f.OverloadStatus())
+		}
+		if _, err := f.Classify(context.Background(), "chest", seg); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st = f.OverloadStatus()
+	if st.BrownoutExits == 0 {
+		t.Fatalf("brownout cleared without an exit transition: %+v", st)
+	}
+	res, err = f.Classify(context.Background(), "chest", seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != ModeFull {
+		t.Fatalf("post-recovery event served in mode %v, want ModeFull", res.Mode)
+	}
+	rep, err = n.SLOReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BrownedOut || rep.BrownedOutNodes != 0 {
+		t.Fatalf("SLO report still browned out after recovery: %+v", rep)
+	}
+}
+
+// TestClassifyBatchCancelMidBatchNoLeak is the abandoned-channel
+// regression (run under -race in CI): a context canceled between
+// submission and collection abandons every accepted result channel,
+// and the workers' sends must land in the buffered slots instead of
+// pinning goroutines. After release + drain the goroutine count
+// returns to its pre-batch baseline.
+func TestClassifyBatchCancelMidBatchNoLeak(t *testing.T) {
+	_, f, engines := fleetPair(t, ServeOptions{Workers: 2, QueueDepth: 64})
+	seg := map[string][]float64{
+		"chest": segsOf(engines["chest"], 1)[0],
+		"wrist": segsOf(engines["wrist"], 1)[0],
+	}
+	base := runtime.NumGoroutine()
+
+	relA := blockWorker(t, f, 0)
+	relB := blockWorker(t, f, 1)
+	reqs := make([]FleetRequest, 32)
+	for i := range reqs {
+		subject := "chest"
+		if i%2 == 1 {
+			subject = "wrist"
+		}
+		reqs[i] = FleetRequest{Subject: subject, Samples: seg[subject]}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	results := f.ClassifyBatch(ctx, reqs)
+	var canceled int
+	for i, r := range results {
+		if r.Err == nil {
+			continue
+		}
+		if !errors.Is(r.Err, ErrCanceled) {
+			t.Fatalf("result %d: %v, want nil or ErrCanceled", i, r.Err)
+		}
+		canceled++
+	}
+	if canceled == 0 {
+		t.Fatal("cancellation raced too late: no result was abandoned; nothing regressed but nothing was tested")
+	}
+	close(relA)
+	close(relB)
+	f.Close() // drains the abandoned events into their buffered slots
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now vs %d before the batch", runtime.NumGoroutine(), base)
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCloseWithinSubmissionStorm covers both CloseWithin outcomes
+// under concurrent submission pressure: an expired budget reports the
+// exact pending count and the drain still completes, and a generous
+// budget returns nil with every accepted event served exactly once.
+func TestCloseWithinSubmissionStorm(t *testing.T) {
+	// Timeout path: a parked worker cannot drain, so the budget
+	// expires with every queued job still pending.
+	_, f, engines := fleetPair(t, ServeOptions{Workers: 1, QueueDepth: 32})
+	seg := segsOf(engines["chest"], 1)[0]
+	release := blockWorker(t, f, 0)
+	var chans []<-chan FleetResult
+	for i := 0; i < 10; i++ {
+		ch, err := f.Submit(context.Background(), "chest", seg)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		chans = append(chans, ch)
+	}
+	err := f.CloseWithin(5 * time.Millisecond)
+	var dte *serve.DrainTimeoutError
+	if !errors.As(err, &dte) {
+		t.Fatalf("CloseWithin with a parked worker: got %v, want *serve.DrainTimeoutError", err)
+	}
+	if dte.Pending != 10 {
+		t.Fatalf("drain timeout reports %d pending, want 10", dte.Pending)
+	}
+	if _, err := f.Submit(context.Background(), "chest", seg); !errors.Is(err, ErrFleetClosed) {
+		t.Fatalf("submit after CloseWithin: got %v, want ErrFleetClosed", err)
+	}
+	close(release)
+	f.Close() // waits for the same background drain
+	for i, ch := range chans {
+		select {
+		case r := <-ch:
+			if r.Err != nil {
+				t.Fatalf("drained event %d: %v", i, r.Err)
+			}
+		default:
+			t.Fatalf("event %d lost across the timed-out drain", i)
+		}
+	}
+
+	// Storm path: submitters race CloseWithin; every accepted channel
+	// must deliver exactly one result once the drain reports success.
+	_, f2, engines2 := fleetPair(t, ServeOptions{Workers: 4, QueueDepth: 64})
+	segs := map[string][]float64{
+		"chest": segsOf(engines2["chest"], 1)[0],
+		"wrist": segsOf(engines2["wrist"], 1)[0],
+	}
+	var mu sync.Mutex
+	var accepted []<-chan FleetResult
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		subject := "chest"
+		if g%2 == 1 {
+			subject = "wrist"
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ch, err := f2.Submit(context.Background(), subject, segs[subject])
+				switch {
+				case err == nil:
+					mu.Lock()
+					accepted = append(accepted, ch)
+					mu.Unlock()
+				case errors.Is(err, ErrFleetClosed):
+					return
+				case errors.Is(err, ErrOverloaded):
+					time.Sleep(time.Millisecond)
+				default:
+					t.Errorf("storm submit: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	if err := f2.CloseWithin(10 * time.Second); err != nil {
+		t.Fatalf("storm CloseWithin: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	if len(accepted) == 0 {
+		t.Fatal("storm accepted nothing; the test is vacuous")
+	}
+	for i, ch := range accepted {
+		select {
+		case r := <-ch:
+			if r.Err != nil {
+				t.Fatalf("storm event %d: %v", i, r.Err)
+			}
+		default:
+			t.Fatalf("storm event %d lost: accepted but never served", i)
+		}
+		select {
+		case <-ch:
+			t.Fatalf("storm event %d duplicated: second result in a single-shot channel", i)
+		default:
+		}
+	}
+}

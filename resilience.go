@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xpro/internal/adaptive"
@@ -171,10 +172,12 @@ func (r *Resilience) policy() faults.Policy {
 // FaultWindow is one fault interval on the engine's modeled timeline,
 // half-open [StartSeconds, EndSeconds). Kind is "loss-burst",
 // "link-outage", "brownout", "agg-stall", "bit-flip", "duplicate",
-// "reorder", "node-crash" or "reboot"; Loss applies to loss-burst
-// windows only, Rate to the three corruption kinds (per-bit error
-// probability for bit-flip, per-packet probability for duplicate and
-// reorder). Overlapping same-kind windows merge: the max Loss/Rate
+// "reorder", "node-crash", "reboot" or "demand-surge"; Loss applies
+// to loss-burst windows only, Rate to the three corruption kinds
+// (per-bit error probability for bit-flip, per-packet probability for
+// duplicate and reorder) and to demand-surge windows (the arrival-
+// rate multiplier ≥ 1; ignored by the classify pipeline, read by
+// arrival processes such as the chaos soak harnesses). Overlapping same-kind windows merge: the max Loss/Rate
 // over the covering windows applies. The two node-down kinds take the
 // node off the air entirely — every Classify inside the window fails
 // fast with ErrNodeDown and the node's volatile state is wiped; a
@@ -219,15 +222,16 @@ func FaultScenario(name string, seed int64, horizonSeconds float64) (*FaultPlan,
 }
 
 var faultKinds = map[string]faults.Kind{
-	"loss-burst":  faults.LossBurst,
-	"link-outage": faults.LinkOutage,
-	"brownout":    faults.Brownout,
-	"agg-stall":   faults.AggStall,
-	"bit-flip":    faults.BitFlip,
-	"duplicate":   faults.Duplicate,
-	"reorder":     faults.Reorder,
-	"node-crash":  faults.NodeCrash,
-	"reboot":      faults.Reboot,
+	"loss-burst":   faults.LossBurst,
+	"link-outage":  faults.LinkOutage,
+	"brownout":     faults.Brownout,
+	"agg-stall":    faults.AggStall,
+	"bit-flip":     faults.BitFlip,
+	"duplicate":    faults.Duplicate,
+	"reorder":      faults.Reorder,
+	"node-crash":   faults.NodeCrash,
+	"reboot":       faults.Reboot,
+	"demand-surge": faults.DemandSurge,
 }
 
 func (p *FaultPlan) internal() (*faults.Plan, error) {
@@ -295,6 +299,16 @@ type resilient struct {
 	store       *DurableStore
 	lastCkpt    float64
 	seed        int64
+
+	// browned is set by the fleet brownout controller: while true,
+	// every event routes straight to the degradation ladder's cheap
+	// rung (the in-sensor fallback cut, or the software fallback
+	// during a battery brownout) without attempting the cross-end
+	// path — trading answer quality for service time so serving
+	// capacity rises under sustained overload. Atomic because the
+	// fleet flips it from worker goroutines while other events hold
+	// mu.
+	browned atomic.Bool
 }
 
 // buildResilient assembles the fault-tolerance layer during engine
@@ -574,6 +588,16 @@ func (r *resilient) classifyLocked(e *Engine, seg biosig.Segment) (Result, error
 		r.ctrl.Estimator().ObserveState(state)
 		r.lastOut = xsystem.Outcome{}
 	}
+	if r.browned.Load() {
+		// Fleet brownout: sustained overload forced every engine onto
+		// its cheap rung. Skip the cross-end attempt entirely — no link
+		// retries, no backoff stalls — and serve from the precomputed
+		// in-sensor fallback (or the software fallback if the sensor's
+		// cell array is also browned out). Service time drops to the
+		// fallback's stable cost, which is the whole point: capacity
+		// rises instead of the queue.
+		return r.fallbackClassify(e, seg, state, xsystem.Outcome{})
+	}
 	opt := &xsystem.ResilientOptions{
 		Transport: r.link,
 		Plan:      r.plan,
@@ -655,11 +679,34 @@ func (r *resilient) install(e *Engine, ch *adaptive.Change) {
 
 // usingFallback reports whether events are currently being routed
 // around the cross-end cut: an open breaker fails fast straight to the
-// in-sensor fallback.
+// in-sensor fallback, and a fleet brownout forces the same route.
 func (r *resilient) usingFallback() bool {
+	if r.browned.Load() {
+		return true
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.breaker.State() == faults.BreakerOpen
+}
+
+// setBrownedOut applies (or releases) the fleet brownout on this
+// engine. The serving epoch is bumped on every edge so memoized
+// network views and SLO reports rebuild against the rung the engine
+// actually serves from.
+func (e *Engine) setBrownedOut(on bool) {
+	if e.res == nil {
+		return
+	}
+	if e.res.browned.Swap(on) == on {
+		return
+	}
+	e.epoch.Add(1)
+}
+
+// brownedOut reports whether the fleet brownout currently forces this
+// engine's cheap rung.
+func (e *Engine) brownedOut() bool {
+	return e.res != nil && e.res.browned.Load()
 }
 
 // effectiveSystem is the system this engine is serving events from

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"time"
 
+	"xpro/internal/admit"
 	"xpro/internal/biosig"
 	"xpro/internal/serve"
 	"xpro/internal/telemetry"
@@ -33,11 +34,102 @@ import (
 
 // ErrOverloaded rejects a fleet submission whose worker queue is full
 // — the bounded-queue backpressure signal. The caller should shed or
-// retry; nothing was enqueued.
+// retry; nothing was enqueued. errors.As gives the
+// *serve.OverloadedError carrying the queue geometry and — on a fleet
+// with overload protection — a RetryAfterSeconds hint from the
+// admission controller's queue-delay estimate.
 var ErrOverloaded = serve.ErrOverloaded
 
 // ErrFleetClosed rejects submissions made after Fleet.Close began.
 var ErrFleetClosed = serve.ErrClosed
+
+// ErrShed rejects a fleet submission refused by the admission
+// controller before it reached the worker pool (see
+// ServeOptions.Overload): its queue-wait estimate already busted the
+// deadline budget, its priority class exhausted its queue share, or
+// the CoDel dropping state was draining a standing queue. Match with
+// errors.Is; errors.As gives the *ShedError.
+var ErrShed = admit.ErrShed
+
+// Priority is a fleet request's priority class. Under overload the
+// admission controller sheds strictly by class: PriorityBatch first,
+// then PriorityInteractive; PriorityAlert is never shed by admission
+// (only a completely full queue refuses it). The zero value is
+// PriorityInteractive, so a FleetRequest that never sets a class is
+// treated as ordinary user-facing traffic.
+type Priority uint8
+
+const (
+	// PriorityInteractive is user-facing traffic with a human waiting
+	// (the zero value).
+	PriorityInteractive Priority = iota
+	// PriorityBatch is background/bulk traffic: re-analysis, backfill,
+	// export. Shed first.
+	PriorityBatch
+	// PriorityAlert is safety-critical traffic (arrhythmia alarms).
+	// Shed last.
+	PriorityAlert
+)
+
+// String returns "interactive", "batch" or "alert" — the label value
+// of xpro_admit_shed_total{class=...}.
+func (p Priority) String() string { return p.class().String() }
+
+// class maps the public priority onto the admission controller's
+// ordered class space (batch < interactive < alert).
+func (p Priority) class() admit.Class {
+	switch p {
+	case PriorityBatch:
+		return admit.Batch
+	case PriorityAlert:
+		return admit.Alert
+	default:
+		return admit.Interactive
+	}
+}
+
+func priorityOf(c admit.Class) Priority {
+	switch c {
+	case admit.Batch:
+		return PriorityBatch
+	case admit.Alert:
+		return PriorityAlert
+	default:
+		return PriorityInteractive
+	}
+}
+
+// ShedError is the typed form of ErrShed: which event the admission
+// controller refused and why, with enough context for informed
+// backoff. Nothing was enqueued.
+type ShedError struct {
+	// Subject names the refused request's engine.
+	Subject string
+	// Priority is the refused request's class.
+	Priority Priority
+	// Reason is "occupancy" (class queue share exhausted), "deadline"
+	// (queue-wait estimate busts the budget) or "codel" (standing
+	// queue draining).
+	Reason string
+	// EstimatedWaitSeconds is the admission controller's queue-wait
+	// estimate at decision time; BudgetSeconds the deadline budget the
+	// event carried (from its context deadline, or the class default).
+	EstimatedWaitSeconds float64
+	BudgetSeconds        float64
+	// RetryAfterSeconds hints how long to wait before retrying.
+	RetryAfterSeconds float64
+	// QueueLen / QueueDepth describe the subject's worker queue at
+	// decision time.
+	QueueLen, QueueDepth int
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("xpro: admission shed %s event for subject %q (%s): estimated wait %.3fs, budget %.3fs, queue %d/%d, retry after %.3fs",
+		e.Priority, e.Subject, e.Reason, e.EstimatedWaitSeconds, e.BudgetSeconds, e.QueueLen, e.QueueDepth, e.RetryAfterSeconds)
+}
+
+// Is makes errors.Is(err, ErrShed) match.
+func (e *ShedError) Is(target error) bool { return target == ErrShed }
 
 // ErrWorkerPanic marks a fleet event whose classification panicked.
 // The panic is contained: the worker is replaced, the subject's queue
@@ -242,6 +334,12 @@ type ServeOptions struct {
 	// serve.DefaultQueueDepth). Submissions beyond it are rejected with
 	// ErrOverloaded instead of blocking.
 	QueueDepth int
+	// Overload, when set, enables overload protection: deadline-aware
+	// admission with strict-priority shedding in front of the pool,
+	// and the brownout controller coupling sustained queue delay to
+	// the degradation ladder. Nil leaves the fleet with bare
+	// bounded-queue backpressure (the pre-overload behaviour).
+	Overload *Overload
 }
 
 // Fleet serves a network's engines concurrently: a sharded worker pool
@@ -254,6 +352,18 @@ type Fleet struct {
 	shards  map[string]uint64
 	names   []string
 	obs     *Observer
+
+	// Overload protection (nil without ServeOptions.Overload): the
+	// admission controller decides per submission on host uptime; the
+	// brownout controller watches the queue-delay EWMA after each
+	// served event and forces every engine's cheap rung while active.
+	admit *admit.Controller
+	brown *admit.Brownout
+	// Pre-resolved handles so the hot submit/serve path never walks
+	// the registry maps.
+	shedTotal  [admit.NumClasses]*telemetry.Counter
+	brownGauge *telemetry.Gauge
+	queueDelay *telemetry.Quantile
 }
 
 // Serve starts a fleet over the network's engines. Subjects are
@@ -288,6 +398,30 @@ func (n *Network) Serve(opt ServeOptions) (*Fleet, error) {
 		names:   n.names,
 		obs:     n.obs,
 	}
+	if opt.Overload != nil {
+		ac, bc := opt.Overload.internal()
+		ctrl, err := admit.NewController(ac)
+		if err != nil {
+			pool.Close()
+			return nil, err
+		}
+		brown, err := admit.NewBrownout(bc)
+		if err != nil {
+			pool.Close()
+			return nil, err
+		}
+		f.admit, f.brown = ctrl, brown
+		for c := admit.Class(0); c < admit.Class(admit.NumClasses); c++ {
+			f.shedTotal[c] = n.obs.reg.Counter(telemetry.WithLabels("xpro_admit_shed_total",
+				map[string]string{"class": c.String()}),
+				"Fleet submissions refused by the admission controller, by priority class.")
+		}
+		f.brownGauge = n.obs.reg.Gauge("xpro_brownout_state",
+			"1 while the fleet is browned out (every engine forced onto its cheap rung), else 0.")
+		f.queueDelay = n.obs.reg.Quantile("xpro_fleet_queue_delay_seconds",
+			"Queue sojourn of served fleet events (windowed quantile sketch on host uptime).", 0)
+	}
+	n.fleet.Store(f)
 	n.obs.reg.Gauge("xpro_fleet_workers",
 		"Worker goroutines of the serving fleet.").Set(float64(pool.Workers()))
 	return f, nil
@@ -307,19 +441,86 @@ type FleetResult struct {
 	Err     error
 }
 
-// Submit enqueues one segment for a subject and returns a channel that
-// delivers the single result when the subject's worker reaches it.
-// Submission never blocks: a full worker queue returns ErrOverloaded
-// (nothing enqueued), a closed fleet ErrFleetClosed. Events of one
+// Submit enqueues one segment for a subject at PriorityInteractive
+// and returns a channel that delivers the single result when the
+// subject's worker reaches it. Submission never blocks: a full worker
+// queue returns ErrOverloaded (nothing enqueued), an admission
+// refusal ErrShed, a closed fleet ErrFleetClosed. Events of one
 // subject are served in submission order.
+//
+// The returned channel has a buffered slot the worker's single send
+// always lands in, so a caller that abandons the channel (its context
+// canceled, its select moved on) never blocks the worker: the result
+// sits in the buffer and is garbage-collected with the channel.
 func (f *Fleet) Submit(ctx context.Context, subject string, samples []float64) (<-chan FleetResult, error) {
-	e, ok := f.engines[subject]
+	return f.SubmitRequest(ctx, FleetRequest{Subject: subject, Samples: samples})
+}
+
+// SubmitRequest is Submit with an explicit priority class. On a fleet
+// with overload protection (ServeOptions.Overload) the admission
+// controller may refuse the event with a typed *ShedError before it
+// reaches the pool: lower classes are shed strictly first, and an
+// event whose queue-wait estimate already busts its deadline budget
+// (the context deadline, or the class default) is refused at the door
+// instead of timing out in the queue.
+func (f *Fleet) SubmitRequest(ctx context.Context, rq FleetRequest) (<-chan FleetResult, error) {
+	e, ok := f.engines[rq.Subject]
 	if !ok {
-		return nil, fmt.Errorf("xpro: fleet has no subject %q", subject)
+		return nil, fmt.Errorf("xpro: fleet has no subject %q", rq.Subject)
 	}
+	shard := f.shards[rq.Subject]
+	if f.admit != nil {
+		budget := 0.0
+		if dl, ok := ctx.Deadline(); ok {
+			budget = time.Until(dl).Seconds()
+		}
+		qlen, depth := f.pool.QueueLen(shard), f.pool.QueueDepth()
+		if shed := f.admit.Decide(telemetry.Uptime(), rq.Priority.class(), qlen, depth, budget); shed != nil {
+			f.shedTotal[shed.Class].Inc()
+			f.obs.reg.Counter("xpro_fleet_rejected_total",
+				"Fleet submissions rejected by backpressure or shutdown.").Inc()
+			return nil, &ShedError{
+				Subject:              rq.Subject,
+				Priority:             priorityOf(shed.Class),
+				Reason:               shed.Reason,
+				EstimatedWaitSeconds: shed.EstimatedWaitSeconds,
+				BudgetSeconds:        shed.BudgetSeconds,
+				RetryAfterSeconds:    shed.RetryAfterSeconds,
+				QueueLen:             shed.QueueLen,
+				QueueDepth:           shed.QueueDepth,
+			}
+		}
+	}
+	// The buffered slot is the abandoned-channel contract: the worker's
+	// one send never blocks even if no receiver ever comes back.
 	ch := make(chan FleetResult, 1)
-	job := func() { ch <- f.run(ctx, e, subject, samples) }
-	if err := f.pool.Submit(f.shards[subject], job); err != nil {
+	subject, samples := rq.Subject, rq.Samples
+	enq := telemetry.Uptime()
+	job := func() {
+		if f.admit != nil {
+			start := telemetry.Uptime()
+			sojourn := start - enq
+			f.admit.ObserveSojourn(start, sojourn)
+			f.queueDelay.Observe(start, sojourn)
+			r := f.run(ctx, e, subject, samples)
+			end := telemetry.Uptime()
+			f.admit.ObserveService(end - start)
+			f.observeBrownout(end)
+			ch <- r
+			return
+		}
+		ch <- f.run(ctx, e, subject, samples)
+	}
+	if err := f.pool.Submit(shard, job); err != nil {
+		if f.admit != nil {
+			// Decorate pool-level backpressure with the admission
+			// controller's drain estimate so even bare ErrOverloaded
+			// rejections carry an informed retry hint.
+			var oe *serve.OverloadedError
+			if errors.As(err, &oe) {
+				oe.RetryAfterSeconds = f.admit.RetryAfter(oe.QueueLen)
+			}
+		}
 		f.obs.reg.Counter("xpro_fleet_rejected_total",
 			"Fleet submissions rejected by backpressure or shutdown.").Inc()
 		return nil, err
@@ -327,6 +528,33 @@ func (f *Fleet) Submit(ctx context.Context, subject string, samples []float64) (
 	f.obs.reg.Counter("xpro_fleet_submitted_total",
 		"Fleet events accepted for serving.").Inc()
 	return ch, nil
+}
+
+// observeBrownout feeds the post-event queue-delay EWMA to the
+// brownout controller and applies any state transition fleet-wide:
+// entering forces every engine's precomputed cheap rung (capacity
+// rises instead of the queue), exiting or rolling back releases it.
+func (f *Fleet) observeBrownout(now float64) {
+	changed, active := f.brown.Observe(now, f.admit.QueueDelay())
+	if !changed {
+		return
+	}
+	kind := "exit"
+	if ev, ok := f.brown.Last(); ok {
+		kind = ev.Kind
+	}
+	v := 0.0
+	if active {
+		v = 1
+	}
+	f.brownGauge.Set(v)
+	for _, name := range f.names {
+		f.engines[name].setBrownedOut(active)
+	}
+	f.obs.events.Append(telemetry.Event{
+		TimeSeconds: now, Kind: "brownout", Detail: kind,
+		LatencySeconds: f.admit.QueueDelay(), Degraded: active,
+	})
 }
 
 // run executes one subject's classification inside the fleet's panic
@@ -392,18 +620,25 @@ func (f *Fleet) Classify(ctx context.Context, subject string, samples []float64)
 type FleetRequest struct {
 	Subject string
 	Samples []float64
+	// Priority is the request's class under overload protection
+	// (zero value PriorityInteractive). Ignored without
+	// ServeOptions.Overload.
+	Priority Priority
 }
 
 // ClassifyBatch submits every request and waits for all accepted ones,
 // returning one FleetResult per request in input order. Rejections
-// (unknown subject, ErrOverloaded backpressure, closed fleet) are
-// reported per-result, not by failing the batch: under overload the
-// accepted prefix of each subject's events still serves in order.
+// (unknown subject, ErrOverloaded backpressure, ErrShed admission
+// refusal, closed fleet) are reported per-result, not by failing the
+// batch: under overload the accepted prefix of each subject's events
+// still serves in order. A mid-batch context cancellation leaks
+// nothing: every accepted event's result lands in its channel's
+// buffered slot whether or not this loop is still there to read it.
 func (f *Fleet) ClassifyBatch(ctx context.Context, reqs []FleetRequest) []FleetResult {
 	out := make([]FleetResult, len(reqs))
 	chans := make([]<-chan FleetResult, len(reqs))
 	for i, rq := range reqs {
-		ch, err := f.Submit(ctx, rq.Subject, rq.Samples)
+		ch, err := f.SubmitRequest(ctx, rq)
 		if err != nil {
 			out[i] = FleetResult{Subject: rq.Subject, Err: err}
 			continue

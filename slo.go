@@ -3,6 +3,7 @@ package xpro
 import (
 	"sync"
 
+	"xpro/internal/admit"
 	"xpro/internal/telemetry"
 )
 
@@ -142,6 +143,10 @@ type SLOReport struct {
 	// since. -1 when the engine has never checkpointed (or has no
 	// resilience layer).
 	LastCheckpointAgeSeconds float64
+
+	// BrownedOut is true while the fleet brownout controller forces
+	// this engine onto its cheap rung (see ServeOptions.Overload).
+	BrownedOut bool
 }
 
 // key returns the current staleness key (cheap: three atomic-ish
@@ -179,6 +184,7 @@ func (e *Engine) SLOReport() SLOReport {
 	if e.res != nil {
 		rep.Live, rep.Crashes, rep.Recoveries, rep.LastCheckpointAgeSeconds = e.res.recoveryStatus()
 	}
+	rep.BrownedOut = e.brownedOut()
 	return rep
 }
 
@@ -278,6 +284,11 @@ type Health struct {
 	// checkpoint, -1 when never checkpointed (for a network: the oldest
 	// age across checkpointing nodes, -1 when none checkpoint).
 	LastCheckpointAgeSeconds float64
+	// BrownedOut is true while the fleet brownout controller holds
+	// the engine (for a network: any engine) on its cheap rung. A
+	// browned-out engine reports Status "degraded": it is serving,
+	// but below full quality by design.
+	BrownedOut bool
 }
 
 func healthOf(breaker string, degradedRatio, suspectRate float64, windowEvents uint64) Health {
@@ -304,6 +315,10 @@ func (e *Engine) Health() Health {
 	h := healthOf(rep.Breaker, rep.DegradedRatio, rep.SuspectRate, rep.WindowEvents)
 	h.Live, h.Crashes, h.Recoveries = rep.Live, rep.Crashes, rep.Recoveries
 	h.LastCheckpointAgeSeconds = rep.LastCheckpointAgeSeconds
+	if rep.BrownedOut {
+		h.BrownedOut = true
+		h.Status = "degraded"
+	}
 	if !h.Live {
 		h.Status = "down"
 	}
@@ -356,6 +371,19 @@ type NetworkSLOReport struct {
 	Crashes    uint64
 	Recoveries uint64
 
+	// BrownedOut is true while the fleet brownout controller holds
+	// every engine on its cheap rung; BrownedOutNodes counts engines
+	// currently forced (all or none under the fleet-wide controller,
+	// but reported per node so a half-applied transition is visible).
+	// ShedsByClass counts admission refusals per priority class
+	// ("batch", "interactive", "alert") since the fleet started. All
+	// three are zero until Network.Serve runs with
+	// ServeOptions.Overload; like the checkpoint ages they are
+	// patched fresh on every call rather than memoized.
+	BrownedOut      bool
+	BrownedOutNodes int
+	ShedsByClass    map[string]uint64
+
 	Nodes map[string]NodeSLO
 }
 
@@ -392,6 +420,7 @@ func (n *Network) SLOReport() (NetworkSLOReport, error) {
 				rep.Nodes[name] = node
 			}
 		}
+		n.patchOverloadLocked(&rep)
 		return rep, nil
 	}
 	rep, err := n.buildSLOLocked()
@@ -399,10 +428,36 @@ func (n *Network) SLOReport() (NetworkSLOReport, error) {
 		return NetworkSLOReport{}, err
 	}
 	n.slo.keys, n.slo.rep = keys, &rep
-	return rep.copyForCaller(), nil
+	out := rep.copyForCaller()
+	n.patchOverloadLocked(&out)
+	return out, nil
+}
+
+// patchOverloadLocked stamps the fleet overload fields onto a report
+// copy. Shed counters move without bumping any engine's epoch (a shed
+// never lands an event), so like the checkpoint ages they bypass the
+// memo and are read fresh from the serving fleet on every call.
+func (n *Network) patchOverloadLocked(rep *NetworkSLOReport) {
+	for _, name := range n.names {
+		if n.engines[name].brownedOut() {
+			rep.BrownedOutNodes++
+		}
+	}
+	fl := n.fleet.Load()
+	if fl == nil || fl.admit == nil {
+		return
+	}
+	rep.BrownedOut = fl.brown.Active()
+	sheds := fl.admit.Sheds()
+	rep.ShedsByClass = make(map[string]uint64, admit.NumClasses)
+	for c := admit.Class(0); c < admit.Class(admit.NumClasses); c++ {
+		rep.ShedsByClass[c.String()] = sheds[c]
+	}
 }
 
 // copyForCaller hands out the memoized report with its own maps.
+// ShedsByClass needs no copy here: patchOverloadLocked rebuilds it
+// fresh on every call.
 func (r NetworkSLOReport) copyForCaller() NetworkSLOReport {
 	modes := make(map[string]uint64, len(r.Modes))
 	for k, v := range r.Modes {
@@ -517,6 +572,10 @@ func (n *Network) Health() Health {
 	h := healthOf(breaker, rep.DegradedRatio, rep.SuspectRate, rep.WindowEvents)
 	h.Crashes, h.Recoveries = rep.Crashes, rep.Recoveries
 	h.LastCheckpointAgeSeconds = oldest
+	if rep.BrownedOut || rep.BrownedOutNodes > 0 {
+		h.BrownedOut = true
+		h.Status = "degraded"
+	}
 	if rep.LiveNodes < len(rep.Nodes) {
 		h.Live = false
 		h.Status = "degraded"
