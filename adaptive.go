@@ -320,3 +320,20 @@ func (e *Engine) AdaptiveStatus() AdaptiveStatus {
 	}
 	return st
 }
+
+// RecutHopFromEstimate is the k-way arm of the adaptive loop: it reads
+// the engine's live channel estimate (the same EWMA that drives the
+// 2-end re-cut controller) and re-optimizes one hop of the plan under
+// it. Engines without Config.Adaptive re-cut under a clean channel —
+// still exact, just not drift-aware. The decision lands on the plan's
+// log like a manual RecutHop.
+func (p *TierPlan) RecutHopFromEstimate(e *Engine, hop int) (bool, error) {
+	var loss, outage float64
+	if e != nil && e.res != nil && e.res.ctrl != nil {
+		e.res.mu.Lock()
+		est := e.res.ctrl.Estimator().Estimate()
+		e.res.mu.Unlock()
+		loss, outage = est.Loss, est.Outage
+	}
+	return p.RecutHop(hop, loss, outage)
+}

@@ -30,6 +30,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	corruptionOnly := fs.Bool("corruption", false, "shorthand for -exp ext-corruption: the framed-transport vs bare-wire table under a seeded bit-flip storm")
 	overloadOnly := fs.Bool("overload", false, "shorthand for -exp ext-overload: the flash-crowd table proving deadline-aware admission holds p99 under a 10x surge with strict-priority shedding")
 	parallel := fs.Int("parallel", 0, "worker-pool width for the ext-parallel experiment; with no -exp it is shorthand for -exp ext-parallel (0 = GOMAXPROCS, sequential comparison always included)")
+	tiers := fs.Int("tiers", 0, "tier-chain depth for the ext-multiway experiment; with no -exp it is shorthand for -exp ext-multiway (0 = the canonical 3: sensor - hub - cloud)")
 	cases := fs.String("cases", "", "comma-separated case symbols (default: all six)")
 	protocol := fs.String("protocol", "fast", "training protocol: fast or paper")
 	rate := fs.Float64("rate", 2048, "biosignal sampling rate in Hz")
@@ -135,6 +136,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		lab.ParallelWorkers = *parallel
 		if *exp == "all" {
 			*exp = "ext-parallel"
+		}
+	}
+	if *tiers != 0 {
+		if *tiers < 2 {
+			fmt.Fprintf(stderr, "xprobench: -tiers must be >= 2, got %d\n", *tiers)
+			return 2
+		}
+		lab.TierCount = *tiers
+		if *exp == "all" {
+			*exp = "ext-multiway"
 		}
 	}
 	if *exp == "all" {

@@ -153,3 +153,26 @@ func TestRunParallelShorthand(t *testing.T) {
 		t.Error("-parallel -3 accepted, want usage failure")
 	}
 }
+
+// -tiers is shorthand for the ext-multiway experiment: one N-tier
+// placement row per case with per-tier counts and hop traffic.
+func TestRunTiersShorthand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains an engine and solves k-way placements")
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-tiers", "4", "-cases", "C1"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "=== ext-multiway:") {
+		t.Errorf("missing ext-multiway table:\n%s", s)
+	}
+	if !strings.Contains(s, "4-tier chain") {
+		t.Errorf("table not parameterized to 4 tiers:\n%s", s)
+	}
+	errOut.Reset()
+	if code := run([]string{"-tiers", "1"}, &out, &errOut); code == 0 {
+		t.Error("-tiers 1 accepted, want usage failure")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strings"
 
 	"xpro"
@@ -335,4 +336,46 @@ func ExampleFleet_priority() {
 	// batch shed reason: occupancy
 	// shed priority: batch
 	// alert sheds by admission: 0
+}
+
+// ExampleNetwork_threeTier plans a two-subject network over the
+// canonical sensor → hub → cloud chain. C1's cheap topology stays on
+// the sensor; E1 splits, shipping its fusion stage to the unweighted
+// cloud — 24% below the best placement any single cut could express.
+func ExampleNetwork_threeTier() {
+	engines := map[string]*xpro.Engine{}
+	for _, sym := range []string{"C1", "E1"} {
+		eng, err := xpro.New(xpro.Config{Case: sym})
+		if err != nil {
+			log.Fatal(err)
+		}
+		engines[sym] = eng
+	}
+	net, err := xpro.NewNetwork(engines)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plans, err := net.PlanTiers(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := make([]string, 0, len(plans))
+	for name := range plans {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rep, err := plans[name].Report()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:", name)
+		for _, tl := range rep.Tiers {
+			fmt.Printf(" %s=%d", tl.Name, tl.Cells)
+		}
+		fmt.Printf(" uplinkBits=%d ratio=%.2f\n", rep.HopDataBits[1], rep.WeightedCostJ/rep.BiPartitionCostJ)
+	}
+	// Output:
+	// C1: sensor=56 hub=0 cloud=0 uplinkBits=16 ratio=1.00
+	// E1: sensor=31 hub=0 cloud=22 uplinkBits=344 ratio=0.76
 }

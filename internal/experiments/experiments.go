@@ -347,6 +347,7 @@ func Runners() []runner {
 		{"ext-parallel", ExtParallel},
 		{"ext-corruption", ExtCorruption},
 		{"ext-overload", ExtOverload},
+		{"ext-multiway", ExtMultiway},
 		{"scorecard", Scorecard},
 	}
 }

@@ -310,3 +310,46 @@ func TestExtParallelShape(t *testing.T) {
 		t.Error("ext-parallel table has no notes")
 	}
 }
+
+// ext-multiway is the N-tier placement tentpole in table form: one row
+// per case, k-way cost never above the best single-hop bi-partition,
+// per-tier cell counts covering the graph, and tier-count
+// parameterization via Lab.TierCount.
+func TestExtMultiwayShape(t *testing.T) {
+	for _, k := range []int{2, 3, 4} {
+		l := fastLab()
+		l.TierCount = k
+		tab, err := ExtMultiway(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := len(tab.Rows), len(l.Symbols()); got != want {
+			t.Fatalf("k=%d: ext-multiway has %d rows, want %d", k, got, want)
+		}
+		for i, row := range tab.Rows {
+			if len(row) != len(tab.Header) {
+				t.Fatalf("k=%d row %d has %d cells, header has %d", k, i, len(row), len(tab.Header))
+			}
+			bi, err := strconv.ParseFloat(row[2], 64)
+			if err != nil {
+				t.Fatalf("k=%d row %d: bi-partition cost %q unparseable: %v", k, i, row[2], err)
+			}
+			kway, err := strconv.ParseFloat(row[3], 64)
+			if err != nil {
+				t.Fatalf("k=%d row %d: k-way cost %q unparseable: %v", k, i, row[3], err)
+			}
+			if kway > bi+1e-3 { // printed at 3 decimals
+				t.Errorf("k=%d row %d: k-way %v above bi-partition %v", k, i, kway, bi)
+			}
+			if tiers := strings.Count(row[6], "/") + 1; tiers != k {
+				t.Errorf("k=%d row %d: per-tier column %q has %d tiers", k, i, row[6], tiers)
+			}
+			if hops := strings.Count(row[7], "/") + 1; hops != k-1 {
+				t.Errorf("k=%d row %d: hop-bits column %q has %d hops", k, i, row[7], hops)
+			}
+		}
+		if len(tab.Notes) == 0 {
+			t.Errorf("k=%d: ext-multiway table has no notes", k)
+		}
+	}
+}

@@ -60,6 +60,9 @@ type Lab struct {
 	// ParallelWorkers sets the worker-pool width of the ext-parallel
 	// experiment (0 = GOMAXPROCS).
 	ParallelWorkers int
+	// TierCount sets the tier-chain depth of the ext-multiway
+	// experiment (0 = the canonical 3: sensor → hub → cloud).
+	TierCount int
 
 	mu        sync.Mutex
 	instances map[string]*Instance

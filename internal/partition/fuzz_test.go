@@ -1,0 +1,98 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"xpro/internal/partition/oracle"
+)
+
+// FuzzPlacement feeds random small DAGs and tier counts into the k-way
+// optimizer and asserts the full invariant set: feasibility, no cost
+// drift between solver, re-pricing and breakdown, determinism across
+// repeated solves, and — on enumerable instances — agreement of the
+// heuristic path with the exhaustive oracle.
+func FuzzPlacement(f *testing.F) {
+	f.Add(int64(1), uint8(6), uint8(1))
+	f.Add(int64(42), uint8(10), uint8(0))
+	f.Add(int64(7), uint8(12), uint8(2))
+	f.Add(int64(99), uint8(3), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, cells, tiers uint8) {
+		n := 3 + int(cells)%10 // 3..12 cells
+		k := 2 + int(tiers)%3  // 2..4 tiers
+		rng := rand.New(rand.NewSource(seed))
+		g := tinyDAG(rng, n)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("tinyDAG built an invalid graph: %v", err)
+		}
+		tp, err := tinyTiered(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tp.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tp.CheckPlacement(res.Placement); err != nil {
+			t.Fatalf("solver emitted infeasible placement: %v", err)
+		}
+		if reprice := tp.Cost(res.Placement); math.Abs(res.Cost-reprice) > costTol(reprice) {
+			t.Fatalf("cost drift: reported %v, re-priced %v", res.Cost, reprice)
+		}
+		if bd := tp.Breakdown(res.Placement); math.Abs(bd.WeightedCost-res.Cost) > costTol(res.Cost) {
+			t.Fatalf("breakdown drift: %v vs %v", bd.WeightedCost, res.Cost)
+		}
+		again, err := tp.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !again.Placement.Equal(res.Placement) || again.Cost != res.Cost {
+			t.Fatalf("solve not deterministic: %v/%v then %v/%v",
+				res.Placement, res.Cost, again.Placement, again.Cost)
+		}
+		// Oracle agreement: force the heuristic and compare against the
+		// brute-forced optimum whenever the space is enumerable.
+		op := tp.oracleProblem()
+		if op.Space() > 1<<18 {
+			return
+		}
+		buf := make(TierPlacement, n)
+		opt, err := op.Optimal(func(a []int) float64 {
+			for i, tier := range a {
+				buf[i] = Tier(tier)
+			}
+			return tp.Cost(buf)
+		})
+		if err != nil {
+			if err == oracle.ErrTooLarge {
+				return
+			}
+			t.Fatal(err)
+		}
+		if res.Cost < opt.Cost-costTol(opt.Cost) {
+			t.Fatalf("solver %v beat the oracle %v: cost model drift", res.Cost, opt.Cost)
+		}
+		if res.Exact && math.Abs(res.Cost-opt.Cost) > costTol(opt.Cost) {
+			t.Fatalf("exact path %v != oracle %v", res.Cost, opt.Cost)
+		}
+		tp.ExactCells = -1
+		heur, err := tp.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tp.CheckPlacement(heur.Placement); err != nil {
+			t.Fatalf("heuristic emitted infeasible placement: %v", err)
+		}
+		if heur.Cost < opt.Cost-costTol(opt.Cost) {
+			t.Fatalf("heuristic %v beat the oracle %v: cost model drift", heur.Cost, opt.Cost)
+		}
+		_, biC, _, err := tp.BestBiPartition()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if heur.Cost > biC+costTol(biC) {
+			t.Fatalf("heuristic %v worse than best bi-partition %v", heur.Cost, biC)
+		}
+	})
+}

@@ -1,0 +1,161 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"xpro/internal/topology"
+	"xpro/internal/wireless"
+)
+
+// Metamorphic battery: transformations of the problem with a known
+// relationship to the original must transform the chosen placement the
+// known way — independent of any reference cost value.
+
+// TestBandwidthScaleInvariance: scaling every link's bandwidth by a
+// positive constant changes delays, not energies, so the chosen
+// placement must not move.
+func TestBandwidthScaleInvariance(t *testing.T) {
+	for _, seed := range []int64{5, 16, 44} {
+		rng := rand.New(rand.NewSource(seed))
+		g := tinyDAG(rng, 5+rng.Intn(8))
+		tp, err := tinyTiered(g, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := tp.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, scale := range []float64{0.5, 2, 10} {
+			scaled := *tp
+			scaled.Hops = append([]Hop(nil), tp.Hops...)
+			for h := range scaled.Hops {
+				scaled.Hops[h].BandwidthScale = tp.Hops[h].BandwidthScale * scale
+			}
+			res, err := scaled.Solve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Placement.Equal(base.Placement) {
+				t.Errorf("seed %d scale %v: placement moved: %v vs %v", seed, scale, res.Placement, base.Placement)
+			}
+			if res.Cost != base.Cost {
+				t.Errorf("seed %d scale %v: cost moved: %v vs %v", seed, scale, res.Cost, base.Cost)
+			}
+			// Delays DO scale: air seconds divide by the factor.
+			bd, sbd := tp.Breakdown(base.Placement), scaled.Breakdown(res.Placement)
+			for h := range bd.HopAirSeconds {
+				if bd.HopAirSeconds[h] == 0 {
+					continue
+				}
+				if got, want := sbd.HopAirSeconds[h]*scale, bd.HopAirSeconds[h]; got < want*0.999 || got > want*1.001 {
+					t.Errorf("seed %d scale %v hop %d: air %v, want %v", seed, scale, h, sbd.HopAirSeconds[h], want/scale)
+				}
+			}
+		}
+	}
+}
+
+// TestRelabelInvariance: permuting cell IDs must permute the chosen
+// placement the same way, and nothing else.
+func TestRelabelInvariance(t *testing.T) {
+	for _, seed := range []int64{8, 23, 31} {
+		rng := rand.New(rand.NewSource(seed))
+		g := tinyDAG(rng, 5+rng.Intn(7))
+		tp, err := tinyTiered(g, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := tp.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := len(g.Cells)
+		perm := make([]topology.CellID, n)
+		for i, v := range rng.Perm(n) {
+			perm[i] = topology.CellID(v)
+		}
+		rg, err := g.Relabel(perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rtp, err := tinyTiered(rg, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rtp.SensingEnergy = tp.SensingEnergy
+		res, err := rtp.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cost < base.Cost-costTol(base.Cost) || res.Cost > base.Cost+costTol(base.Cost) {
+			t.Errorf("seed %d: relabeled optimum %v, original %v", seed, res.Cost, base.Cost)
+		}
+		// The relabeled placement, pulled back through the permutation,
+		// must be exactly the original (both are the deterministic
+		// enumeration optimum of isomorphic problems — but enumeration
+		// order differs under relabeling, so compare via cost-equality
+		// of the pulled-back placement instead of tier-by-tier).
+		pulled := make(TierPlacement, n)
+		for old := 0; old < n; old++ {
+			pulled[old] = res.Placement[perm[old]]
+		}
+		if err := tp.CheckPlacement(pulled); err != nil {
+			t.Fatalf("seed %d: pulled-back placement infeasible: %v", seed, err)
+		}
+		if c := tp.Cost(pulled); c < base.Cost-costTol(base.Cost) || c > base.Cost+costTol(base.Cost) {
+			t.Errorf("seed %d: pulled-back placement costs %v, optimum %v", seed, c, base.Cost)
+		}
+	}
+}
+
+// TestDeadHopShedsTraffic: degrading a hop to zero bandwidth must push
+// all traffic off it — only the final classification result may still
+// cross (it has nowhere else to go when the result tier lies above the
+// dead hop).
+func TestDeadHopShedsTraffic(t *testing.T) {
+	for _, seed := range []int64{12, 25, 39} {
+		rng := rand.New(rand.NewSource(seed))
+		g := tinyDAG(rng, 5+rng.Intn(8))
+		for dead := 0; dead < 2; dead++ {
+			tp, err := tinyTiered(g, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tp.Hops[dead].BandwidthScale = 0
+			res, err := tp.Solve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			bd := tp.Breakdown(res.Placement)
+			if bd.HopDataBits[dead] > wireless.ValueBits {
+				t.Errorf("seed %d dead hop %d: %d bits still crossing (placement %v)",
+					seed, dead, bd.HopDataBits[dead], res.Placement)
+			}
+		}
+	}
+}
+
+// TestDeadHopBelowResultTier: when the result does not need to climb
+// past the dead hop, the optimizer must push even the result off it —
+// zero bits crossing.
+func TestDeadHopBelowResultTier(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := tinyDAG(rng, 8)
+	tp, err := tinyTiered(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp.ResultTier = 0 // deliver on the sensing tier
+	tp.Hops[1].BandwidthScale = 0
+	res, err := tp.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := tp.Breakdown(res.Placement)
+	if bd.HopDataBits[1] != 0 {
+		t.Errorf("dead hop above the result tier still carries %d bits (placement %v)",
+			bd.HopDataBits[1], res.Placement)
+	}
+}

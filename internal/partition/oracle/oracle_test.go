@@ -1,0 +1,191 @@
+package oracle
+
+import (
+	"math"
+	"testing"
+)
+
+// TestEnumerateUnconstrainedCount checks k^n assignments with no edges
+// or groups.
+func TestEnumerateUnconstrainedCount(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{1, 2}, {3, 2}, {4, 3}, {5, 4}} {
+		p := &Problem{Cells: tc.n, Tiers: tc.k}
+		got, err := p.Enumerate(func([]int) bool { return true })
+		if err != nil {
+			t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
+		}
+		want := int64(math.Pow(float64(tc.k), float64(tc.n)))
+		if got != want {
+			t.Fatalf("n=%d k=%d: visited %d, want %d", tc.n, tc.k, got, want)
+		}
+	}
+}
+
+// TestEnumerateChainMonotone checks a chain 0→1→…→n-1 over k tiers
+// yields C(n+k-1, k-1) monotone assignments.
+func TestEnumerateChainMonotone(t *testing.T) {
+	binom := func(n, r int) int64 {
+		v := int64(1)
+		for i := 0; i < r; i++ {
+			v = v * int64(n-i) / int64(i+1)
+		}
+		return v
+	}
+	for _, tc := range []struct{ n, k int }{{3, 2}, {4, 3}, {6, 3}, {5, 4}} {
+		var edges [][2]int
+		for i := 0; i+1 < tc.n; i++ {
+			edges = append(edges, [2]int{i, i + 1})
+		}
+		p := &Problem{Cells: tc.n, Tiers: tc.k, Edges: edges}
+		got, err := p.Enumerate(func(a []int) bool {
+			for i := 0; i+1 < len(a); i++ {
+				if a[i] > a[i+1] {
+					t.Fatalf("non-monotone assignment %v", a)
+				}
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
+		}
+		if want := binom(tc.n+tc.k-1, tc.k-1); got != want {
+			t.Fatalf("n=%d k=%d: visited %d, want %d", tc.n, tc.k, got, want)
+		}
+	}
+}
+
+// TestEnumerateGroups checks grouped cells always share a tier and the
+// space shrinks to k^units.
+func TestEnumerateGroups(t *testing.T) {
+	p := &Problem{Cells: 5, Tiers: 3, Groups: [][]int{{0, 1, 2}, {3, 4}}}
+	got, err := p.Enumerate(func(a []int) bool {
+		if a[0] != a[1] || a[1] != a[2] || a[3] != a[4] {
+			t.Fatalf("group split: %v", a)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 9 { // 3 tiers ^ 2 units
+		t.Fatalf("visited %d, want 9", got)
+	}
+}
+
+// TestEnumerateDeterministicOrder replays the enumeration and demands
+// an identical sequence.
+func TestEnumerateDeterministicOrder(t *testing.T) {
+	p := &Problem{
+		Cells:  6,
+		Tiers:  3,
+		Edges:  [][2]int{{0, 2}, {1, 2}, {2, 3}, {2, 4}, {3, 5}, {4, 5}},
+		Groups: [][]int{{0, 1}},
+	}
+	var first [][]int
+	if _, err := p.Enumerate(func(a []int) bool {
+		first = append(first, append([]int(nil), a...))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	if _, err := p.Enumerate(func(a []int) bool {
+		for j, v := range a {
+			if first[i][j] != v {
+				t.Fatalf("replay diverged at %d: %v vs %v", i, first[i], a)
+			}
+		}
+		i++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if i != len(first) {
+		t.Fatalf("replay visited %d, first pass %d", i, len(first))
+	}
+}
+
+// TestOptimalPicksMinimum checks Optimal against a hand-computable cost.
+func TestOptimalPicksMinimum(t *testing.T) {
+	p := &Problem{Cells: 4, Tiers: 3, Edges: [][2]int{{0, 1}, {1, 2}, {2, 3}}}
+	// Cost: cells 0,1 want tier 0; cells 2,3 want tier 2.
+	want := []int{0, 0, 2, 2}
+	res, err := p.Optimal(func(a []int) float64 {
+		c := 0.0
+		for i, t := range a {
+			c += math.Abs(float64(t - want[i]))
+		}
+		return c
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 0 {
+		t.Fatalf("cost %v, want 0", res.Cost)
+	}
+	for i := range want {
+		if res.Assign[i] != want[i] {
+			t.Fatalf("assign %v, want %v", res.Assign, want)
+		}
+	}
+}
+
+// TestOptimalTieBreakDeterministic: under an all-equal cost the first
+// enumerated assignment (all tier 0 where feasible) must win.
+func TestOptimalTieBreakDeterministic(t *testing.T) {
+	p := &Problem{Cells: 5, Tiers: 3, Edges: [][2]int{{0, 1}, {1, 2}}}
+	res, err := p.Optimal(func([]int) float64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.Assign {
+		if v != 0 {
+			t.Fatalf("cell %d at tier %d; tie must keep the first enumerated (all-zero) assignment %v", i, v, res.Assign)
+		}
+	}
+}
+
+// TestEnumerateEarlyStop checks visit=false halts the walk.
+func TestEnumerateEarlyStop(t *testing.T) {
+	p := &Problem{Cells: 4, Tiers: 3}
+	n := 0
+	visited, err := p.Enumerate(func([]int) bool {
+		n++
+		return n < 5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visited != 5 || n != 5 {
+		t.Fatalf("visited=%d n=%d, want 5", visited, n)
+	}
+}
+
+// TestEnumerateErrors covers validation, cycles and oversize.
+func TestEnumerateErrors(t *testing.T) {
+	for _, p := range []*Problem{
+		{Cells: 0, Tiers: 2},
+		{Cells: 3, Tiers: 1},
+		{Cells: 3, Tiers: 2, Edges: [][2]int{{0, 9}}},
+		{Cells: 3, Tiers: 2, Groups: [][]int{{0, 7}}},
+		{Cells: 3, Tiers: 3, Edges: [][2]int{{0, 1}, {1, 0}}}, // cycle
+		{Cells: 40, Tiers: 4},                                 // 4^40 >> MaxAssignments
+	} {
+		if _, err := p.Enumerate(func([]int) bool { return true }); err == nil {
+			t.Fatalf("expected error for %+v", p)
+		}
+	}
+}
+
+// TestIntraGroupEdgeNotCycle: an edge inside a group collapses to a
+// unit self-loop and must not be treated as a cycle.
+func TestIntraGroupEdgeNotCycle(t *testing.T) {
+	p := &Problem{Cells: 3, Tiers: 2, Edges: [][2]int{{0, 1}}, Groups: [][]int{{0, 1}}}
+	visited, err := p.Enumerate(func([]int) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visited != 4 { // 2 units × 2 tiers each
+		t.Fatalf("visited %d, want 4", visited)
+	}
+}

@@ -498,6 +498,48 @@ func (g *Graph) TopoOrder() ([]CellID, error) {
 	return order, nil
 }
 
+// Relabel returns a copy of the graph with cell IDs permuted:
+// perm[old] is the new ID of the cell currently numbered old. perm must
+// be a permutation of 0..len(Cells)-1. Edges, the output cell and each
+// Cell.ID are rewritten consistently; SourceID is left untouched. The
+// metamorphic battery uses this to assert the partitioner is invariant
+// under renaming.
+func (g *Graph) Relabel(perm []CellID) (*Graph, error) {
+	n := len(g.Cells)
+	if len(perm) != n {
+		return nil, fmt.Errorf("topology: perm has %d entries for %d cells", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for old, nw := range perm {
+		if int(nw) < 0 || int(nw) >= n {
+			return nil, fmt.Errorf("topology: perm[%d] = %d out of range", old, nw)
+		}
+		if seen[nw] {
+			return nil, fmt.Errorf("topology: perm maps two cells to %d", nw)
+		}
+		seen[nw] = true
+	}
+	out := &Graph{
+		Cells:      make([]Cell, n),
+		Edges:      make([]Edge, len(g.Edges)),
+		SegLen:     g.SegLen,
+		SourceBits: g.SourceBits,
+		Output:     perm[g.Output],
+	}
+	for old, c := range g.Cells {
+		c.ID = perm[old]
+		out.Cells[perm[old]] = c
+	}
+	for i, e := range g.Edges {
+		if e.From != SourceID {
+			e.From = perm[e.From]
+		}
+		e.To = perm[e.To]
+		out.Edges[i] = e
+	}
+	return out, nil
+}
+
 // NumByRole counts cells per role.
 func (g *Graph) NumByRole() map[Role]int {
 	m := make(map[Role]int)

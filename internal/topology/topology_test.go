@@ -310,3 +310,71 @@ func TestDOT(t *testing.T) {
 		t.Error("unbalanced braces")
 	}
 }
+
+// TestRelabel: a reversal permutation must keep the graph valid,
+// preserve structure under the inverse map, and reject bad perms.
+func TestRelabel(t *testing.T) {
+	g, _ := buildGraph(t)
+	n := len(g.Cells)
+	perm := make([]CellID, n)
+	for i := range perm {
+		perm[i] = CellID(n - 1 - i)
+	}
+	rg, err := g.Relabel(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rg.Validate(); err != nil {
+		t.Fatalf("relabeled graph invalid: %v", err)
+	}
+	if rg.Output != perm[g.Output] {
+		t.Fatalf("output %d, want %d", rg.Output, perm[g.Output])
+	}
+	for old := 0; old < n; old++ {
+		nc := rg.Cells[perm[old]]
+		oc := g.Cells[old]
+		if nc.ID != perm[old] || nc.Name != oc.Name || nc.Role != oc.Role {
+			t.Fatalf("cell %d mismapped: %+v vs %+v", old, nc, oc)
+		}
+	}
+	if len(rg.Edges) != len(g.Edges) {
+		t.Fatalf("edge count changed: %d vs %d", len(rg.Edges), len(g.Edges))
+	}
+	for i, e := range g.Edges {
+		re := rg.Edges[i]
+		wantFrom := e.From
+		if wantFrom != SourceID {
+			wantFrom = perm[wantFrom]
+		}
+		if re.From != wantFrom || re.To != perm[e.To] || re.Class != e.Class || re.Bits != e.Bits {
+			t.Fatalf("edge %d mismapped: %+v vs %+v", i, re, e)
+		}
+	}
+
+	// Identity relabel reproduces the graph.
+	id := make([]CellID, n)
+	for i := range id {
+		id[i] = CellID(i)
+	}
+	ig, err := g.Relabel(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ig.Output != g.Output || len(ig.Cells) != n {
+		t.Fatal("identity relabel changed the graph")
+	}
+
+	// Bad perms.
+	if _, err := g.Relabel(perm[:n-1]); err == nil {
+		t.Fatal("short perm accepted")
+	}
+	dup := make([]CellID, n)
+	if _, err := g.Relabel(dup); err == nil && n > 1 {
+		t.Fatal("duplicate perm accepted")
+	}
+	bad := append([]CellID(nil), id...)
+	bad[0] = CellID(n + 5)
+	if _, err := g.Relabel(bad); err == nil {
+		t.Fatal("out-of-range perm accepted")
+	}
+}

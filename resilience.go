@@ -883,3 +883,27 @@ func (e *Engine) SimulatedFaultyDelays(plan *FaultPlan, n int) ([]float64, error
 	}
 	return out, nil
 }
+
+// DegradeTiers is the k-way rung of the degradation ladder: when every
+// hop above maxTier is unusable (dead uplink, crashed hub), the plan
+// clamps its assignment to tiers <= maxTier — the N-tier analogue of
+// ModeFallbackSensor, which is exactly DegradeTiers(0). The clamp is
+// logged like any other decision; Resolve climbs back when the air
+// clears.
+func (p *TierPlan) DegradeTiers(maxTier int) (bool, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	k := p.ts.Tiered.K()
+	if maxTier < 0 || maxTier >= k {
+		return false, fmt.Errorf("xpro: degrade tier %d outside [0,%d)", maxTier, k)
+	}
+	next := p.ts.TierPlacement.CapAt(partition.Tier(maxTier))
+	moved := !next.Equal(p.ts.TierPlacement)
+	if moved {
+		if err := p.install(next); err != nil {
+			return false, err
+		}
+	}
+	p.logDecision(TierDecision{Op: "degrade", Hop: maxTier, Moved: moved})
+	return moved, nil
+}

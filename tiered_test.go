@@ -1,0 +1,209 @@
+package xpro
+
+import (
+	"bytes"
+	"testing"
+)
+
+// tieredTestEngine builds one adaptive-armed C1 engine per call, all
+// from the same deterministic training seed.
+func tieredTestEngine(t *testing.T) *Engine {
+	t.Helper()
+	eng, err := New(Config{Case: "C1", Adaptive: DefaultAdaptive()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// planStorm drives a fixed decision script through a fresh plan and
+// returns the rendered log — the determinism witness.
+func planStorm(t *testing.T, eng *Engine, k int) []string {
+	t.Helper()
+	plan, err := eng.PlanTiers(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := []struct {
+		hop          int
+		loss, outage float64
+	}{
+		{0, 0.4, 0}, {1, 0.9, 0}, {0, 0, 1}, {1, 0.2, 0.5}, {0, 0.05, 0},
+	}
+	for _, s := range script {
+		if _, err := plan.RecutHop(s.hop, s.loss, s.outage); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := plan.DegradeTiers(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	log := plan.Log()
+	out := make([]string, len(log))
+	for i, d := range log {
+		out[i] = d.String()
+	}
+	return out
+}
+
+// TestPlanTiersDeterministic: two engines trained from the same seed
+// produce bit-identical tier plans and replay the same decision script
+// to bit-identical logs. Run under -cpu 1,4,8 in CI, this is the
+// seeded-determinism regression for the k-way layer.
+func TestPlanTiersDeterministic(t *testing.T) {
+	a := tieredTestEngine(t)
+	b := tieredTestEngine(t)
+	pa, err := a.PlanTiers(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := b.PlanTiers(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aa, ab := pa.Assignment(), pb.Assignment()
+	if len(aa) == 0 || len(aa) != len(ab) {
+		t.Fatalf("assignment lengths: %d vs %d", len(aa), len(ab))
+	}
+	for i := range aa {
+		if aa[i] != ab[i] {
+			t.Fatalf("cell %d assigned tier %d vs %d across identical engines", i, aa[i], ab[i])
+		}
+	}
+	la, lb := planStorm(t, a, 3), planStorm(t, b, 3)
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatalf("decision %d diverged:\n  %s\n  %s", i, la[i], lb[i])
+		}
+	}
+}
+
+// TestPlanTiersSurvivesRecovery: a checkpoint/recover cycle must not
+// perturb the k-way layer — the recovered engine plans the same tiers
+// and replays the same decision log as the engine that never died.
+func TestPlanTiersSurvivesRecovery(t *testing.T) {
+	eng := tieredTestEngine(t)
+	ref := planStorm(t, eng, 3)
+
+	var ckpt bytes.Buffer
+	if err := eng.Checkpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	revived := tieredTestEngine(t)
+	if _, err := revived.Recover(bytes.NewReader(ckpt.Bytes()), nil); err != nil {
+		t.Fatal(err)
+	}
+	got := planStorm(t, revived, 3)
+	if len(got) != len(ref) {
+		t.Fatalf("log lengths: %d vs %d", len(got), len(ref))
+	}
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("decision %d diverged after recovery:\n  %s\n  %s", i, ref[i], got[i])
+		}
+	}
+}
+
+// TestPlanTiersReport: the report's books balance — per-tier cells
+// cover the topology, the weighted cost never beats the bi-partition
+// bound the wrong way, and tier count follows the request.
+func TestPlanTiersReport(t *testing.T) {
+	eng := tieredTestEngine(t)
+	for _, k := range []int{2, 3, 4} {
+		plan, err := eng.PlanTiers(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := plan.Report()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Tiers) != k || len(rep.HopDataBits) != k-1 {
+			t.Fatalf("k=%d: report has %d tiers, %d hops", k, len(rep.Tiers), len(rep.HopDataBits))
+		}
+		total := 0
+		for _, tl := range rep.Tiers {
+			total += tl.Cells
+		}
+		if total != len(plan.Assignment()) {
+			t.Fatalf("k=%d: report covers %d of %d cells", k, total, len(plan.Assignment()))
+		}
+		if rep.WeightedCostJ > rep.BiPartitionCostJ+1e-12+1e-9*rep.BiPartitionCostJ {
+			t.Fatalf("k=%d: k-way %v worse than bi-partition %v", k, rep.WeightedCostJ, rep.BiPartitionCostJ)
+		}
+		if rep.Tiers[0].Weight != 1 || rep.Tiers[k-1].Weight != 0 {
+			t.Fatalf("k=%d: tier weights %v, want sensor 1 and cloud 0", k, rep.Tiers)
+		}
+	}
+}
+
+// TestPlanTiersDegradeAndResolve: the ladder clamps, the re-solve
+// climbs back, and both land on the log.
+func TestPlanTiersDegradeAndResolve(t *testing.T) {
+	eng := tieredTestEngine(t)
+	plan, err := eng.PlanTiers(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := plan.Assignment()
+	if _, err := plan.DegradeTiers(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, tier := range plan.Assignment() {
+		if tier != 0 {
+			t.Fatalf("cell %d still on tier %d after DegradeTiers(0)", i, tier)
+		}
+	}
+	if err := plan.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	back := plan.Assignment()
+	for i := range opt {
+		if back[i] != opt[i] {
+			t.Fatalf("cell %d: resolve landed on tier %d, optimum was %d", i, back[i], opt[i])
+		}
+	}
+	log := plan.Log()
+	if len(log) < 2 || log[len(log)-2].Op != "degrade" || log[len(log)-1].Op != "resolve" {
+		t.Fatalf("unexpected log tail: %v", log)
+	}
+}
+
+// TestPlanTiersValidation covers the error paths.
+func TestPlanTiersValidation(t *testing.T) {
+	eng := tieredTestEngine(t)
+	if _, err := eng.PlanTiers(1); err == nil {
+		t.Error("1-tier plan accepted")
+	}
+	plan, err := eng.PlanTiers(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.RecutHop(0, -0.1, 0); err == nil {
+		t.Error("negative loss accepted")
+	}
+	if _, err := plan.RecutHop(5, 0, 0); err == nil {
+		t.Error("out-of-range hop accepted")
+	}
+	if _, err := plan.DegradeTiers(3); err == nil {
+		t.Error("out-of-range degrade tier accepted")
+	}
+	// Estimator-driven re-cut works with and without an adaptive loop.
+	if _, err := plan.RecutHopFromEstimate(eng, 0); err != nil {
+		t.Error(err)
+	}
+	plain, err := New(Config{Case: "C1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := plain.PlanTiers(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pp.RecutHopFromEstimate(plain, 1); err != nil {
+		t.Error(err)
+	}
+}
