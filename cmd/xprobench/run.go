@@ -29,6 +29,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	adaptiveOnly := fs.Bool("adaptive", false, "shorthand for -exp ext-adaptive: the chaos-soak table comparing static, ladder and adaptive re-cut variants under channel drift")
 	corruptionOnly := fs.Bool("corruption", false, "shorthand for -exp ext-corruption: the framed-transport vs bare-wire table under a seeded bit-flip storm")
 	overloadOnly := fs.Bool("overload", false, "shorthand for -exp ext-overload: the flash-crowd table proving deadline-aware admission holds p99 under a 10x surge with strict-priority shedding")
+	tierFaultsOnly := fs.Bool("tier-faults", false, "shorthand for -exp ext-tiered-faults: the hub-storm table comparing the static k-way walk, the 2-rung ladder and the tier-collapse ladder under identical seeded storms")
 	parallel := fs.Int("parallel", 0, "worker-pool width for the ext-parallel experiment; with no -exp it is shorthand for -exp ext-parallel (0 = GOMAXPROCS, sequential comparison always included)")
 	tiers := fs.Int("tiers", 0, "tier-chain depth for the ext-multiway experiment; with no -exp it is shorthand for -exp ext-multiway (0 = the canonical 3: sensor - hub - cloud)")
 	cases := fs.String("cases", "", "comma-separated case symbols (default: all six)")
@@ -127,6 +128,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *overloadOnly {
 		*exp = "ext-overload"
+	}
+	if *tierFaultsOnly {
+		*exp = "ext-tiered-faults"
 	}
 	if *parallel != 0 {
 		if *parallel < 0 {

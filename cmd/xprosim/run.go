@@ -33,6 +33,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	logJSON := fs.String("log-json", "", "stream the structured event log (one JSON record per classify / re-cut / breaker transition / quarantine) to this file during the run")
 	sloFlag := fs.Bool("slo", false, "print the engine's final SLO table: windowed latency/energy quantiles, degradation-ladder breakdown, health")
 	overloadFlag := fs.Bool("overload", false, "flood the engine through an overload-protected fleet (deadline-aware admission, strict-priority shedding, brownout): all n segments are offered at once with rotating batch/interactive/alert priorities")
+	tierFaults := fs.Bool("tier-faults", false, "lift the engine onto a 3-tier chain (sensor-hub-cloud), arm seeded hub storms on its hops (seed from -fault-seed), and classify through the tier-collapse ladder; prints the collapse log and per-hop liveness")
+	tierStorms := fs.Int("tier-storms", 3, "hub-storm count for -tier-faults (each storm darkens both hops touching the hub)")
 	checkpointOut := fs.String("checkpoint", "", "write the engine's durable subject-state checkpoint (one CRC-enveloped record) to this file after the run")
 	recoverIn := fs.String("recover", "", "recover the durable subject state from a checkpoint file before streaming: the run resumes the crashed run's modeled timeline")
 	if err := fs.Parse(args); err != nil {
@@ -145,6 +147,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *parallel < 1 {
 		fmt.Fprintf(stderr, "xprosim: -parallel must be >= 1, got %d\n", *parallel)
 		return 2
+	}
+	if *tierFaults {
+		if code := runTierFaults(stdout, stderr, eng, test, *n, *faultSeed, *tierStorms); code != 0 {
+			return code
+		}
+		if *sloFlag {
+			printSLO(stdout, eng)
+		}
+		return 0
 	}
 	correct := 0
 	degraded := 0
@@ -310,7 +321,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "xprosim: %v\n", err)
 			return 1
 		}
-		if err := eng.Checkpoint(f); err != nil {
+		// Count what actually lands on disk: a tiered engine's record
+		// carries the per-hop extension beyond xpro.CheckpointBytes.
+		cw := &countingWriter{w: f}
+		if err := eng.Checkpoint(cw); err != nil {
 			f.Close()
 			fmt.Fprintf(stderr, "xprosim: %v\n", err)
 			return 1
@@ -325,7 +339,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "checkpoint: %d bytes written to %s (through event %d)\n",
-			xpro.CheckpointBytes, *checkpointOut, st.Seq)
+			cw.n, *checkpointOut, st.Seq)
 	}
 	if *traceOut != "" {
 		if err := writeTrace(eng, *traceOut); err != nil {
@@ -410,6 +424,114 @@ func runOverload(stdout, stderr io.Writer, eng *xpro.Engine, test []xpro.Segment
 	return 0
 }
 
+// runTierFaults lifts the engine onto the canonical 3-tier chain, arms
+// seeded hub storms against its hops and streams the test set through
+// the tier-collapse ladder. Every timing knob is scaled to the
+// engine's event period: a wall-clock breaker cooldown of seconds
+// would span hundreds of events and starve every revival probe.
+func runTierFaults(stdout, stderr io.Writer, eng *xpro.Engine, test []xpro.Segment, n int, seed int64, storms int) int {
+	if storms < 1 {
+		fmt.Fprintf(stderr, "xprosim: -tier-storms must be >= 1, got %d\n", storms)
+		return 2
+	}
+	p, err := eng.PlanTiers(3)
+	if err != nil {
+		fmt.Fprintf(stderr, "xprosim: %v\n", err)
+		return 1
+	}
+	maxTier := 0
+	for _, tier := range p.Assignment() {
+		if tier > maxTier {
+			maxTier = tier
+		}
+	}
+	if maxTier == 0 {
+		// The optimizer parked every cell in-sensor; pin the placement to
+		// the cloud extreme so the chain genuinely crosses both hops and
+		// the storms have traffic to kill.
+		if err := p.PinAll(2); err != nil {
+			fmt.Fprintf(stderr, "xprosim: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "tier plan: all-sensor optimum pinned to the cloud extreme for the drill\n")
+	}
+	rep := eng.Report()
+	period := 1.0 / rep.EventsPerSecond
+	pol := xpro.DefaultResilience()
+	pol.BreakerCooldownSeconds = 25 * period
+	err = p.Arm(&xpro.TierResilience{
+		Policy:         pol,
+		HubStorms:      storms,
+		HorizonSeconds: float64(n) * period,
+		Seed:           seed,
+		Collapse: &xpro.TierCollapse{
+			FailThreshold:      2,
+			ProbeAfterSeconds:  10 * period,
+			ProbeBackoffFactor: 2,
+			MaxProbeSeconds:    120 * period,
+			RecoverySuccesses:  1,
+			ProbationEvents:    3,
+		},
+		Framed: true,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "xprosim: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "tier faults: %d hub storms (seed %d) against the armed 3-tier chain, %d events\n",
+		storms, seed, n)
+
+	correct, degraded, probes := 0, 0, 0
+	tiersServed := make(map[int]int)
+	for i := 0; i < n; i++ {
+		res, err := p.ClassifyResult(test[i].Samples)
+		if err != nil {
+			var tde *xpro.TierDegradedError
+			if !errors.As(err, &tde) {
+				fmt.Fprintf(stderr, "xprosim: segment %d: %v\n", i, err)
+				return 1
+			}
+			// A degraded event still carries a served result — a lower
+			// rung answered after the full chain failed.
+			degraded++
+		}
+		tiersServed[res.Tier]++
+		if res.Probing {
+			probes++
+		}
+		if res.Label == test[i].Label {
+			correct++
+		}
+	}
+	if n > 0 {
+		fmt.Fprintf(stdout, "\ndone: %d events, accuracy %.3f, degraded %d, revival probes %d\n",
+			n, float64(correct)/float64(n), degraded, probes)
+	}
+	for tier := 0; tier < 3; tier++ {
+		if tiersServed[tier] > 0 {
+			fmt.Fprintf(stdout, "  served from tier %d: %d events\n", tier, tiersServed[tier])
+		}
+	}
+	obs := eng.Observer()
+	fmt.Fprintf(stdout, "tier collapses %.0f (counter xpro_tier_collapse_total)\n",
+		obs.MetricValue("xpro_tier_collapse_total"))
+	if log := p.Log(); len(log) > 0 {
+		fmt.Fprintf(stdout, "ladder decision log:\n")
+		for _, d := range log {
+			fmt.Fprintf(stdout, "  %s\n", d)
+		}
+	}
+	for _, h := range eng.SLOReport().Hops {
+		live := "live"
+		if !h.Live {
+			live = "DEAD"
+		}
+		fmt.Fprintf(stdout, "hop %d: %s, breaker %s, %d outage events, probation %d\n",
+			h.Hop, live, h.Breaker, h.OutageEvents, h.Probation)
+	}
+	return 0
+}
+
 // scrapeMetrics fetches the tool's own /metrics endpoint — proving the
 // server is live — and echoes the classification counters.
 func scrapeMetrics(addr string, stdout, stderr io.Writer) int {
@@ -455,6 +577,26 @@ func printSLO(stdout io.Writer, eng *xpro.Engine) {
 			fmt.Fprintf(stdout, "  mode %-17s %d\n", mode+":", n)
 		}
 	}
+	for _, hop := range rep.Hops {
+		live := "live"
+		if !hop.Live {
+			live = "DEAD"
+		}
+		fmt.Fprintf(stdout, "  hop %d: %s, breaker %s, %d outage events\n",
+			hop.Hop, live, hop.Breaker, hop.OutageEvents)
+	}
+}
+
+// countingWriter counts the bytes it forwards.
+type countingWriter struct {
+	w io.Writer
+	n int
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += n
+	return n, err
 }
 
 func writeTrace(eng *xpro.Engine, path string) error {

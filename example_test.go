@@ -379,3 +379,87 @@ func ExampleNetwork_threeTier() {
 	// C1: sensor=56 hub=0 cloud=0 uplinkBits=16 ratio=1.00
 	// E1: sensor=31 hub=0 cloud=22 uplinkBits=344 ratio=0.76
 }
+
+// ExampleNetwork_threeTier_faults arms a subject's three-tier plan
+// against seeded hub storms and classifies through the tier-collapse
+// ladder: when the hub goes dark the placement collapses to the
+// sensor-local rung, capped-backoff probes test the dark hops, and the
+// chain climbs back to full height once the storm clears. Every knob
+// is scaled to the engine's event period, and one seed replays one
+// identical run.
+func ExampleNetwork_threeTier_faults() {
+	eng, err := xpro.New(xpro.Config{Case: "C1"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := xpro.NewNetwork(map[string]*xpro.Engine{"wrist": eng})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plans, err := net.PlanTiers(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := plans["wrist"]
+	// C1's optimum parks every cell in-sensor; pin the placement to the
+	// cloud extreme so the chain genuinely crosses both hops.
+	if err := p.PinAll(2); err != nil {
+		log.Fatal(err)
+	}
+	const events = 200
+	period := 1 / eng.Report().EventsPerSecond
+	pol := xpro.DefaultResilience()
+	pol.BreakerCooldownSeconds = 25 * period
+	err = p.Arm(&xpro.TierResilience{
+		Policy:         pol,
+		HubStorms:      3,
+		HorizonSeconds: events * period,
+		Seed:           7,
+		Collapse: &xpro.TierCollapse{
+			FailThreshold:      2,
+			ProbeAfterSeconds:  10 * period,
+			ProbeBackoffFactor: 2,
+			MaxProbeSeconds:    120 * period,
+			RecoverySuccesses:  1,
+			ProbationEvents:    3,
+		},
+		Framed: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	test := eng.TestSet()
+	served := map[int]int{}
+	degraded := 0
+	for i := 0; i < events; i++ {
+		res, err := p.ClassifyResult(test[i%len(test)].Samples)
+		if err != nil {
+			var tde *xpro.TierDegradedError
+			if !errors.As(err, &tde) {
+				log.Fatal(err)
+			}
+			degraded++ // a lower rung still served the event
+		}
+		served[res.Tier]++
+	}
+	collapses, recoveries := 0, 0
+	for _, d := range p.Log() {
+		switch d.Op {
+		case "degrade":
+			collapses++
+		case "resolve":
+			recoveries++
+		}
+	}
+	live := true
+	for _, h := range eng.SLOReport().Hops {
+		live = live && h.Live
+	}
+	fmt.Printf("served full-chain=%d sensor-local=%d degraded=%d\n", served[2], served[0], degraded)
+	fmt.Printf("collapses=%d recoveries=%d\n", collapses, recoveries)
+	fmt.Println("all hops live after the storms:", live)
+	// Output:
+	// served full-chain=118 sensor-local=82 degraded=6
+	// collapses=2 recoveries=2
+	// all hops live after the storms: true
+}

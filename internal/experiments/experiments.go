@@ -348,6 +348,7 @@ func Runners() []runner {
 		{"ext-corruption", ExtCorruption},
 		{"ext-overload", ExtOverload},
 		{"ext-multiway", ExtMultiway},
+		{"ext-tiered-faults", ExtTieredFaults},
 		{"scorecard", Scorecard},
 	}
 }

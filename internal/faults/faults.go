@@ -102,6 +102,15 @@ const (
 	// offered load, so overload and correlated faults can be
 	// scheduled on the same seeded timeline.
 	DemandSurge
+	// HubStorm models the infrastructure node on the far side of a hop
+	// going dark — a hub rebooting, a base station losing power — as
+	// opposed to the radio channel itself failing. On the link it
+	// behaves like a hard outage (every send fails immediately), but it
+	// is a *shared* fault: every subject whose traffic transits the
+	// same hub sees the identical windows, so fleet harnesses derive
+	// hub-storm schedules from a per-hub seed (HubStormPlan) rather
+	// than a per-subject one.
+	HubStorm
 )
 
 func (k Kind) String() string {
@@ -126,6 +135,8 @@ func (k Kind) String() string {
 		return "reboot"
 	case DemandSurge:
 		return "demand-surge"
+	case HubStorm:
+		return "hub-storm"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -207,6 +218,10 @@ type State struct {
 	// windows (maximum of overlaps), 0 when none is active — callers
 	// treat anything below 1 as the nominal rate.
 	Surge float64
+	// HubDown is true inside a HubStorm window: the far end of the hop
+	// is dark, so the link is unusable exactly as in a LinkOutage —
+	// but the cause is the infrastructure node, not the air.
+	HubDown bool
 	// NodeDown is true inside a NodeCrash or Reboot window: the node is
 	// off the air entirely and serves nothing.
 	NodeDown bool
@@ -265,6 +280,8 @@ func (p *Plan) At(t float64) State {
 			if w.Rate > s.Surge {
 				s.Surge = w.Rate
 			}
+		case HubStorm:
+			s.HubDown = true
 		}
 	}
 	// A crash overlapping a reboot is still a crash: the harsher outage
@@ -281,6 +298,17 @@ func (p *Plan) DownUntil(t float64) float64 {
 	end := p.Until(t, NodeCrash)
 	if r := p.Until(t, Reboot); r > end {
 		end = r
+	}
+	return end
+}
+
+// LinkDownUntil returns when every window covering time t that takes
+// the link hard down — LinkOutage on the air, HubStorm on the far end —
+// ends, or t itself when the link is up.
+func (p *Plan) LinkDownUntil(t float64) float64 {
+	end := p.Until(t, LinkOutage)
+	if h := p.Until(t, HubStorm); h > end {
+		end = h
 	}
 	return end
 }
@@ -340,6 +368,9 @@ type PlanConfig struct {
 	// their arrival-rate multiplier (default 10).
 	Surges      int
 	SurgeFactor float64
+	// HubStorms counts HubStorm windows to scatter — hub-side dark
+	// periods that take the hop down for every subject behind the hub.
+	HubStorms int
 }
 
 // RandomPlan scatters fault windows over the horizon, deterministically
@@ -397,13 +428,16 @@ func RandomPlan(seed int64, cfg PlanConfig) *Plan {
 	// Demand-surge windows draw after everything else, again so plans
 	// that request none replay the exact pre-existing schedules.
 	add(DemandSurge, cfg.Surges, 0, cfg.SurgeFactor)
+	// Hub-storm windows draw last of all, preserving every earlier
+	// kind's seeded schedule for configs that request none.
+	add(HubStorm, cfg.HubStorms, 0, 0)
 	sort.SliceStable(p.Windows, func(i, j int) bool { return p.Windows[i].Start < p.Windows[j].Start })
 	return p
 }
 
 // ScenarioNames lists the named scenarios Scenario accepts.
 func ScenarioNames() []string {
-	return []string{"outage", "bursty", "brownout", "stall", "flaky", "corrupt", "garbled", "reboot-storm", "flash-crowd"}
+	return []string{"outage", "bursty", "brownout", "stall", "flaky", "corrupt", "garbled", "reboot-storm", "flash-crowd", "hub-storm"}
 }
 
 // Scenario builds a named fault plan over the given horizon, seeded
@@ -421,6 +455,9 @@ func ScenarioNames() []string {
 //	             rejoins, repeatedly
 //	flash-crowd  seeded demand surges (10x arrival rate) over loss
 //	             bursts: overload and link faults arriving correlated
+//	hub-storm    seeded hub dark periods over a lossy background —
+//	             the hop's far end keeps dying and coming back,
+//	             correlated across every subject behind the hub
 func Scenario(name string, seed int64, horizon float64) (*Plan, error) {
 	if horizon <= 0 || !isFinite(horizon) {
 		return nil, fmt.Errorf("faults: scenario horizon %v must be positive and finite", horizon)
@@ -452,6 +489,9 @@ func Scenario(name string, seed int64, horizon float64) (*Plan, error) {
 	case "flash-crowd":
 		return RandomPlan(seed, PlanConfig{Horizon: horizon, MeanDuration: horizon / 8,
 			Bursts: 2, BurstLoss: 0.6, Surges: 3, SurgeFactor: 10}), nil
+	case "hub-storm":
+		return RandomPlan(seed, PlanConfig{Horizon: horizon, MeanDuration: horizon / 12,
+			Bursts: 2, BurstLoss: 0.4, HubStorms: 3}), nil
 	default:
 		return nil, fmt.Errorf("faults: unknown scenario %q (have %v)", name, ScenarioNames())
 	}

@@ -75,8 +75,8 @@ func (l *Link) sendValues(dataBits int64, values int, perValue int64, fr *Framin
 	st := l.Plan.At(now)
 	var tr wireless.Transfer
 	tr.DataBits = dataBits
-	if st.LinkDown {
-		return tr, nil, 0, &ErrLinkDown{At: now, Until: l.Plan.Until(now, LinkOutage)}
+	if st.LinkDown || st.HubDown {
+		return tr, nil, 0, &ErrLinkDown{At: now, Until: l.Plan.LinkDownUntil(now)}
 	}
 	loss := l.BaseLoss
 	if st.Loss > loss {

@@ -1,0 +1,64 @@
+package faults
+
+import "sort"
+
+// Per-hop fault derivation for N-tier topologies.
+//
+// A k-tier placement crosses k−1 hops (sensor→hub, hub→gateway,
+// gateway→cloud, …) and each hop is an independent physical channel:
+// body-area radio, Wi-Fi backhaul, WAN uplink. They fail independently
+// — EXCEPT when the shared infrastructure node between two hops goes
+// dark (a hub storm), which every subject behind that hub sees at the
+// identical instants. The helpers here derive both layers
+// deterministically from seeds:
+//
+//   - HopSeed mixes a subject seed with a hop index so each hop's Link
+//     and Plan draw from independent streams, reproducibly;
+//   - HubStormPlan draws ONLY hub-storm windows from a hub-shared seed,
+//     so every subject merges the identical storm schedule into its own
+//     per-hop plan;
+//   - MergePlans layers the two.
+
+// HopSeed derives the fault/link seed for one hop from a base seed,
+// deterministic and hop-independent: distinct hops get decorrelated
+// streams, and the same (seed, hop) pair always yields the same value.
+// The mix is a splitmix64-style finalizer over the pair, so adjacent
+// hops do not produce adjacent seeds.
+func HopSeed(seed int64, hop int) int64 {
+	z := uint64(seed) + uint64(hop+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// HubStormPlan draws a hub-storm-only schedule: cfg's HubStorms count
+// over cfg's horizon, all other window counts forced to zero. Because
+// the plan depends only on hubSeed, every subject whose traffic
+// transits the hub derives the identical dark periods — merge it into
+// each subject's per-hop plan with MergePlans.
+func HubStormPlan(hubSeed int64, cfg PlanConfig) *Plan {
+	cfg.Outages, cfg.Bursts, cfg.Brownouts, cfg.Stalls = 0, 0, 0, 0
+	cfg.Flips, cfg.Dups, cfg.Reorders = 0, 0, 0
+	cfg.Crashes, cfg.Reboots, cfg.Surges = 0, 0, 0
+	if cfg.HubStorms <= 0 {
+		cfg.HubStorms = 3
+	}
+	return RandomPlan(hubSeed, cfg)
+}
+
+// MergePlans layers any number of plans into one schedule: windows are
+// concatenated and re-sorted by start time. Overlaps merge under the
+// usual At semantics (max Loss/Rate, OR of the boolean kinds). Nil
+// plans contribute nothing; the inputs are not modified.
+func MergePlans(plans ...*Plan) *Plan {
+	out := &Plan{}
+	for _, p := range plans {
+		if p == nil {
+			continue
+		}
+		out.Windows = append(out.Windows, p.Windows...)
+	}
+	sort.SliceStable(out.Windows, func(i, j int) bool { return out.Windows[i].Start < out.Windows[j].Start })
+	return out
+}

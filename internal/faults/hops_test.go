@@ -1,0 +1,144 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+
+	"xpro/internal/wireless"
+)
+
+func TestHubStormStateAndUntil(t *testing.T) {
+	p := &Plan{Windows: []Window{
+		{Kind: HubStorm, Start: 1, End: 3},
+		{Kind: LinkOutage, Start: 2, End: 5},
+	}}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	st := p.At(1.5)
+	if !st.HubDown || st.LinkDown {
+		t.Fatalf("at 1.5 want HubDown only, got %+v", st)
+	}
+	st = p.At(2.5)
+	if !st.HubDown || !st.LinkDown {
+		t.Fatalf("at 2.5 want both down, got %+v", st)
+	}
+	// LinkDownUntil covers the later of the two window ends.
+	if got := p.LinkDownUntil(2.5); got != 5 {
+		t.Fatalf("LinkDownUntil(2.5) = %v, want 5", got)
+	}
+	if got := p.LinkDownUntil(1.5); got != 3 {
+		t.Fatalf("LinkDownUntil(1.5) = %v, want 3", got)
+	}
+	if got := p.LinkDownUntil(6); got != 6 {
+		t.Fatalf("LinkDownUntil(6) = %v, want 6 (up)", got)
+	}
+	if HubStorm.String() != "hub-storm" {
+		t.Fatalf("String() = %q", HubStorm.String())
+	}
+}
+
+func TestHubStormFailsSends(t *testing.T) {
+	p := &Plan{Windows: []Window{{Kind: HubStorm, Start: 0, End: 10}}}
+	clock := &Clock{}
+	l, err := NewLink(wireless.Model2(), p, clock, 0, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Send(1024); !IsLinkDown(err) {
+		t.Fatalf("Send under hub storm: got %v, want ErrLinkDown", err)
+	}
+	var ld *ErrLinkDown
+	_, _, err = l.SendValues(1024, 4, &Framing{})
+	if !errors.As(err, &ld) {
+		t.Fatalf("SendValues under hub storm: got %v, want ErrLinkDown", err)
+	}
+	if ld.Until != 10 {
+		t.Fatalf("Until = %v, want 10", ld.Until)
+	}
+	clock.Advance(11)
+	if _, err := l.Send(1024); err != nil {
+		t.Fatalf("Send after storm: %v", err)
+	}
+}
+
+func TestHopSeedDeterministicAndDistinct(t *testing.T) {
+	seen := map[int64]int{}
+	for hop := 0; hop < 8; hop++ {
+		a := HopSeed(12345, hop)
+		if b := HopSeed(12345, hop); a != b {
+			t.Fatalf("HopSeed not deterministic for hop %d: %d vs %d", hop, a, b)
+		}
+		seen[a]++
+	}
+	if len(seen) != 8 {
+		t.Fatalf("HopSeed collisions across 8 hops: %v", seen)
+	}
+	if HopSeed(1, 0) == HopSeed(2, 0) {
+		t.Fatal("HopSeed ignores the base seed")
+	}
+}
+
+func TestHubStormPlanSharedAndPure(t *testing.T) {
+	cfg := PlanConfig{Horizon: 100, MeanDuration: 5, HubStorms: 4,
+		Outages: 3, Bursts: 3, Crashes: 2} // non-storm counts must be ignored
+	a := HubStormPlan(77, cfg)
+	b := HubStormPlan(77, cfg)
+	if len(a.Windows) != 4 {
+		t.Fatalf("want 4 hub-storm windows, got %d", len(a.Windows))
+	}
+	for i, w := range a.Windows {
+		if w.Kind != HubStorm {
+			t.Fatalf("window %d has kind %v, want HubStorm", i, w.Kind)
+		}
+		if b.Windows[i] != w {
+			t.Fatalf("plan not deterministic at window %d: %+v vs %+v", i, w, b.Windows[i])
+		}
+	}
+	if c := HubStormPlan(78, cfg); c.Windows[0] == a.Windows[0] {
+		t.Fatal("distinct hub seeds produced identical schedules")
+	}
+}
+
+func TestMergePlans(t *testing.T) {
+	a := &Plan{Windows: []Window{{Kind: LossBurst, Start: 5, End: 6, Loss: 0.5}}}
+	b := &Plan{Windows: []Window{{Kind: HubStorm, Start: 1, End: 2}}}
+	m := MergePlans(a, nil, b)
+	if len(m.Windows) != 2 {
+		t.Fatalf("want 2 windows, got %d", len(m.Windows))
+	}
+	if m.Windows[0].Kind != HubStorm || m.Windows[1].Kind != LossBurst {
+		t.Fatalf("windows not sorted by start: %+v", m.Windows)
+	}
+	if len(a.Windows) != 1 || len(b.Windows) != 1 {
+		t.Fatal("MergePlans mutated an input")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("merged plan invalid: %v", err)
+	}
+}
+
+func TestHubStormScenario(t *testing.T) {
+	p, err := Scenario("hub-storm", 7, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storms := 0
+	for _, w := range p.Windows {
+		if w.Kind == HubStorm {
+			storms++
+		}
+	}
+	if storms != 3 {
+		t.Fatalf("hub-storm scenario has %d storm windows, want 3", storms)
+	}
+	found := false
+	for _, n := range ScenarioNames() {
+		if n == "hub-storm" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("hub-storm missing from ScenarioNames")
+	}
+}

@@ -143,8 +143,8 @@ func (l *Link) send(dataBits int64) (wireless.Transfer, int, error) {
 	var tr wireless.Transfer
 	tr.DataBits = dataBits
 	retransmissions := 0
-	if st.LinkDown {
-		return tr, 0, &ErrLinkDown{At: now, Until: l.Plan.Until(now, LinkOutage)}
+	if st.LinkDown || st.HubDown {
+		return tr, 0, &ErrLinkDown{At: now, Until: l.Plan.LinkDownUntil(now)}
 	}
 	loss := l.BaseLoss
 	if st.Loss > loss {

@@ -73,6 +73,21 @@ func (ts *TieredSystem) WithTierPlacement(p partition.TierPlacement) (*TieredSys
 	return newTieredWith(ts.System, ts.Tiered, p)
 }
 
+// WithResultDelivery returns a sibling running placement p whose final
+// result only has to reach tier result instead of the problem's
+// configured ResultTier — the collapse-rung primitive: a capped rung
+// both clamps the placement and re-homes delivery, so the event walk
+// stops marching results across hops that are known dead. The pricing
+// problem is shallow-copied; the parent's is not modified.
+func (ts *TieredSystem) WithResultDelivery(p partition.TierPlacement, result partition.Tier) (*TieredSystem, error) {
+	if result < 0 || int(result) >= ts.Tiered.K() {
+		return nil, fmt.Errorf("xsystem: result tier %d outside [0,%d)", result, ts.Tiered.K())
+	}
+	tp := *ts.Tiered
+	tp.ResultTier = result
+	return newTieredWith(ts.System, &tp, p)
+}
+
 // RecutHop re-optimizes one hop's boundary (see
 // partition.TieredProblem.RecutHop) and returns the re-cut sibling; the
 // bool reports whether the placement actually moved.

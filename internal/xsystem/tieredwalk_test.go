@@ -1,0 +1,226 @@
+package xsystem
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"xpro/internal/faults"
+	"xpro/internal/partition"
+)
+
+// tieredOpts builds fallible transports for every hop of ts from
+// per-hop plans, sharing one clock.
+func tieredOpts(t *testing.T, ts *TieredSystem, plans []*faults.Plan, seed int64) (*TieredOptions, *faults.Clock) {
+	t.Helper()
+	clock := &faults.Clock{}
+	opt := &TieredOptions{Clock: clock, Policy: faults.DefaultPolicy()}
+	for h := range ts.Tiered.Hops {
+		var plan *faults.Plan
+		if h < len(plans) {
+			plan = plans[h]
+		}
+		link, err := faults.NewLink(ts.Tiered.Hops[h].Link, plan, clock, 0, 0, faults.HopSeed(seed, h))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.Hops = append(opt.Hops, HopTransport{Link: link})
+	}
+	return opt, clock
+}
+
+// With no hop transports at all, the tiered ClassifyOver must agree
+// with Classify on every feasible placement: same computation, clean
+// per-hop charging.
+func TestTieredClassifyOverCleanMatchesClassify(t *testing.T) {
+	f := getFixture(t)
+	ts := newTieredSystem(t)
+	for name, pl := range map[string]partition.TierPlacement{
+		"solved":    ts.TierPlacement,
+		"allSensor": partition.AllAt(f.graph, 0),
+		"allCloud":  partition.AllAt(f.graph, 2),
+	} {
+		sys, err := ts.WithTierPlacement(pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 25; i++ {
+			want, err := sys.Classify(f.test.Segs[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := sys.ClassifyOver(f.test.Segs[i], nil)
+			if err != nil {
+				t.Fatalf("%s seg %d: %v", name, i, err)
+			}
+			if out.Label != want {
+				t.Errorf("%s seg %d: label %d, want %d", name, i, out.Label, want)
+			}
+			if !out.Complete || !out.Delivered || out.PartialFusion {
+				t.Errorf("%s seg %d: clean run not complete: %+v", name, i, out.Outcome)
+			}
+			if out.HardOutage || out.LostTransfers != 0 {
+				t.Errorf("%s seg %d: clean run saw faults: %+v", name, i, out.Outcome)
+			}
+		}
+	}
+}
+
+// A dead hop under the data path fails the walk with a *HopOutageError
+// carrying the hop index, reachable through the *NoResultError chain.
+func TestTieredClassifyOverHopOutageTyped(t *testing.T) {
+	f := getFixture(t)
+	ts := newTieredSystem(t)
+	allCloud, err := ts.WithTierPlacement(partition.AllAt(f.graph, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for hop := 0; hop < 2; hop++ {
+		kind := faults.LinkOutage
+		if hop == 1 {
+			kind = faults.HubStorm // the hub-side flavor downs the hop identically
+		}
+		plans := make([]*faults.Plan, 2)
+		plans[hop] = &faults.Plan{Windows: []faults.Window{{Kind: kind, Start: 0, End: 1000}}}
+		opt, _ := tieredOpts(t, allCloud, plans, 7)
+		_, err := allCloud.ClassifyOver(f.test.Segs[0], opt)
+		var nre *NoResultError
+		if !errors.As(err, &nre) {
+			t.Fatalf("hop %d down: got %v, want NoResultError", hop, err)
+		}
+		var hoe *HopOutageError
+		if !errors.As(err, &hoe) {
+			t.Fatalf("hop %d down: cause chain has no HopOutageError (%v)", hop, err)
+		}
+		if hoe.Hop != hop {
+			t.Fatalf("outage pinned to hop %d, want %d", hoe.Hop, hop)
+		}
+		if hoe.Until != 1000 {
+			t.Fatalf("outage Until = %v, want 1000", hoe.Until)
+		}
+		if hoe.Retries != faults.DefaultPolicy().MaxRetries {
+			t.Fatalf("retry budget consumed = %d, want %d", hoe.Retries, faults.DefaultPolicy().MaxRetries)
+		}
+		if !faults.IsLinkDown(hoe) {
+			t.Fatal("HopOutageError does not unwrap to the link-down cause")
+		}
+	}
+}
+
+// A dead upper hop under an all-sensor placement cannot stop the
+// classification — only its delivery. The label stays valid locally.
+func TestTieredClassifyOverUndeliveredResult(t *testing.T) {
+	f := getFixture(t)
+	ts := newTieredSystem(t)
+	local, err := ts.WithTierPlacement(partition.AllAt(f.graph, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := []*faults.Plan{nil, {Windows: []faults.Window{{Kind: faults.HubStorm, Start: 0, End: 1000}}}}
+	opt, _ := tieredOpts(t, local, plans, 11)
+	out, err := local.ClassifyOver(f.test.Segs[0], opt)
+	if err != nil {
+		t.Fatalf("local compute must survive an uplink storm: %v", err)
+	}
+	if out.Delivered || out.Complete {
+		t.Fatalf("result crossed a dead hop: %+v", out.Outcome)
+	}
+	want, err := local.Classify(f.test.Segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Label != want {
+		t.Fatalf("sensor-local label %d, want %d", out.Label, want)
+	}
+	if !out.HopOutage[1] || out.HopOutage[0] {
+		t.Fatalf("outage ledger wrong: %v", out.HopOutage)
+	}
+	// The result march attempted hop 0 first: it succeeded.
+	if out.HopTransfersOK[0] != 1 || out.HopLost[1] == 0 {
+		t.Fatalf("per-hop ledgers wrong: ok=%v lost=%v", out.HopTransfersOK, out.HopLost)
+	}
+}
+
+// An open breaker on a hop fails its crossings without burning air
+// time, typed with BreakerOpen.
+func TestTieredClassifyOverBreakerFailFast(t *testing.T) {
+	f := getFixture(t)
+	ts := newTieredSystem(t)
+	allCloud, err := ts.WithTierPlacement(partition.AllAt(f.graph, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, clock := tieredOpts(t, allCloud, nil, 13)
+	br, err := faults.NewBreaker(1, 50, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br.RecordFailure() // threshold 1: opens immediately
+	opt.Hops[0].Breaker = br
+	out, cerr := allCloud.ClassifyOver(f.test.Segs[0], opt)
+	var hoe *HopOutageError
+	if !errors.As(cerr, &hoe) || !hoe.BreakerOpen || hoe.Hop != 0 {
+		t.Fatalf("want hop-0 breaker rejection, got %v", cerr)
+	}
+	if out.HopSkipped[0] == 0 || out.HopEnergyJ[0] != 0 {
+		t.Fatalf("breaker-open crossing burned air time: %+v", out)
+	}
+}
+
+// Per-hop ledgers must sum to the aggregate Outcome counters, and a
+// seeded lossy run must replay bit-identically.
+func TestTieredClassifyOverLedgersAndReplay(t *testing.T) {
+	f := getFixture(t)
+	ts := newTieredSystem(t)
+	allCloud, err := ts.WithTierPlacement(partition.AllAt(f.graph, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []string {
+		plans := []*faults.Plan{
+			faults.RandomPlan(21, faults.PlanConfig{Horizon: 100, Bursts: 4, BurstLoss: 0.5, MeanDuration: 10}),
+			faults.RandomPlan(22, faults.PlanConfig{Horizon: 100, Bursts: 3, BurstLoss: 0.4, MeanDuration: 10, HubStorms: 1}),
+		}
+		opt, clock := tieredOpts(t, allCloud, plans, 17)
+		opt.Integrity = &faults.Framing{}
+		var log []string
+		for i := 0; i < 30; i++ {
+			out, err := allCloud.ClassifyOver(f.test.Segs[i], opt)
+			okSum, retrySum, lostSum, skipSum := 0, 0, 0, 0
+			for h := range out.HopTransfersOK {
+				okSum += out.HopTransfersOK[h]
+				retrySum += out.HopRetries[h]
+				lostSum += out.HopLost[h]
+				skipSum += out.HopSkipped[h]
+			}
+			if okSum != out.TransfersOK || retrySum != out.Retries ||
+				lostSum != out.LostTransfers || skipSum != out.SkippedTransfers {
+				t.Fatalf("seg %d: hop ledgers do not sum to aggregates: %+v", i, out)
+			}
+			log = append(log, fmt.Sprintf("i=%d err=%v out=%+v", i, err, out))
+			clock.Advance(0.25)
+		}
+		return log
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at step %d:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+}
+
+// Hop transports beyond the chain's hop count are rejected.
+func TestTieredClassifyOverValidation(t *testing.T) {
+	f := getFixture(t)
+	ts := newTieredSystem(t)
+	opt := &TieredOptions{Hops: make([]HopTransport, 3)}
+	if _, err := ts.ClassifyOver(f.test.Segs[0], opt); err == nil {
+		t.Error("3 hop transports on a 2-hop chain accepted")
+	}
+	short := f.test.Segs[0]
+	short.Samples = short.Samples[:3]
+	if _, err := ts.ClassifyOver(short, nil); err == nil {
+		t.Error("wrong segment length accepted")
+	}
+}

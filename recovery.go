@@ -133,11 +133,19 @@ type SubjectState struct {
 	// and rejoined.
 	Crashes    uint64
 	Recoveries uint64
+	// Tiered is the armed tier runtime's per-hop state (nil on a 2-end
+	// engine or before Arm). It rides in the same CRC envelope as an
+	// optional extension block, so a tiered engine's checkpoint rewinds
+	// the whole ladder — hop breakers, per-hop RNG cursors, probe
+	// schedule, steady rung — not just the 2-end core.
+	Tiered *TieredSubjectState
 }
 
 // The wire encoding is fixed-width big-endian — deterministic bytes
 // per subject, no reflection, no varints — wrapped in the same
 // magic + payload + CRC-32 (IEEE) envelope persist.go snapshots use.
+// subjectStateBytes is the v1 core; an armed tier plan appends the
+// recovery_tiered.go extension block after it, inside the envelope.
 const subjectStateBytes = 117
 
 var (
@@ -147,9 +155,10 @@ var (
 	journalMagic    = []byte("XPJ1")
 )
 
-// CheckpointBytes is the exact size of one encoded checkpoint;
+// CheckpointBytes is the exact size of one encoded 2-end checkpoint;
 // JournalRecordBytes of one journal record. Capacity planning for a
-// million-subject fleet is a multiplication.
+// million-subject fleet is a multiplication; an armed tier plan adds
+// TieredStateBytes(hops) to each.
 const (
 	CheckpointBytes    = 9 + 4 + subjectStateBytes + 4
 	JournalRecordBytes = 4 + 4 + subjectStateBytes + 4
@@ -185,6 +194,9 @@ func encodeState(st SubjectState) ([]byte, error) {
 	u64(st.ImputedValues)
 	u64(st.Crashes)
 	u64(st.Recoveries)
+	if st.Tiered != nil {
+		return appendTieredExt(buf, st.Tiered)
+	}
 	return buf, nil
 }
 
@@ -194,8 +206,8 @@ func encodeState(st SubjectState) ([]byte, error) {
 // into a live engine.
 func decodeState(buf []byte) (SubjectState, error) {
 	var st SubjectState
-	if len(buf) != subjectStateBytes {
-		return st, fmt.Errorf("payload is %d bytes, want %d", len(buf), subjectStateBytes)
+	if len(buf) < subjectStateBytes {
+		return st, fmt.Errorf("payload is %d bytes, want at least %d", len(buf), subjectStateBytes)
 	}
 	off := 0
 	u64 := func() uint64 { v := binary.BigEndian.Uint64(buf[off:]); off += 8; return v }
@@ -250,6 +262,13 @@ func decodeState(buf []byte) (SubjectState, error) {
 	if !finite(st.EnergySpentJoules) || st.EnergySpentJoules < 0 {
 		return st, fmt.Errorf("energy ledger %v must be finite and non-negative", st.EnergySpentJoules)
 	}
+	if len(buf) > subjectStateBytes {
+		ts, err := decodeTieredExt(buf[subjectStateBytes:])
+		if err != nil {
+			return st, err
+		}
+		st.Tiered = ts
+	}
 	return st, nil
 }
 
@@ -297,18 +316,18 @@ func decodeCheckpoint(buf []byte) (SubjectState, error) {
 	if len(body) < 4 {
 		return fail("truncated before the length field")
 	}
-	n := binary.BigEndian.Uint32(body)
-	if n != subjectStateBytes {
-		return fail(fmt.Sprintf("payload length %d, want %d", n, subjectStateBytes))
+	n := int(binary.BigEndian.Uint32(body))
+	if n < subjectStateBytes || n > maxDurablePayload {
+		return fail(fmt.Sprintf("payload length %d outside [%d,%d]", n, subjectStateBytes, maxDurablePayload))
 	}
 	body = body[4:]
-	if len(body) < subjectStateBytes+4 {
-		return fail(fmt.Sprintf("truncated payload (%d of %d bytes)", len(body), subjectStateBytes+4))
+	if len(body) < n+4 {
+		return fail(fmt.Sprintf("truncated payload (%d of %d bytes)", len(body), n+4))
 	}
-	if len(body) > subjectStateBytes+4 {
-		return fail(fmt.Sprintf("%d trailing bytes after the envelope", len(body)-subjectStateBytes-4))
+	if len(body) > n+4 {
+		return fail(fmt.Sprintf("%d trailing bytes after the envelope", len(body)-n-4))
 	}
-	payload, sum := body[:subjectStateBytes], body[subjectStateBytes:]
+	payload, sum := body[:n], body[n:]
 	want := binary.BigEndian.Uint32(sum)
 	if got := crc32.ChecksumIEEE(payload); got != want {
 		return fail(fmt.Sprintf("checksum mismatch (stored %#08x, computed %#08x)", want, got))
@@ -401,15 +420,15 @@ func parseJournalRecord(buf []byte) (int, SubjectState, string) {
 	if !bytes.HasPrefix(buf, journalMagic) {
 		return 0, SubjectState{}, "bad record magic"
 	}
-	n := binary.BigEndian.Uint32(buf[len(journalMagic):])
-	if n != subjectStateBytes {
-		return 0, SubjectState{}, fmt.Sprintf("payload length %d, want %d", n, subjectStateBytes)
+	n := int(binary.BigEndian.Uint32(buf[len(journalMagic):]))
+	if n < subjectStateBytes || n > maxDurablePayload {
+		return 0, SubjectState{}, fmt.Sprintf("payload length %d outside [%d,%d]", n, subjectStateBytes, maxDurablePayload)
 	}
-	total := len(journalMagic) + 4 + subjectStateBytes + 4
+	total := len(journalMagic) + 4 + n + 4
 	if len(buf) < total {
 		return 0, SubjectState{}, fmt.Sprintf("truncated record (%d of %d bytes)", len(buf), total)
 	}
-	payload := buf[len(journalMagic)+4 : len(journalMagic)+4+subjectStateBytes]
+	payload := buf[len(journalMagic)+4 : len(journalMagic)+4+n]
 	want := binary.BigEndian.Uint32(buf[total-4:])
 	if got := crc32.ChecksumIEEE(payload); got != want {
 		return 0, SubjectState{}, fmt.Sprintf("checksum mismatch (stored %#08x, computed %#08x)", want, got)
@@ -504,7 +523,7 @@ func (e *Engine) SubjectState() (SubjectState, error) {
 	}
 	e.res.mu.Lock()
 	defer e.res.mu.Unlock()
-	return e.res.stateLocked(), nil
+	return e.res.durableLocked(e), nil
 }
 
 // Checkpoint serializes the durable subject state to w as one
@@ -671,6 +690,16 @@ func (r *resilient) applyLocked(e *Engine, st SubjectState, restoreClock bool) e
 	if st.Recoveries > r.recoveries {
 		r.recoveries = st.Recoveries
 	}
+	if st.Tiered != nil {
+		tp := e.tier.Load()
+		if tp == nil || !tp.Armed() {
+			return &RecoveryError{Section: "checkpoint",
+				Reason: "record carries tiered hop state but no tier plan is armed"}
+		}
+		if err := tp.RestoreTieredState(*st.Tiered); err != nil {
+			return &RecoveryError{Section: "checkpoint", Reason: err.Error()}
+		}
+	}
 	r.lastState = r.plan.At(r.clock.Now())
 	r.lastOut = xsystem.Outcome{}
 	e.epoch.Add(1)
@@ -681,7 +710,7 @@ func (r *resilient) applyLocked(e *Engine, st SubjectState, restoreClock bool) e
 // is a *DurableStore, and stamps the checkpoint age the health report
 // serves.
 func (r *resilient) checkpointLocked(e *Engine, w io.Writer) error {
-	buf, err := encodeCheckpoint(r.stateLocked())
+	buf, err := encodeCheckpoint(r.durableLocked(e))
 	if err != nil {
 		return err
 	}
@@ -716,7 +745,7 @@ func (r *resilient) ledgerLocked(e *Engine, res Result, err error) {
 // failure is counted, not fatal: the engine keeps serving and the
 // operator sees the durability gap on /metrics.
 func (r *resilient) journalLocked(e *Engine) {
-	rec, err := encodeJournalRecord(r.stateLocked())
+	rec, err := encodeJournalRecord(r.durableLocked(e))
 	if err == nil {
 		_, err = r.store.Write(rec)
 	}

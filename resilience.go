@@ -172,8 +172,8 @@ func (r *Resilience) policy() faults.Policy {
 // FaultWindow is one fault interval on the engine's modeled timeline,
 // half-open [StartSeconds, EndSeconds). Kind is "loss-burst",
 // "link-outage", "brownout", "agg-stall", "bit-flip", "duplicate",
-// "reorder", "node-crash", "reboot" or "demand-surge"; Loss applies
-// to loss-burst windows only, Rate to the three corruption kinds
+// "reorder", "node-crash", "reboot", "demand-surge" or "hub-storm";
+// Loss applies to loss-burst windows only, Rate to the three corruption kinds
 // (per-bit error probability for bit-flip, per-packet probability for
 // duplicate and reorder) and to demand-surge windows (the arrival-
 // rate multiplier ≥ 1; ignored by the classify pipeline, read by
@@ -183,7 +183,11 @@ func (r *Resilience) policy() faults.Policy {
 // fast with ErrNodeDown and the node's volatile state is wiped; a
 // "reboot" is ordered (a final checkpoint is flushed on the way down)
 // while a "node-crash" is a hard power loss, and a crash overlapping a
-// reboot is still a crash.
+// reboot is still a crash. A "hub-storm" is the hub-side flavor of
+// "link-outage": the shared infrastructure node behind a hop goes dark,
+// so every subject whose traffic transits that hub sees the identical
+// dark period (see TierResilience.HubStorms for the correlated per-hop
+// derivation on armed tier plans).
 type FaultWindow struct {
 	Kind         string
 	StartSeconds float64
@@ -232,6 +236,7 @@ var faultKinds = map[string]faults.Kind{
 	"node-crash":   faults.NodeCrash,
 	"reboot":       faults.Reboot,
 	"demand-surge": faults.DemandSurge,
+	"hub-storm":    faults.HubStorm,
 }
 
 func (p *FaultPlan) internal() (*faults.Plan, error) {

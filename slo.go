@@ -147,6 +147,11 @@ type SLOReport struct {
 	// BrownedOut is true while the fleet brownout controller forces
 	// this engine onto its cheap rung (see ServeOptions.Overload).
 	BrownedOut bool
+
+	// Hops is per-hop liveness of the engine's armed tier plan
+	// (TierPlan.Arm), hop h connecting tier h to h+1; nil without one.
+	// Like the recovery fields it is patched fresh on every call.
+	Hops []HopSLO
 }
 
 // key returns the current staleness key (cheap: three atomic-ish
@@ -185,6 +190,13 @@ func (e *Engine) SLOReport() SLOReport {
 		rep.Live, rep.Crashes, rep.Recoveries, rep.LastCheckpointAgeSeconds = e.res.recoveryStatus()
 	}
 	rep.BrownedOut = e.brownedOut()
+	// Per-hop liveness moves with the armed tier plan's ladder, not
+	// with engine events, so it bypasses the memo too. hopSLO takes
+	// the plan's mu under h.mu — the plan's classify path never takes
+	// h.mu, so the order is safe.
+	if tp := e.tier.Load(); tp != nil {
+		rep.Hops = tp.hopSLO()
+	}
 	return rep
 }
 
@@ -318,6 +330,14 @@ func (e *Engine) Health() Health {
 	if rep.BrownedOut {
 		h.BrownedOut = true
 		h.Status = "degraded"
+	}
+	// A dead hop on the armed tier plan means the engine is serving
+	// from a collapsed rung: degraded, not down — tiers below the dead
+	// hop still answer.
+	for _, hop := range rep.Hops {
+		if !hop.Live {
+			h.Status = "degraded"
+		}
 	}
 	if !h.Live {
 		h.Status = "down"

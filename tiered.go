@@ -58,9 +58,12 @@ type TierPlanReport struct {
 // The log is deterministic — a seeded run replays it bit-identically,
 // across process restarts and checkpoint/recover cycles.
 type TierDecision struct {
-	// Op is "recut", "degrade" or "resolve".
+	// Op is "recut", "degrade", "resolve" or "pin". The tier-collapse
+	// ladder of an armed plan logs its rung changes here too: a
+	// collapse is a "degrade", a climb back up a "resolve".
 	Op string
-	// Hop is the re-cut hop (recut), the cap tier (degrade) or -1.
+	// Hop is the re-cut hop (recut), the cap tier (degrade, and ladder
+	// climbs logged as resolve) or -1 (full re-solve).
 	Hop int
 	// Loss and Outage are the channel estimate the decision priced
 	// (recut only).
@@ -89,6 +92,11 @@ type TierPlan struct {
 	opt partition.TierPlacement // the solved optimum, for Resolve
 	ex  bool
 	log []TierDecision
+	// eng is the engine the plan was solved for: installs bump its
+	// serving epoch so memoized views (Network.Report, SLO) rebuild.
+	eng *Engine
+	// rt is the per-hop fault-tolerance runtime (nil until Arm).
+	rt *tierRuntime
 }
 
 // PlanTiers solves the engine's topology over a k-tier chain: the
@@ -113,7 +121,7 @@ func (e *Engine) PlanTiers(k int) (*TierPlan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &TierPlan{ts: ts, opt: ts.TierPlacement.Clone(), ex: res.Exact}, nil
+	return &TierPlan{ts: ts, opt: ts.TierPlacement.Clone(), ex: res.Exact, eng: e}, nil
 }
 
 // Assignment returns the per-cell tier of the plan's current
@@ -199,14 +207,56 @@ func (p *TierPlan) Resolve() error {
 	return nil
 }
 
+// PinAll is the operator override: it homes every cell on one tier,
+// discarding the solved optimum until the next Resolve. Demos and
+// fault drills use it to force traffic across every hop (pin to the
+// top tier) regardless of where the optimizer parked the cells. The
+// pin is rejected while an armed ladder is collapsed below full
+// height — it would silently bypass the evidence-driven cap.
+func (p *TierPlan) PinAll(tier int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if k := p.ts.Tiered.K(); tier < 0 || tier >= k {
+		return fmt.Errorf("xpro: pin tier %d outside chain of %d tiers", tier, k)
+	}
+	if p.rt != nil && p.rt.steady != p.rt.fullCap() {
+		return fmt.Errorf("xpro: cannot pin while the tier ladder is collapsed to rung %d", p.rt.steady)
+	}
+	next := partition.AllAt(p.ts.Graph, partition.Tier(tier))
+	moved := !next.Equal(p.ts.TierPlacement)
+	if moved {
+		if err := p.install(next); err != nil {
+			return err
+		}
+	}
+	p.logDecision(TierDecision{Op: "pin", Hop: tier, Moved: moved})
+	return nil
+}
+
 // install swaps the plan onto placement next. Callers hold p.mu.
 func (p *TierPlan) install(next partition.TierPlacement) error {
 	ts, err := p.ts.WithTierPlacement(next)
 	if err != nil {
 		return err
 	}
-	p.ts = ts
+	p.swap(ts)
+	// A manual move while the ladder serves the full chain re-homes the
+	// ladder too: the new placement is what collapses cap from now on.
+	if p.rt != nil && p.rt.steady == p.rt.fullCap() {
+		p.rt.uncapped = next.Clone()
+	}
 	return nil
+}
+
+// swap points the plan at a rebuilt sibling and bumps the engine's
+// serving epoch: a re-cut (or collapse rung) changes the per-tier
+// pricing that memoized views — Network.Report, the SLO caches — were
+// built from, so they must rebuild. Callers hold p.mu.
+func (p *TierPlan) swap(ts *xsystem.TieredSystem) {
+	p.ts = ts
+	if p.eng != nil {
+		p.eng.epoch.Add(1)
+	}
 }
 
 // logDecision stamps the current assignment and cost onto d and

@@ -1,0 +1,346 @@
+package xpro
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"xpro/internal/biosig"
+	"xpro/internal/faults"
+	"xpro/internal/partition"
+)
+
+// armedTieredPlan solves a 3-tier plan for eng and arms it with cfg.
+// When the solver parks every cell on the sensor tier the plan is
+// first moved to the all-cloud extreme, so the chain actually crosses
+// its hops and per-hop faults have traffic to hit.
+func armedTieredPlan(t *testing.T, eng *Engine, cfg *TierResilience) *TierPlan {
+	t.Helper()
+	p, err := eng.PlanTiers(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxTier := 0
+	for _, tier := range p.Assignment() {
+		if tier > maxTier {
+			maxTier = tier
+		}
+	}
+	if maxTier == 0 {
+		if err := p.PinAll(2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Arm(cfg); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// A clean armed chain serves every event full-fidelity from the top
+// rung, and the walk agrees with itself across runs.
+func TestTierPlanArmedCleanServesFull(t *testing.T) {
+	eng := tieredTestEngine(t)
+	p := armedTieredPlan(t, eng, &TierResilience{Seed: 5})
+	test := eng.TestSet()
+	for i := 0; i < 20; i++ {
+		res, err := p.ClassifyResult(test[i].Samples)
+		if err != nil {
+			t.Fatalf("clean event %d: %v", i, err)
+		}
+		if res.Mode != ModeFull || res.Degraded || res.Tier != 2 || res.Probing {
+			t.Fatalf("clean event %d not full-chain: %+v", i, res)
+		}
+	}
+	if !p.Armed() {
+		t.Fatal("plan not armed")
+	}
+}
+
+// An unarmed plan rejects ClassifyResult.
+func TestTierPlanClassifyRequiresArm(t *testing.T) {
+	eng := tieredTestEngine(t)
+	p, err := eng.PlanTiers(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ClassifyResult(eng.TestSet()[0].Samples); err == nil {
+		t.Fatal("unarmed ClassifyResult accepted")
+	}
+}
+
+// stormPlan schedules one hub-storm window over [0, end) seconds as a
+// public FaultPlan (also exercising the "hub-storm" FaultWindow kind).
+func stormPlan(end float64) *FaultPlan {
+	return &FaultPlan{Windows: []FaultWindow{{Kind: "hub-storm", StartSeconds: 0, EndSeconds: end}}}
+}
+
+// A sustained hub storm walks the full ladder: typed degradation
+// errors while the hop fights, a collapse onto the sensor+hub rung
+// (served with nil error), probes when the storm clears, and a climb
+// back to the full chain — all visible in the decision log.
+func TestTierPlanHubStormCollapseAndRecover(t *testing.T) {
+	eng := tieredTestEngine(t)
+	p, err := eng.PlanTiers(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.mu.Lock()
+	if err := p.install(partition.AllAt(p.ts.Tiered.Graph, 2)); err != nil {
+		p.mu.Unlock()
+		t.Fatal(err)
+	}
+	p.mu.Unlock()
+	period := 1.0
+	if ev := eng.sys().EventsPerSecond(); ev > 0 {
+		period = 1 / ev
+	}
+	// The hop breaker's cooldown must be on the same scale as the
+	// probe cadence, or an open breaker starves every revival probe
+	// for most of the run.
+	pol := DefaultResilience()
+	pol.BreakerCooldownSeconds = 3 * period
+	cfg := &TierResilience{
+		Seed:     9,
+		Policy:   pol,
+		HopPlans: []*FaultPlan{nil, stormPlan(4.5 * period)},
+		Collapse: &TierCollapse{
+			FailThreshold: 2, ProbeAfterSeconds: 2 * period,
+			ProbeBackoffFactor: 2, MaxProbeSeconds: 20 * period,
+			RecoverySuccesses: 1, ProbationEvents: 2,
+		},
+	}
+	if err := p.Arm(cfg); err != nil {
+		t.Fatal(err)
+	}
+	test := eng.TestSet()
+	var sawDegradedErr, sawCollapsed, sawProbe, sawRecovered bool
+	for i := 0; i < 60; i++ {
+		res, err := p.ClassifyResult(test[i%len(test)].Samples)
+		var tde *TierDegradedError
+		switch {
+		case errors.As(err, &tde):
+			sawDegradedErr = true
+			if res.Label != 0 && res.Label != 1 {
+				t.Fatalf("event %d: degraded answer has no label: %+v", i, res)
+			}
+			if !res.Degraded {
+				t.Fatalf("event %d: TierDegradedError without Degraded result", i)
+			}
+			if res.Probing { // a revival probe that hit a still-dark hop
+				sawProbe = true
+			}
+		case err != nil:
+			t.Fatalf("event %d: %v", i, err)
+		case res.Probing:
+			sawProbe = true
+		case res.Tier == 1 && res.Mode == ModeSensorLocal && res.Degraded:
+			sawCollapsed = true
+		case sawCollapsed && res.Mode == ModeFull && res.Tier == 2:
+			sawRecovered = true
+		}
+	}
+	if !sawDegradedErr || !sawCollapsed || !sawProbe || !sawRecovered {
+		t.Fatalf("ladder phases missed: degradedErr=%v collapsed=%v probe=%v recovered=%v",
+			sawDegradedErr, sawCollapsed, sawProbe, sawRecovered)
+	}
+	var sawDegradeOp, sawResolveOp bool
+	for _, d := range p.Log() {
+		if d.Op == "degrade" && d.Hop == 1 {
+			sawDegradeOp = true
+		}
+		if d.Op == "resolve" && d.Hop == 2 {
+			sawResolveOp = true
+		}
+	}
+	if !sawDegradeOp || !sawResolveOp {
+		t.Fatalf("decision log missing ladder ops: %+v", p.Log())
+	}
+	// The SLO report carries the per-hop picture.
+	rep := eng.SLOReport()
+	if len(rep.Hops) != 2 {
+		t.Fatalf("SLO hops = %d, want 2", len(rep.Hops))
+	}
+	if rep.Hops[1].OutageEvents == 0 {
+		t.Fatal("hop 1 outages not accounted in SLO")
+	}
+}
+
+// Satellite: errors.As reaches the typed ladder errors and their
+// fields — hop index, rung tier, retry budget consumed — and the chain
+// unwraps to the link-down cause underneath.
+func TestTierErrorsAsFields(t *testing.T) {
+	eng := tieredTestEngine(t)
+	p := armedTieredPlan(t, eng, &TierResilience{
+		Seed:     3,
+		HopPlans: []*FaultPlan{stormPlan(1e6), stormPlan(1e6)}, // whole chain dark
+	})
+	_, err := p.ClassifyResult(eng.TestSet()[0].Samples)
+	var tde *TierDegradedError
+	if !errors.As(err, &tde) {
+		t.Fatalf("got %v, want TierDegradedError", err)
+	}
+	if tde.Hop != 0 {
+		t.Fatalf("failed hop = %d, want 0 (first dead crossing)", tde.Hop)
+	}
+	if tde.Tier != 0 {
+		t.Fatalf("serving rung = %d, want 0 (everything dark below the storm)", tde.Tier)
+	}
+	var hoe *HopOutageError
+	if !errors.As(err, &hoe) {
+		t.Fatalf("chain has no HopOutageError: %v", err)
+	}
+	if hoe.Hop != 0 {
+		t.Fatalf("outage hop = %d, want 0", hoe.Hop)
+	}
+	if hoe.UntilSeconds != 1e6 {
+		t.Fatalf("outage until = %v, want 1e6", hoe.UntilSeconds)
+	}
+	if hoe.RetriesConsumed != DefaultResilience().MaxRetries {
+		t.Fatalf("retry budget consumed = %d, want %d", hoe.RetriesConsumed, DefaultResilience().MaxRetries)
+	}
+	if !faults.IsLinkDown(err) {
+		t.Fatal("error chain does not reach the link-down cause")
+	}
+	// The degraded answer itself is still served, from the sensor rung.
+	res, _ := p.ClassifyResult(eng.TestSet()[1].Samples)
+	if res.Label != 0 && res.Label != 1 {
+		t.Fatalf("no label under full storm: %+v", res)
+	}
+}
+
+// Satellite: a moving install — re-cut, degrade, ladder rung — bumps
+// the engine's serving epoch so memoized views (Network.Report, SLO)
+// rebuild; Arm itself bumps it too.
+func TestTierPlanInstallBumpsEpoch(t *testing.T) {
+	eng := tieredTestEngine(t)
+	p, err := eng.PlanTiers(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := eng.generation()
+	moved, err := p.DegradeTiers(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !moved {
+		t.Skip("solved plan already all-sensor; nothing to clamp")
+	}
+	if eng.generation() == before {
+		t.Fatal("moving DegradeTiers did not bump the serving epoch")
+	}
+	before = eng.generation()
+	if err := p.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.generation() == before {
+		t.Fatal("moving Resolve did not bump the serving epoch")
+	}
+	before = eng.generation()
+	if err := p.Arm(&TierResilience{}); err != nil {
+		t.Fatal(err)
+	}
+	if eng.generation() == before {
+		t.Fatal("Arm did not bump the serving epoch")
+	}
+}
+
+// Satellite property: the collapse ladder's rungs — the CapAt
+// placements with re-homed result delivery — strictly reduce the live
+// hop set rung by rung, and on a clean channel no rung introduces
+// deadline violations: every rung serves every event completely.
+func TestTierRungLadderMonotoneCleanChannel(t *testing.T) {
+	eng := tieredTestEngine(t)
+	p := armedTieredPlan(t, eng, &TierResilience{Seed: 21})
+	test := eng.TestSet()
+	k := 3
+	prevLive := k // one past the top rung's hop count
+	for cap := k - 1; cap >= 0; cap-- {
+		p.mu.Lock()
+		rung, err := p.rungLocked(partition.Tier(cap))
+		p.mu.Unlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Live hops of the rung: hops its placement and result delivery
+		// may cross. Strictly fewer on every rung down.
+		if cap >= prevLive {
+			t.Fatalf("rung %d does not reduce live hops (prev %d)", cap, prevLive)
+		}
+		prevLive = cap
+		for i := 0; i < 15; i++ {
+			out, err := rung.ClassifyOver(biosig.Segment{Samples: test[i].Samples}, nil)
+			if err != nil {
+				t.Fatalf("rung %d event %d: %v", cap, i, err)
+			}
+			if !out.Complete || out.DeadlineExceeded {
+				t.Fatalf("rung %d event %d violated the clean-channel contract: %+v", cap, i, out.Outcome)
+			}
+			for h := cap; h < k-1; h++ {
+				if out.HopTransfersOK[h] != 0 || out.HopLost[h] != 0 {
+					t.Fatalf("rung %d pushed traffic over dead hop %d: %+v", cap, h, out)
+				}
+			}
+		}
+	}
+}
+
+// A seeded storm run replays bit-identically: same seed, same events,
+// same labels, rungs, errors and decision log.
+func TestTierPlanReplayDeterminism(t *testing.T) {
+	eng := tieredTestEngine(t)
+	run := func() []string {
+		p, err := eng.PlanTiers(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.mu.Lock()
+		if err := p.install(partition.AllAt(p.ts.Tiered.Graph, 2)); err != nil {
+			p.mu.Unlock()
+			t.Fatal(err)
+		}
+		p.mu.Unlock()
+		if err := p.Arm(&TierResilience{
+			Seed: 41, HubStorms: 2, HorizonSeconds: 30,
+			HopPlans: []*FaultPlan{nil, {Windows: []FaultWindow{
+				{Kind: "loss-burst", StartSeconds: 0, EndSeconds: 30, Loss: 0.3}}}},
+			Framed: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		test := eng.TestSet()
+		var log []string
+		for i := 0; i < 50; i++ {
+			res, err := p.ClassifyResult(test[i%len(test)].Samples)
+			log = append(log, fmt.Sprintf("i=%d err=%v res=%+v", i, err, res))
+		}
+		for _, d := range p.Log() {
+			log = append(log, d.String())
+		}
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at line %d:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+}
+
+// Arm validation: too many hop plans, bad hub tier.
+func TestTierResilienceValidation(t *testing.T) {
+	eng := tieredTestEngine(t)
+	p, err := eng.PlanTiers(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Arm(&TierResilience{HopPlans: make([]*FaultPlan, 3)}); err == nil {
+		t.Error("3 hop plans on a 2-hop chain accepted")
+	}
+	if err := p.Arm(&TierResilience{HubStorms: 1, HubTier: 5}); err == nil {
+		t.Error("hub tier 5 on a 3-tier chain accepted")
+	}
+}

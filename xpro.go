@@ -313,6 +313,10 @@ type Engine struct {
 	// which system effectiveSystem returns or how it is priced. Network
 	// memoizes its rebuilt per-engine view against this counter.
 	epoch atomic.Uint64
+	// tier is the armed N-tier plan (TierPlan.Arm), if any: the SLO and
+	// health reports read per-hop liveness from it, and the recovery
+	// layer carries its breaker/ladder state in SubjectState.
+	tier atomic.Pointer[TierPlan]
 }
 
 // generation returns the engine's serving-configuration epoch. Two
